@@ -1,0 +1,60 @@
+// Shared configuration for the experiment benches.
+//
+// Every training-pipeline bench honours the RNX_BENCH_QUICK environment
+// variable (set to 1 for a fast smoke-scale run) and RNX_BENCH_SCALE
+// (a float multiplier on sample counts, for pushing towards paper scale).
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "eval/experiment.hpp"
+#include "util/log.hpp"
+
+namespace rnx::benchcfg {
+
+inline bool quick_mode() {
+  const char* v = std::getenv("RNX_BENCH_QUICK");
+  return v != nullptr && std::string(v) == "1";
+}
+
+inline double scale_factor() {
+  const char* v = std::getenv("RNX_BENCH_SCALE");
+  return v != nullptr ? std::atof(v) : 1.0;
+}
+
+inline std::size_t scaled(std::size_t n) {
+  const double s = scale_factor();
+  return static_cast<std::size_t>(n * (s > 0.0 ? s : 1.0));
+}
+
+/// The default §3 protocol settings shared by the training benches:
+/// queue-varied GEANT2/NSFNET scenarios in the load regime where queueing
+/// dominates, sample counts scaled for CPU training.
+inline eval::Fig2Config default_fig2_config() {
+  eval::Fig2Config cfg;
+  cfg.train_samples = scaled(quick_mode() ? 24 : 100);
+  cfg.geant2_test_samples = scaled(quick_mode() ? 6 : 25);
+  cfg.nsfnet_test_samples = scaled(quick_mode() ? 6 : 25);
+  cfg.gen.target_packets = quick_mode() ? 60'000 : 200'000;
+  cfg.gen.util_lo = 0.7;
+  cfg.gen.util_hi = 0.95;
+  cfg.model.state_dim = 12;
+  cfg.model.readout_hidden = 24;
+  cfg.model.iterations = quick_mode() ? 3 : 4;
+  cfg.train.epochs = quick_mode() ? 15 : 40;
+  cfg.train.batch_samples = 4;
+  cfg.train.lr = 2e-3;
+  cfg.train.verbose = false;
+  cfg.cache_dir = "data";
+  return cfg;
+}
+
+inline void print_banner(const std::string& title) {
+  util::set_log_level(util::LogLevel::kWarn);
+  std::cout << "==== " << title << (quick_mode() ? "  [QUICK MODE]" : "")
+            << " ====\n";
+}
+
+}  // namespace rnx::benchcfg

@@ -1,0 +1,96 @@
+// Figure 2 — the paper's headline result.
+//
+// Reproduces §3 end to end: generate queue-varied datasets with the
+// packet-level simulator (GEANT2 train/test, NSFNET test), train the
+// original and the extended RouteNet on the same GEANT2 data, and print
+// the CDF of the relative error of delay predictions for the four
+// (model, topology) combinations, plus a percentile summary table.
+// Writes fig2_cdf.csv for plotting.
+//
+// Scaled protocol (see DESIGN.md): sample counts are laptop-scale, but
+// the training/evaluation topology split and the queue-size scenario are
+// exactly the paper's.  Expectation: the extended curves dominate
+// (higher CDF at every error level) on both topologies.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace rnx;
+  benchcfg::print_banner(
+      "Figure 2: CDF of relative error in delay prediction");
+
+  const eval::Fig2Config cfg = benchcfg::default_fig2_config();
+  std::cout << "protocol: train " << cfg.train_samples
+            << " GEANT2 samples; evaluate " << cfg.geant2_test_samples
+            << " GEANT2 + " << cfg.nsfnet_test_samples
+            << " NSFNET samples (unseen topology)\n"
+            << "model: state_dim=" << cfg.model.state_dim
+            << " T=" << cfg.model.iterations
+            << " epochs=" << cfg.train.epochs << "\n\n";
+
+  const eval::Fig2Result res = eval::run_fig2(cfg);
+  std::cout << "dataset generation: " << res.generate_seconds
+            << " s; training: " << res.train_seconds << " s\n\n";
+
+  // -- percentile summary (the table view of Fig. 2) ---------------------
+  util::Table table({"model", "topology", "paths", "P50 |rel err|",
+                     "P90 |rel err|", "MAPE", "Pearson r"});
+  for (const auto& c : res.curves) {
+    std::vector<double> ape;
+    ape.reserve(c.rel_errors.size());
+    for (const double e : c.rel_errors) ape.push_back(std::abs(e));
+    table.add_row({c.model, c.topology, util::Table::cell(c.summary.n),
+                   util::Table::cell(util::percentile(ape, 50) * 100, 2) + " %",
+                   util::Table::cell(util::percentile(ape, 90) * 100, 2) + " %",
+                   util::Table::cell(c.summary.mape * 100, 2) + " %",
+                   util::Table::cell(c.summary.pearson, 4)});
+  }
+  table.print(std::cout);
+
+  // -- the CDF series (what the paper plots) ------------------------------
+  std::cout << "\nCDF of |relative error| (fraction of paths with error <= x):\n";
+  util::Table cdf_table({"|rel err| <=", "ext/geant2", "orig/geant2",
+                         "ext/nsfnet", "orig/nsfnet"});
+  const std::vector<double> xs = {0.02, 0.05, 0.10, 0.15, 0.20, 0.30,
+                                  0.40, 0.50, 0.75, 1.00};
+  std::vector<util::Cdf> cdfs;
+  for (const auto& c : res.curves) {
+    std::vector<double> ape;
+    for (const double e : c.rel_errors) ape.push_back(std::abs(e));
+    cdfs.emplace_back(std::move(ape));
+  }
+  for (const double x : xs) {
+    std::vector<std::string> row{util::Table::cell(x, 2)};
+    for (const auto& cdf : cdfs) row.push_back(util::Table::cell(cdf.at(x), 3));
+    cdf_table.add_row(std::move(row));
+  }
+  cdf_table.print(std::cout);
+
+  // -- CSV with the full signed-error curves -------------------------------
+  {
+    util::CsvWriter csv("fig2_cdf.csv", {"model", "topology", "rel_error"});
+    for (const auto& c : res.curves)
+      for (const double e : c.rel_errors)
+        csv.add_row({c.model, c.topology, util::Table::cell(e, 6)});
+    std::cout << "\nfull per-path errors written to " << csv.path() << "\n";
+  }
+
+  // -- verdict --------------------------------------------------------------
+  const auto& eg = res.curve("routenet-ext", "geant2").summary;
+  const auto& og = res.curve("routenet", "geant2").summary;
+  const auto& en = res.curve("routenet-ext", "nsfnet").summary;
+  const auto& on = res.curve("routenet", "nsfnet").summary;
+  std::cout << "\npaper-shape check:\n"
+            << "  extended < original on GEANT2 (median APE): "
+            << (eg.median_ape < og.median_ape ? "YES" : "NO") << " ("
+            << eg.median_ape << " vs " << og.median_ape << ")\n"
+            << "  extended < original on NSFNET (median APE): "
+            << (en.median_ape < on.median_ape ? "YES" : "NO") << " ("
+            << en.median_ape << " vs " << on.median_ape << ")\n"
+            << "  extended generalizes (NSFNET within 2x of GEANT2): "
+            << (en.median_ape < 2.0 * eg.median_ape ? "YES" : "NO") << "\n";
+  return 0;
+}

@@ -1,0 +1,96 @@
+// P1 — microbenchmarks of the autograd substrate at RouteNet-realistic
+// shapes: 552 paths x 16 state dims (GEANT2) for the row ops, GRU steps
+// forward and forward+backward.
+#include <benchmark/benchmark.h>
+
+#include "nn/gru.hpp"
+#include "nn/init.hpp"
+#include "nn/layers.hpp"
+#include "nn/ops.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace rnx::nn;
+using rnx::util::RngStream;
+
+Var rand_var(std::size_t r, std::size_t c, bool grad = true) {
+  RngStream rng(r * 1000 + c);
+  return Var(uniform_init(r, c, -1.0, 1.0, rng), grad);
+}
+
+void BM_Matmul(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Tensor a = [&] {
+    RngStream rng(1);
+    return uniform_init(n, 16, -1, 1, rng);
+  }();
+  const Tensor b = [&] {
+    RngStream rng(2);
+    return uniform_init(16, 16, -1, 1, rng);
+  }();
+  for (auto _ : state) benchmark::DoNotOptimize(matmul(a, b));
+  state.SetItemsProcessed(state.iterations() * n * 16 * 16);
+}
+BENCHMARK(BM_Matmul)->Arg(64)->Arg(552)->Arg(2048);
+
+void BM_GatherRows(benchmark::State& state) {
+  const Var a = rand_var(552, 16, false);
+  std::vector<Index> idx(552);
+  RngStream rng(3);
+  for (auto& i : idx)
+    i = static_cast<Index>(rng.uniform_int(0, 551));
+  const NoGradGuard guard;
+  for (auto _ : state) benchmark::DoNotOptimize(gather_rows(a, idx));
+}
+BENCHMARK(BM_GatherRows);
+
+void BM_SegmentSum(benchmark::State& state) {
+  const Var a = rand_var(552, 16, false);
+  std::vector<Index> seg(552);
+  RngStream rng(4);
+  for (auto& s : seg) s = static_cast<Index>(rng.uniform_int(0, 73));
+  const NoGradGuard guard;
+  for (auto _ : state) benchmark::DoNotOptimize(segment_sum(a, seg, 74));
+}
+BENCHMARK(BM_SegmentSum);
+
+void BM_GruStepForward(benchmark::State& state) {
+  RngStream rng(5);
+  const GRUCell cell(16, 16, rng);
+  const Var x = rand_var(552, 16, false);
+  const Var h = rand_var(552, 16, false);
+  const NoGradGuard guard;
+  for (auto _ : state) benchmark::DoNotOptimize(cell.step(x, h));
+}
+BENCHMARK(BM_GruStepForward);
+
+void BM_GruStepForwardBackward(benchmark::State& state) {
+  RngStream rng(6);
+  const GRUCell cell(16, 16, rng);
+  Var x = rand_var(552, 16, true);
+  Var h = rand_var(552, 16, true);
+  for (auto _ : state) {
+    x.zero_grad();
+    h.zero_grad();
+    Var loss = mean_all(cell.step(x, h));
+    loss.backward();
+    benchmark::DoNotOptimize(x.grad());
+  }
+}
+BENCHMARK(BM_GruStepForwardBackward);
+
+void BM_MlpForward(benchmark::State& state) {
+  RngStream rng(7);
+  // Readout shape: 552 paths through 16->32->1.
+  const Dense l1(16, 32, Activation::kRelu, rng);
+  const Dense l2(32, 1, Activation::kNone, rng);
+  const Var x = rand_var(552, 16, false);
+  const NoGradGuard guard;
+  for (auto _ : state) benchmark::DoNotOptimize(l2.forward(l1.forward(x)));
+}
+BENCHMARK(BM_MlpForward);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,66 @@
+// P1 — discrete-event simulator throughput (events/s, packets/s) across
+// topology sizes and load regimes.  The DES is the data-generation
+// bottleneck, so its speed bounds achievable dataset scale.
+#include <benchmark/benchmark.h>
+
+#include "sim/simulator.hpp"
+#include "topo/traffic.hpp"
+#include "topo/zoo.hpp"
+#include "util/log.hpp"
+
+namespace {
+
+using namespace rnx;
+
+void run_sim_bench(benchmark::State& state, const topo::Topology& base,
+                   double util) {
+  util::set_log_level(util::LogLevel::kWarn);
+  topo::Topology topo = base;
+  util::RngStream rng(11);
+  topo::randomize_queue_sizes(topo, 0.5, rng);
+  const topo::RoutingScheme rs = topo::hop_count_routing(topo);
+  topo::TrafficMatrix tm =
+      topo::uniform_traffic(topo.num_nodes(), 0.5, 1.0, rng);
+  topo::scale_to_max_utilization(tm, topo, rs, util);
+  const double total_pps = tm.total() / 8000.0;
+  sim::SimConfig cfg;
+  cfg.window_s = 30'000.0 / total_pps;  // ~30k packets per iteration
+  cfg.warmup_s = 0.0;
+  std::uint64_t events = 0, packets = 0;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    cfg.seed = seed++;
+    sim::Simulator sim(topo, rs, tm, cfg);
+    const sim::SimResult res = sim.run();
+    events += res.total_events;
+    for (const auto& p : res.paths) packets += p.generated;
+    benchmark::DoNotOptimize(res.links.data());
+  }
+  state.counters["events/s"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kIsRate);
+  state.counters["pkts/s"] = benchmark::Counter(
+      static_cast<double>(packets), benchmark::Counter::kIsRate);
+}
+
+void BM_SimNsfnet(benchmark::State& state) {
+  run_sim_bench(state, topo::nsfnet(),
+                static_cast<double>(state.range(0)) / 100.0);
+}
+BENCHMARK(BM_SimNsfnet)->Arg(50)->Arg(90)->Unit(benchmark::kMillisecond);
+
+void BM_SimGeant2(benchmark::State& state) {
+  run_sim_bench(state, topo::geant2(),
+                static_cast<double>(state.range(0)) / 100.0);
+}
+BENCHMARK(BM_SimGeant2)->Arg(50)->Arg(90)->Unit(benchmark::kMillisecond);
+
+void BM_SimRandom50(benchmark::State& state) {
+  util::RngStream rng(3);
+  run_sim_bench(state, topo::random_connected(50, 85, rng),
+                static_cast<double>(state.range(0)) / 100.0);
+}
+BENCHMARK(BM_SimRandom50)->Arg(70)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,37 @@
+// Hyperparameters shared by both RouteNet variants.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace rnx::core {
+
+/// Which per-path metric the readout regresses.  RouteNet supports both
+/// (paper abstract: "delay or jitter"); the Fig. 2 evaluation uses delay.
+enum class PredictionTarget : std::uint8_t { kDelay, kJitter };
+
+/// How the node states are updated in the extended architecture.
+enum class NodeUpdateRule : std::uint8_t {
+  /// The paper's rule (§2): element-wise sum of the (updated) states of
+  /// all paths that traverse the node, fed to RNN_N.
+  kSumPathStates,
+  /// Ablation variant (DESIGN.md A3): aggregate the path RNN's positional
+  /// outputs at node positions, symmetric to how links receive messages.
+  kPositionalMessages,
+};
+
+struct ModelConfig {
+  std::size_t state_dim = 16;       ///< path/link/node state width
+  std::size_t readout_hidden = 32;  ///< readout MLP hidden width
+  std::size_t iterations = 4;       ///< message-passing rounds (T)
+  NodeUpdateRule node_rule = NodeUpdateRule::kSumPathStates;
+  /// Normalize the node aggregation by the number of contributing paths
+  /// (mean instead of the paper's plain sum).  Sum magnitudes scale with
+  /// topology size (552 paths on GEANT2 vs 182 on NSFNET), which hurts
+  /// transfer to unseen topologies; the mean is scale-free.  Ablated by
+  /// bench_ablation_node_update.
+  bool node_mean_aggregation = true;
+  std::uint64_t init_seed = 42;     ///< weight initialization stream
+};
+
+}  // namespace rnx::core

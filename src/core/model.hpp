@@ -1,0 +1,66 @@
+// Common interface of the two RouteNet variants.
+//
+// A model maps one dataset sample (topology + routing + traffic [+ queue
+// sizes]) to one prediction per path: the z-scored log mean delay (see
+// data::Scaler).  Both variants are deterministic functions of their
+// weights; all stochasticity lives in initialization and training.
+#pragma once
+
+#include <string>
+
+#include "core/config.hpp"
+#include "data/normalize.hpp"
+#include "data/sample.hpp"
+#include "nn/serialize.hpp"
+
+namespace rnx::core {
+
+/// Intermediate and final products of one forward pass, exposed for
+/// diagnostics (bench_fig1 audits the message-passing structure).
+struct ForwardTrace {
+  nn::Var path_states;  ///< (P x H) after the last iteration
+  nn::Var link_states;  ///< (L x H)
+  nn::Var node_states;  ///< (N x H); undefined Var for the original model
+  nn::Var predictions;  ///< (P x 1) normalized log-delay
+};
+
+class Model {
+ public:
+  virtual ~Model() = default;
+
+  /// Predictions (P x 1 Var) for every path of the sample, in the
+  /// sample's path order.  Differentiable; wrap in nn::NoGradGuard for
+  /// inference.
+  [[nodiscard]] virtual nn::Var forward(const data::Sample& sample,
+                                        const data::Scaler& scaler) const = 0;
+  /// As forward(), also exposing final entity states.
+  [[nodiscard]] virtual ForwardTrace forward_traced(
+      const data::Sample& sample, const data::Scaler& scaler) const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+  [[nodiscard]] virtual nn::NamedParams named_params() const = 0;
+  [[nodiscard]] virtual const ModelConfig& config() const = 0;
+
+  /// Weight persistence via nn::serialize (strict name/shape matching).
+  void save_weights(const std::string& path) const;
+  void load_weights(const std::string& path);
+};
+
+// -- shared state builders (implemented in plan.cpp's TU neighbour) ------
+
+/// (P x H) initial path states: column 0 carries the z-scored offered
+/// traffic, the rest zero-padding — RouteNet's feature encoding.
+[[nodiscard]] nn::Var initial_path_states(const data::Sample& s,
+                                          const data::Scaler& sc,
+                                          std::size_t state_dim);
+/// (L x H): column 0 carries the z-scored link capacity.
+[[nodiscard]] nn::Var initial_link_states(const data::Sample& s,
+                                          const data::Scaler& sc,
+                                          std::size_t state_dim);
+/// (N x H): column 0 carries the z-scored queue size — the node feature
+/// this paper introduces.
+[[nodiscard]] nn::Var initial_node_states(const data::Sample& s,
+                                          const data::Scaler& sc,
+                                          std::size_t state_dim);
+
+}  // namespace rnx::core

@@ -1,0 +1,58 @@
+// Message-passing plan: the per-sample index structure that lets the
+// path-update RNN run position-vectorized.
+//
+// RouteNet's path update is an RNN over each path's element sequence.
+// Rather than looping path by path, we advance *all* paths one sequence
+// position per step: gather the active paths' hidden rows and the
+// position's element states, apply one GRU step, scatter the hidden rows
+// back.  The plan precomputes, for every position, which paths are active
+// and which element (link — or node, in the extended architecture) each
+// one consumes, plus the aggregation index sets for the link and node
+// updates.  tests/core_plan_test.cpp pins this against a per-path
+// reference.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/config.hpp"
+#include "data/sample.hpp"
+#include "nn/ops.hpp"
+
+namespace rnx::core {
+
+/// One sequence position of the batched path RNN.
+struct SeqPosition {
+  bool is_node = false;                ///< element kind at this position
+  std::vector<nn::Index> path_rows;    ///< active path-state rows
+  std::vector<nn::Index> elem_ids;     ///< link or node id, per active path
+};
+
+struct MpPlan {
+  std::size_t num_paths = 0;
+  std::size_t num_links = 0;
+  std::size_t num_nodes = 0;
+  /// Element sequence per position.  Original RouteNet: position t holds
+  /// the t-th link of every path still active.  Extended: positions
+  /// alternate node, link, node, link, ... starting at the source node
+  /// (the paper's interleaving), covering every node whose output queue
+  /// the path uses.
+  std::vector<SeqPosition> positions;
+  /// (path, node) incidences for the paper's node-update rule: the path
+  /// state of inc_path_rows[i] is summed into node inc_node_ids[i].
+  std::vector<nn::Index> inc_path_rows;
+  std::vector<nn::Index> inc_node_ids;
+};
+
+/// Build the plan for one sample.  use_nodes selects the extended
+/// interleaved sequence (and fills the node incidence sets).
+[[nodiscard]] MpPlan build_plan(const data::Sample& sample, bool use_nodes);
+
+/// Rows of sample.paths whose labels are trustworthy (delivered >=
+/// min_delivered and a positive label for the requested target); the
+/// trainer and evaluator restrict the loss/metrics to these.
+[[nodiscard]] std::vector<nn::Index> valid_label_rows(
+    const data::Sample& sample, std::uint64_t min_delivered,
+    PredictionTarget target = PredictionTarget::kDelay);
+
+}  // namespace rnx::core

@@ -1,0 +1,103 @@
+#include "core/routenet.hpp"
+
+#include "core/plan.hpp"
+#include "nn/ops.hpp"
+
+namespace rnx::core {
+
+// ---- shared Model machinery (declared in model.hpp) --------------------
+
+void Model::save_weights(const std::string& path) const {
+  const nn::NamedParams params = named_params();
+  nn::save_params(path, params);
+}
+
+void Model::load_weights(const std::string& path) {
+  nn::NamedParams params = named_params();
+  nn::load_params(path, params);
+}
+
+nn::Var initial_path_states(const data::Sample& s, const data::Scaler& sc,
+                            std::size_t state_dim) {
+  nn::Tensor t(s.paths.size(), state_dim);
+  for (std::size_t i = 0; i < s.paths.size(); ++i)
+    t(i, 0) = sc.traffic(s.paths[i].traffic_bps);
+  return nn::constant(std::move(t));
+}
+
+nn::Var initial_link_states(const data::Sample& s, const data::Scaler& sc,
+                            std::size_t state_dim) {
+  nn::Tensor t(s.num_links(), state_dim);
+  for (std::size_t l = 0; l < s.num_links(); ++l)
+    t(l, 0) = sc.capacity(s.link_capacity_bps[l]);
+  return nn::constant(std::move(t));
+}
+
+nn::Var initial_node_states(const data::Sample& s, const data::Scaler& sc,
+                            std::size_t state_dim) {
+  nn::Tensor t(s.num_nodes, state_dim);
+  for (std::size_t n = 0; n < s.num_nodes; ++n)
+    t(n, 0) = sc.queue(s.queue_pkts[n]);
+  return nn::constant(std::move(t));
+}
+
+// ---- original RouteNet ---------------------------------------------------
+
+RouteNet::RouteNet(ModelConfig cfg)
+    : cfg_(cfg),
+      rnn_path_([&] {
+        util::RngStream rng(cfg.init_seed);
+        return nn::GRUCell(cfg.state_dim, cfg.state_dim, rng, "rnn_p");
+      }()),
+      rnn_link_([&] {
+        util::RngStream rng(cfg.init_seed + 1);
+        return nn::GRUCell(cfg.state_dim, cfg.state_dim, rng, "rnn_l");
+      }()),
+      readout_([&] {
+        util::RngStream rng(cfg.init_seed + 2);
+        return nn::Mlp({cfg.state_dim, cfg.readout_hidden, 1},
+                       nn::Activation::kRelu, rng, "readout");
+      }()) {}
+
+ForwardTrace RouteNet::forward_traced(const data::Sample& sample,
+                                      const data::Scaler& scaler) const {
+  const MpPlan plan = build_plan(sample, /*use_nodes=*/false);
+  nn::Var h_path = initial_path_states(sample, scaler, cfg_.state_dim);
+  nn::Var h_link = initial_link_states(sample, scaler, cfg_.state_dim);
+
+  for (std::size_t iter = 0; iter < cfg_.iterations; ++iter) {
+    nn::Var hidden = h_path;
+    nn::Var link_msg;  // accumulated per-position messages, (L x H)
+    for (const SeqPosition& pos : plan.positions) {
+      const nn::Var x = nn::gather_rows(h_link, pos.elem_ids);
+      const nn::Var h = nn::gather_rows(hidden, pos.path_rows);
+      const nn::Var h2 = rnn_path_.step(x, h);
+      hidden = nn::scatter_rows(hidden, pos.path_rows, h2);
+      const nn::Var msg = nn::segment_sum(h2, pos.elem_ids, plan.num_links);
+      link_msg = link_msg.defined() ? nn::add(link_msg, msg) : msg;
+    }
+    h_path = hidden;
+    if (link_msg.defined()) h_link = rnn_link_.step(link_msg, h_link);
+  }
+
+  ForwardTrace tr;
+  tr.path_states = h_path;
+  tr.link_states = h_link;
+  tr.predictions = readout_.forward(h_path);
+  return tr;
+}
+
+nn::Var RouteNet::forward(const data::Sample& sample,
+                          const data::Scaler& scaler) const {
+  return forward_traced(sample, scaler).predictions;
+}
+
+nn::NamedParams RouteNet::named_params() const {
+  nn::NamedParams out;
+  for (auto& p : rnn_path_.named_params()) out.push_back(std::move(p));
+  for (auto& p : rnn_link_.named_params()) out.push_back(std::move(p));
+  for (auto& p : readout_.named_params()) out.push_back(std::move(p));
+  return out;
+}
+
+}  // namespace rnx::core

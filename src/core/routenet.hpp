@@ -1,0 +1,40 @@
+// Original RouteNet (Rusek et al., SOSR 2019): path-link message passing.
+//
+// Per iteration:
+//   1. path update — RNN_P consumes each path's *link state sequence*
+//      (position-vectorized; see core/plan.hpp); the RNN output at link
+//      l's position is the path's message to l;
+//   2. link update — RNN_L over the element-wise sum of incoming path
+//      messages, with the link state as hidden state.
+// After T iterations a feed-forward readout maps each path state to the
+// delay estimate.  Queue sizes are *not* observable by this model — that
+// is precisely the gap the extended architecture closes, and what the
+// Fig. 2 comparison measures.
+#pragma once
+
+#include "core/model.hpp"
+#include "nn/gru.hpp"
+#include "nn/layers.hpp"
+
+namespace rnx::core {
+
+class RouteNet final : public Model {
+ public:
+  explicit RouteNet(ModelConfig cfg);
+
+  [[nodiscard]] nn::Var forward(const data::Sample& sample,
+                                const data::Scaler& scaler) const override;
+  [[nodiscard]] ForwardTrace forward_traced(
+      const data::Sample& sample, const data::Scaler& scaler) const override;
+  [[nodiscard]] std::string name() const override { return "routenet"; }
+  [[nodiscard]] nn::NamedParams named_params() const override;
+  [[nodiscard]] const ModelConfig& config() const override { return cfg_; }
+
+ private:
+  ModelConfig cfg_;
+  nn::GRUCell rnn_path_;
+  nn::GRUCell rnn_link_;
+  nn::Mlp readout_;
+};
+
+}  // namespace rnx::core

@@ -1,0 +1,45 @@
+// Extended RouteNet — the paper's contribution (§2).
+//
+// Adds a third entity, the *node* (forwarding device), to RouteNet's
+// path-link message passing:
+//   1. path update — RNN_P consumes the interleaved sequence
+//      node1-link1-node2-link2-... of node and link states along the
+//      path (the original used links only);
+//   2. link update — unchanged: RNN_L over the summed positional
+//      messages from paths crossing the link;
+//   3. node update — RNN_N over the element-wise sum of the states of
+//      all paths traversing the node (ModelConfig::node_rule selects the
+//      paper's rule or the positional-message ablation);
+//   4. readout on the final path states.
+// Node features (here: queue size) enter through the initial node states,
+// which is what lets this model resolve the per-device queue regimes the
+// original architecture cannot see.
+#pragma once
+
+#include "core/model.hpp"
+#include "nn/gru.hpp"
+#include "nn/layers.hpp"
+
+namespace rnx::core {
+
+class ExtendedRouteNet final : public Model {
+ public:
+  explicit ExtendedRouteNet(ModelConfig cfg);
+
+  [[nodiscard]] nn::Var forward(const data::Sample& sample,
+                                const data::Scaler& scaler) const override;
+  [[nodiscard]] ForwardTrace forward_traced(
+      const data::Sample& sample, const data::Scaler& scaler) const override;
+  [[nodiscard]] std::string name() const override { return "routenet-ext"; }
+  [[nodiscard]] nn::NamedParams named_params() const override;
+  [[nodiscard]] const ModelConfig& config() const override { return cfg_; }
+
+ private:
+  ModelConfig cfg_;
+  nn::GRUCell rnn_path_;
+  nn::GRUCell rnn_link_;
+  nn::GRUCell rnn_node_;
+  nn::Mlp readout_;
+};
+
+}  // namespace rnx::core

@@ -1,0 +1,132 @@
+#include "core/trainer.hpp"
+
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "core/plan.hpp"
+#include "nn/ops.hpp"
+#include "util/log.hpp"
+#include "util/timer.hpp"
+
+namespace rnx::core {
+
+namespace {
+std::vector<nn::Var> trainable(const Model& model) {
+  std::vector<nn::Var> out;
+  for (auto& [name, var] : model.named_params()) out.push_back(var);
+  return out;
+}
+}  // namespace
+
+Trainer::Trainer(Model& model, TrainConfig cfg)
+    : model_(model), cfg_(cfg), opt_(trainable(model), cfg.lr) {}
+
+nn::Var Trainer::sample_loss(const Model& model, const data::Sample& sample,
+                             const data::Scaler& scaler,
+                             std::uint64_t min_delivered,
+                             PredictionTarget target) {
+  const std::vector<nn::Index> valid =
+      valid_label_rows(sample, min_delivered, target);
+  if (valid.empty()) return {};
+  nn::Tensor labels(valid.size(), 1);
+  for (std::size_t i = 0; i < valid.size(); ++i) {
+    const auto& p = sample.paths[valid[i]];
+    labels(i, 0) = target == PredictionTarget::kDelay
+                       ? scaler.delay_to_target(p.mean_delay_s)
+                       : scaler.jitter_to_target(p.jitter_s2);
+  }
+  const nn::Var pred = model.forward(sample, scaler);
+  return nn::mse_loss(nn::gather_rows(pred, valid), labels);
+}
+
+std::vector<EpochRecord> Trainer::fit(const data::Dataset& train,
+                                      const data::Scaler& scaler,
+                                      const data::Dataset* val) {
+  util::RngStream shuffle_rng(cfg_.seed);
+  std::vector<std::size_t> order(train.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  std::vector<EpochRecord> history;
+  double best_val = std::numeric_limits<double>::infinity();
+  std::size_t since_best = 0;
+
+  for (std::size_t epoch = 0; epoch < cfg_.epochs; ++epoch) {
+    util::Stopwatch watch;
+    // Deterministic Fisher-Yates reshuffle each epoch.
+    for (std::size_t i = order.size(); i > 1; --i)
+      std::swap(order[i - 1],
+                order[static_cast<std::size_t>(shuffle_rng.uniform_int(
+                    0, static_cast<std::int64_t>(i) - 1))]);
+
+    double loss_sum = 0.0;
+    std::size_t loss_count = 0;
+    std::size_t in_batch = 0;
+    opt_.zero_grad();
+    for (const std::size_t si : order) {
+      nn::Var loss =
+          sample_loss(model_, train[si], scaler, cfg_.min_delivered, cfg_.target);
+      if (!loss.defined()) continue;
+      loss_sum += loss.value().item();
+      ++loss_count;
+      // Average gradients over the accumulation batch.
+      nn::scale(loss, 1.0 / static_cast<double>(cfg_.batch_samples))
+          .backward();
+      if (++in_batch == cfg_.batch_samples) {
+        opt_.clip_global_norm(cfg_.clip_norm);
+        opt_.step();
+        opt_.zero_grad();
+        in_batch = 0;
+      }
+    }
+    if (in_batch > 0) {  // trailing partial batch
+      opt_.clip_global_norm(cfg_.clip_norm);
+      opt_.step();
+      opt_.zero_grad();
+    }
+    opt_.set_lr(opt_.lr() * cfg_.lr_decay);
+
+    EpochRecord rec;
+    rec.epoch = epoch;
+    rec.train_loss =
+        loss_count ? loss_sum / static_cast<double>(loss_count) : 0.0;
+    rec.val_loss = val ? evaluate_loss(*val, scaler)
+                       : std::numeric_limits<double>::quiet_NaN();
+    rec.seconds = watch.seconds();
+    history.push_back(rec);
+    if (cfg_.verbose)
+      util::log_info(model_.name(), " epoch ", epoch, ": train_loss=",
+                     rec.train_loss, val ? " val_loss=" : "",
+                     val ? std::to_string(rec.val_loss) : std::string(),
+                     " (", rec.seconds, "s)");
+
+    if (val && cfg_.patience > 0) {
+      if (rec.val_loss < best_val - 1e-9) {
+        best_val = rec.val_loss;
+        since_best = 0;
+      } else if (++since_best >= cfg_.patience) {
+        if (cfg_.verbose)
+          util::log_info(model_.name(), ": early stop at epoch ", epoch);
+        break;
+      }
+    }
+  }
+  return history;
+}
+
+double Trainer::evaluate_loss(const data::Dataset& ds,
+                              const data::Scaler& scaler) const {
+  const nn::NoGradGuard guard;
+  double sum = 0.0;
+  std::size_t count = 0;
+  for (const auto& s : ds.samples()) {
+    const nn::Var loss = sample_loss(model_, s, scaler, cfg_.min_delivered, cfg_.target);
+    if (!loss.defined()) continue;
+    sum += loss.value().item();
+    ++count;
+  }
+  return count ? sum / static_cast<double>(count)
+               : std::numeric_limits<double>::quiet_NaN();
+}
+
+}  // namespace rnx::core

@@ -1,0 +1,67 @@
+// Training loop: Adam over per-sample MSE on z-scored log delay, with
+// gradient accumulation across a small batch of samples, global-norm
+// clipping and multiplicative learning-rate decay — the recipe used by
+// the RouteNet reference implementation, scaled to CPU.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/model.hpp"
+#include "data/dataset.hpp"
+#include "nn/optimizer.hpp"
+
+namespace rnx::core {
+
+struct TrainConfig {
+  std::size_t epochs = 25;
+  std::size_t batch_samples = 8;   ///< samples per optimizer step
+  double lr = 1e-3;
+  double lr_decay = 0.98;          ///< multiplicative, per epoch
+  double clip_norm = 10.0;         ///< global gradient-norm ceiling
+  std::uint64_t min_delivered = 10;  ///< label-quality threshold
+  PredictionTarget target = PredictionTarget::kDelay;
+  std::uint64_t seed = 7;          ///< shuffling stream
+  std::size_t patience = 0;        ///< early stop after this many epochs
+                                   ///< without val improvement (0 = off)
+  bool verbose = true;
+};
+
+struct EpochRecord {
+  std::size_t epoch = 0;
+  double train_loss = 0.0;
+  double val_loss = 0.0;  ///< NaN when no validation set was given
+  double seconds = 0.0;
+};
+
+class Trainer {
+ public:
+  Trainer(Model& model, TrainConfig cfg);
+
+  /// Train on `train`; optionally track loss on `val` each epoch.
+  /// Returns the per-epoch history.
+  std::vector<EpochRecord> fit(const data::Dataset& train,
+                               const data::Scaler& scaler,
+                               const data::Dataset* val = nullptr);
+
+  /// Mean per-sample loss without building the tape (inference mode).
+  [[nodiscard]] double evaluate_loss(const data::Dataset& ds,
+                                     const data::Scaler& scaler) const;
+
+  /// Loss for one sample: MSE between the prediction and the z-scored
+  /// log label (delay or jitter, per `target`) over the label-valid
+  /// paths.  Undefined Var when the sample has no valid labels (caller
+  /// must skip).
+  [[nodiscard]] static nn::Var sample_loss(
+      const Model& model, const data::Sample& sample,
+      const data::Scaler& scaler, std::uint64_t min_delivered,
+      PredictionTarget target = PredictionTarget::kDelay);
+
+ private:
+  Model& model_;
+  TrainConfig cfg_;
+  nn::Adam opt_;
+};
+
+}  // namespace rnx::core

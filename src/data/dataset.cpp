@@ -1,0 +1,202 @@
+#include "data/dataset.hpp"
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+#include "util/log.hpp"
+#include "util/table.hpp"
+
+namespace rnx::data {
+
+Dataset::Dataset(std::vector<Sample> samples) : samples_(std::move(samples)) {}
+
+void Dataset::shuffle(util::RngStream& rng) {
+  for (std::size_t i = samples_.size(); i > 1; --i) {
+    const auto j = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(i) - 1));
+    std::swap(samples_[i - 1], samples_[j]);
+  }
+}
+
+std::pair<Dataset, Dataset> Dataset::split(std::size_t count) const {
+  if (count > samples_.size())
+    throw std::invalid_argument("Dataset::split: count > size");
+  Dataset a, b;
+  a.samples_.assign(samples_.begin(),
+                    samples_.begin() + static_cast<std::ptrdiff_t>(count));
+  b.samples_.assign(samples_.begin() + static_cast<std::ptrdiff_t>(count),
+                    samples_.end());
+  return {std::move(a), std::move(b)};
+}
+
+std::size_t Dataset::total_paths() const noexcept {
+  std::size_t n = 0;
+  for (const auto& s : samples_) n += s.paths.size();
+  return n;
+}
+
+namespace {
+constexpr char kMagic[4] = {'R', 'N', 'X', 'D'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void put(std::ofstream& f, const T& v) {
+  f.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+template <typename T>
+void get(std::ifstream& f, T& v) {
+  f.read(reinterpret_cast<char*>(&v), sizeof(T));
+  if (!f) throw std::runtime_error("Dataset::load: truncated file");
+}
+void put_string(std::ofstream& f, const std::string& s) {
+  put(f, static_cast<std::uint32_t>(s.size()));
+  f.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+std::string get_string(std::ifstream& f) {
+  std::uint32_t len = 0;
+  get(f, len);
+  if (len > (1u << 20))
+    throw std::runtime_error("Dataset::load: implausible string length");
+  std::string s(len, '\0');
+  f.read(s.data(), len);
+  if (!f) throw std::runtime_error("Dataset::load: truncated string");
+  return s;
+}
+template <typename T>
+void put_vec(std::ofstream& f, const std::vector<T>& v) {
+  put(f, static_cast<std::uint64_t>(v.size()));
+  f.write(reinterpret_cast<const char*>(v.data()),
+          static_cast<std::streamsize>(v.size() * sizeof(T)));
+}
+template <typename T>
+void get_vec(std::ifstream& f, std::vector<T>& v) {
+  std::uint64_t n = 0;
+  get(f, n);
+  if (n > (1ull << 28))
+    throw std::runtime_error("Dataset::load: implausible vector length");
+  v.resize(n);
+  f.read(reinterpret_cast<char*>(v.data()),
+         static_cast<std::streamsize>(n * sizeof(T)));
+  if (!f) throw std::runtime_error("Dataset::load: truncated vector");
+}
+}  // namespace
+
+void Dataset::save(const std::string& path) const {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("Dataset::save: cannot open " + path);
+  f.write(kMagic, sizeof(kMagic));
+  put(f, kVersion);
+  put(f, static_cast<std::uint64_t>(samples_.size()));
+  for (const auto& s : samples_) {
+    put_string(f, s.topo_name);
+    put(f, s.num_nodes);
+    put_vec(f, s.links);
+    put_vec(f, s.link_capacity_bps);
+    put_vec(f, s.queue_pkts);
+    put(f, s.max_utilization);
+    put(f, static_cast<std::uint64_t>(s.paths.size()));
+    for (const auto& p : s.paths) {
+      put(f, p.src);
+      put(f, p.dst);
+      put_vec(f, p.nodes);
+      put_vec(f, p.links);
+      put(f, p.traffic_bps);
+      put(f, p.mean_delay_s);
+      put(f, p.jitter_s2);
+      put(f, p.loss_rate);
+      put(f, p.delivered);
+    }
+  }
+  if (!f) throw std::runtime_error("Dataset::save: write failed");
+}
+
+Dataset Dataset::load(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("Dataset::load: cannot open " + path);
+  char magic[4];
+  f.read(magic, sizeof(magic));
+  if (!f || std::string_view(magic, 4) != std::string_view(kMagic, 4))
+    throw std::runtime_error("Dataset::load: bad magic");
+  std::uint32_t version = 0;
+  get(f, version);
+  if (version != kVersion)
+    throw std::runtime_error("Dataset::load: unsupported version");
+  std::uint64_t count = 0;
+  get(f, count);
+  std::vector<Sample> samples;
+  samples.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    Sample s;
+    s.topo_name = get_string(f);
+    get(f, s.num_nodes);
+    get_vec(f, s.links);
+    get_vec(f, s.link_capacity_bps);
+    get_vec(f, s.queue_pkts);
+    get(f, s.max_utilization);
+    std::uint64_t np = 0;
+    get(f, np);
+    s.paths.resize(np);
+    for (auto& p : s.paths) {
+      get(f, p.src);
+      get(f, p.dst);
+      get_vec(f, p.nodes);
+      get_vec(f, p.links);
+      get(f, p.traffic_bps);
+      get(f, p.mean_delay_s);
+      get(f, p.jitter_s2);
+      get(f, p.loss_rate);
+      get(f, p.delivered);
+    }
+    s.validate();
+    samples.push_back(std::move(s));
+  }
+  return Dataset(std::move(samples));
+}
+
+void Dataset::export_csv(const std::string& path) const {
+  util::CsvWriter csv(path, {"sample", "topo", "src", "dst", "hops",
+                             "traffic_bps", "max_util", "mean_delay_s",
+                             "jitter_s2", "loss_rate", "delivered"});
+  for (std::size_t i = 0; i < samples_.size(); ++i) {
+    const auto& s = samples_[i];
+    for (const auto& p : s.paths) {
+      csv.add_row({std::to_string(i), s.topo_name, std::to_string(p.src),
+                   std::to_string(p.dst), std::to_string(p.links.size()),
+                   util::Table::cell(p.traffic_bps, 1),
+                   util::Table::cell(s.max_utilization, 3),
+                   util::Table::cell(p.mean_delay_s, 9),
+                   util::Table::cell(p.jitter_s2, 12),
+                   util::Table::cell(p.loss_rate, 6),
+                   std::to_string(p.delivered)});
+    }
+  }
+}
+
+Dataset load_or_generate(const std::string& path, std::size_t expected,
+                         const std::function<Dataset()>& generate) {
+  if (std::filesystem::exists(path)) {
+    try {
+      Dataset d = Dataset::load(path);
+      if (d.size() == expected) {
+        util::log_info("dataset cache hit: ", path, " (", d.size(),
+                       " samples)");
+        return d;
+      }
+      util::log_warn("dataset cache size mismatch for ", path,
+                     ", regenerating");
+    } catch (const std::exception& e) {
+      util::log_warn("dataset cache unreadable (", e.what(),
+                     "), regenerating");
+    }
+  }
+  Dataset d = generate();
+  std::filesystem::create_directories(
+      std::filesystem::path(path).parent_path());
+  d.save(path);
+  util::log_info("dataset written: ", path, " (", d.size(), " samples)");
+  return d;
+}
+
+}  // namespace rnx::data

@@ -1,0 +1,56 @@
+// Dataset container with deterministic shuffling/splitting and binary /
+// CSV persistence.  Bench binaries cache generated datasets on disk so a
+// re-run skips the simulation phase (see load_or_generate).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "data/sample.hpp"
+#include "util/rng.hpp"
+
+namespace rnx::data {
+
+class Dataset {
+ public:
+  Dataset() = default;
+  explicit Dataset(std::vector<Sample> samples);
+
+  [[nodiscard]] std::size_t size() const noexcept { return samples_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return samples_.empty(); }
+  [[nodiscard]] const Sample& operator[](std::size_t i) const {
+    return samples_.at(i);
+  }
+  [[nodiscard]] const std::vector<Sample>& samples() const noexcept {
+    return samples_;
+  }
+  void add(Sample s) { samples_.push_back(std::move(s)); }
+
+  /// Deterministic Fisher-Yates shuffle.
+  void shuffle(util::RngStream& rng);
+  /// Split off the first `count` samples into one set, rest into another.
+  [[nodiscard]] std::pair<Dataset, Dataset> split(std::size_t count) const;
+
+  /// Total number of path records across samples.
+  [[nodiscard]] std::size_t total_paths() const noexcept;
+
+  // -- persistence -----------------------------------------------------
+  /// Versioned binary format ("RNXD"); validates every sample on load.
+  void save(const std::string& path) const;
+  [[nodiscard]] static Dataset load(const std::string& path);
+  /// One CSV row per path (sample id, pair, traffic, labels) — for
+  /// eyeballing and external plotting.
+  void export_csv(const std::string& path) const;
+
+ private:
+  std::vector<Sample> samples_;
+};
+
+/// Load `path` if it exists and holds exactly `expected` samples;
+/// otherwise invoke `generate`, save the result to `path`, and return it.
+[[nodiscard]] Dataset load_or_generate(
+    const std::string& path, std::size_t expected,
+    const std::function<Dataset()>& generate);
+
+}  // namespace rnx::data

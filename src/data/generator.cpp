@@ -1,0 +1,112 @@
+#include "data/generator.hpp"
+
+#include <algorithm>
+
+#include "sim/simulator.hpp"
+#include "topo/traffic.hpp"
+#include "topo/zoo.hpp"
+#include "util/log.hpp"
+
+namespace rnx::data {
+
+namespace {
+
+topo::TrafficMatrix draw_traffic(std::size_t n, TrafficModel model,
+                                 util::RngStream& rng) {
+  // Absolute magnitudes are irrelevant here: the matrix is rescaled to a
+  // target utilization afterwards.  Only the *shape* matters.
+  switch (model) {
+    case TrafficModel::kUniform:
+      return topo::uniform_traffic(n, 0.1, 1.0, rng);
+    case TrafficModel::kGravity:
+      return topo::gravity_traffic(n, 1.0, rng);
+    case TrafficModel::kHotspot:
+      return topo::hotspot_traffic(n, 0.1, 1.0, std::max<std::size_t>(1, n / 4),
+                                   8.0, rng);
+    case TrafficModel::kMix: {
+      const auto pick = rng.uniform_int(0, 2);
+      return draw_traffic(n,
+                          pick == 0   ? TrafficModel::kUniform
+                          : pick == 1 ? TrafficModel::kGravity
+                                      : TrafficModel::kHotspot,
+                          rng);
+    }
+  }
+  throw std::logic_error("draw_traffic: unknown model");
+}
+
+}  // namespace
+
+Sample generate_sample(const topo::Topology& base, const GeneratorConfig& cfg,
+                       util::RngStream& rng) {
+  topo::Topology topo = base;  // scenario copy with randomized attributes
+  if (cfg.randomize_capacities && !cfg.capacity_choices.empty())
+    topo::randomize_capacities(topo, cfg.capacity_choices, rng);
+  if (cfg.randomize_queues)
+    topo::randomize_queue_sizes(topo, cfg.p_tiny_queue, rng);
+
+  const topo::RoutingScheme routing =
+      cfg.randomize_routing
+          ? topo::shortest_path_routing(
+                topo, topo::random_link_weights(topo, rng))
+          : topo::hop_count_routing(topo);
+
+  topo::TrafficMatrix tm = draw_traffic(topo.num_nodes(), cfg.traffic, rng);
+  const double target_util = rng.uniform(cfg.util_lo, cfg.util_hi);
+  topo::scale_to_max_utilization(tm, topo, routing, target_util);
+
+  // Size the measurement window for ~target_packets generated packets.
+  const double total_pps = tm.total() / cfg.mean_packet_bits;
+  sim::SimConfig sc;
+  sc.mean_packet_bits = cfg.mean_packet_bits;
+  sc.window_s = static_cast<double>(cfg.target_packets) / total_pps;
+  sc.warmup_s = 0.1 * sc.window_s;
+  sc.seed = rng();  // one draw: the simulator derives its own streams
+
+  sim::Simulator simulator(topo, routing, tm, sc);
+  const sim::SimResult res = simulator.run();
+
+  Sample s;
+  s.topo_name = topo.name();
+  s.num_nodes = static_cast<std::uint32_t>(topo.num_nodes());
+  s.links = topo.graph().links();
+  s.link_capacity_bps.reserve(topo.num_links());
+  for (topo::LinkId l = 0; l < topo.num_links(); ++l)
+    s.link_capacity_bps.push_back(topo.link_capacity(l));
+  s.queue_pkts = topo.queue_sizes();
+  s.max_utilization = target_util;
+
+  s.paths.reserve(res.paths.size());
+  for (const auto& ps : res.paths) {
+    const topo::Path& rp = routing.path(ps.src, ps.dst);
+    PathRecord rec;
+    rec.src = ps.src;
+    rec.dst = ps.dst;
+    rec.nodes = rp.nodes;
+    rec.links = rp.links;
+    rec.traffic_bps = tm.get(ps.src, ps.dst);
+    rec.mean_delay_s = ps.mean_delay_s;
+    rec.jitter_s2 = ps.jitter_s2;
+    rec.loss_rate = ps.loss_rate();
+    rec.delivered = ps.delivered;
+    s.paths.push_back(std::move(rec));
+  }
+  return s;
+}
+
+std::vector<Sample> generate_dataset(
+    const topo::Topology& base, std::size_t count, const GeneratorConfig& cfg,
+    std::uint64_t seed,
+    const std::function<void(std::size_t, std::size_t)>& progress) {
+  const util::RngStream root(seed);
+  std::vector<Sample> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    util::RngStream rng = root.derive("sample", i);
+    out.push_back(generate_sample(base, cfg, rng));
+    if (progress) progress(i + 1, count);
+  }
+  return out;
+}
+
+}  // namespace rnx::data

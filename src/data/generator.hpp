@@ -1,0 +1,55 @@
+// Simulator-driven dataset generation (DESIGN.md S4).
+//
+// Mirrors the paper's data protocol: for each sample, draw a fresh
+// scenario on a fixed base topology —
+//   * per-edge capacity from a discrete speed set,
+//   * per-node queue size (standard or 1 packet, the paper's §3 knob),
+//   * a randomized shortest-path routing (random link weights),
+//   * a traffic matrix from a randomly chosen model, rescaled so the
+//     busiest link sits at a target utilization drawn from [util_lo, util_hi],
+// then run the packet simulator and record per-path delay/jitter/loss.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "data/sample.hpp"
+#include "topo/topology.hpp"
+#include "util/rng.hpp"
+
+namespace rnx::data {
+
+enum class TrafficModel : std::uint8_t { kUniform, kGravity, kHotspot, kMix };
+
+struct GeneratorConfig {
+  double p_tiny_queue = 0.5;  ///< P(node gets a 1-packet queue)
+  std::vector<double> capacity_choices = {10e6, 20e6, 40e6};
+  double util_lo = 0.4;   ///< target max-link utilization range
+  double util_hi = 0.95;
+  TrafficModel traffic = TrafficModel::kMix;
+  bool randomize_routing = true;   ///< false = plain hop-count routing
+  bool randomize_queues = true;    ///< false = all nodes standard size
+  bool randomize_capacities = true;
+  double mean_packet_bits = 8000.0;
+  /// Measurement window is sized so roughly this many packets are
+  /// generated network-wide (plus 10% warm-up).
+  std::uint64_t target_packets = 60'000;
+};
+
+/// Generate one sample on (a scenario drawn from) the base topology.
+/// Deterministic in (base, cfg, rng state).
+[[nodiscard]] Sample generate_sample(const topo::Topology& base,
+                                     const GeneratorConfig& cfg,
+                                     util::RngStream& rng);
+
+/// Generate `count` samples; sample i uses an independent RNG stream
+/// derived from (seed, i), so datasets are reproducible and extendable
+/// (the first k of a count=n run equal a count=k run).
+/// `progress`, if given, is called after each sample with (done, total).
+[[nodiscard]] std::vector<Sample> generate_dataset(
+    const topo::Topology& base, std::size_t count, const GeneratorConfig& cfg,
+    std::uint64_t seed,
+    const std::function<void(std::size_t, std::size_t)>& progress = nullptr);
+
+}  // namespace rnx::data

@@ -1,0 +1,67 @@
+#include "data/normalize.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/stats.hpp"
+
+namespace rnx::data {
+
+namespace {
+Moments from_welford(const util::Welford& w) {
+  Moments m;
+  m.mean = w.mean();
+  // Guard against degenerate channels (e.g. all queues identical when
+  // randomize_queues is off): fall back to unit scale.
+  m.stddev = w.stddev() > 1e-12 ? w.stddev() : 1.0;
+  return m;
+}
+}  // namespace
+
+Scaler Scaler::fit(std::span<const Sample> train, std::uint64_t min_delivered) {
+  util::Welford traffic, capacity, queue, log_delay, log_jitter;
+  for (const auto& s : train) {
+    for (const double c : s.link_capacity_bps) capacity.add(c);
+    for (const auto q : s.queue_pkts) queue.add(static_cast<double>(q));
+    for (const auto& p : s.paths) {
+      traffic.add(p.traffic_bps);
+      if (p.delivered >= min_delivered && p.mean_delay_s > 0.0)
+        log_delay.add(std::log(p.mean_delay_s));
+      if (p.delivered >= min_delivered && p.jitter_s2 > 0.0)
+        log_jitter.add(std::log(p.jitter_s2));
+    }
+  }
+  if (log_delay.count() == 0)
+    throw std::invalid_argument("Scaler::fit: no usable delay labels");
+  Scaler sc;
+  sc.traffic_ = from_welford(traffic);
+  sc.capacity_ = from_welford(capacity);
+  sc.queue_ = from_welford(queue);
+  sc.log_delay_ = from_welford(log_delay);
+  // Jitter labels can legitimately be absent (e.g. deterministic packet
+  // sizes at trivial load); leave unit moments in that case.
+  if (log_jitter.count() > 0) sc.log_jitter_ = from_welford(log_jitter);
+  return sc;
+}
+
+double Scaler::delay_to_target(double delay_s) const {
+  if (delay_s <= 0.0)
+    throw std::invalid_argument("Scaler: non-positive delay");
+  return log_delay_.normalize(std::log(delay_s));
+}
+
+double Scaler::target_to_delay(double target) const {
+  return std::exp(log_delay_.denormalize(target));
+}
+
+double Scaler::jitter_to_target(double jitter_s2) const {
+  if (jitter_s2 <= 0.0)
+    throw std::invalid_argument("Scaler: non-positive jitter");
+  return log_jitter_.normalize(std::log(jitter_s2));
+}
+
+double Scaler::target_to_jitter(double target) const {
+  return std::exp(log_jitter_.denormalize(target));
+}
+
+}  // namespace rnx::data

@@ -1,0 +1,77 @@
+// Feature and label scaling.
+//
+// The GNN consumes z-scored features (traffic, capacity, queue size) and
+// regresses the z-scored *log* of the delay; relative error — what Fig. 2
+// plots — is computed after inverting the transform.  Scaler statistics
+// are fitted on the training set only and reused verbatim for evaluation
+// sets (including the unseen topology), exactly as a deployed model would.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "data/sample.hpp"
+
+namespace rnx::data {
+
+/// Mean/stddev pair for one feature channel.
+struct Moments {
+  double mean = 0.0;
+  double stddev = 1.0;
+
+  [[nodiscard]] double normalize(double x) const noexcept {
+    return (x - mean) / stddev;
+  }
+  [[nodiscard]] double denormalize(double z) const noexcept {
+    return z * stddev + mean;
+  }
+};
+
+class Scaler {
+ public:
+  /// Fit all channels on a training set.  Paths with delivered <
+  /// min_delivered are excluded from label statistics (their means are
+  /// too noisy to trust).  Throws if the set yields no usable labels.
+  static Scaler fit(std::span<const Sample> train,
+                    std::uint64_t min_delivered = 10);
+
+  [[nodiscard]] double traffic(double bps) const {
+    return traffic_.normalize(bps);
+  }
+  [[nodiscard]] double capacity(double bps) const {
+    return capacity_.normalize(bps);
+  }
+  [[nodiscard]] double queue(std::uint32_t pkts) const {
+    return queue_.normalize(static_cast<double>(pkts));
+  }
+  /// Label transform: z-scored log(delay).
+  [[nodiscard]] double delay_to_target(double delay_s) const;
+  [[nodiscard]] double target_to_delay(double target) const;
+  /// Jitter (delay variance) label transform: z-scored log(jitter).
+  /// RouteNet supports jitter as an alternative regression target
+  /// (paper abstract); fit() collects its statistics alongside delay.
+  [[nodiscard]] double jitter_to_target(double jitter_s2) const;
+  [[nodiscard]] double target_to_jitter(double target) const;
+
+  [[nodiscard]] const Moments& traffic_moments() const noexcept {
+    return traffic_;
+  }
+  [[nodiscard]] const Moments& capacity_moments() const noexcept {
+    return capacity_;
+  }
+  [[nodiscard]] const Moments& queue_moments() const noexcept {
+    return queue_;
+  }
+  [[nodiscard]] const Moments& log_delay_moments() const noexcept {
+    return log_delay_;
+  }
+  [[nodiscard]] const Moments& log_jitter_moments() const noexcept {
+    return log_jitter_;
+  }
+
+ private:
+  Moments traffic_, capacity_, queue_, log_delay_, log_jitter_;
+};
+
+}  // namespace rnx::data

@@ -1,0 +1,57 @@
+// Dataset sample schema.
+//
+// One Sample is one simulated network scenario — the unit the paper's
+// datasets are made of: a topology instance (structure + per-link capacity
+// + per-node queue size), a routing scheme, a traffic matrix, and the
+// simulator-produced per-path labels (mean delay, jitter, loss).
+//
+// Samples are self-contained (they embed the directed link list), so a
+// dataset file can be loaded without the topology zoo — including samples
+// over randomly generated graphs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "topo/graph.hpp"
+#include "topo/routing.hpp"
+#include "topo/topology.hpp"
+
+namespace rnx::data {
+
+/// One routed source-destination pair: its path, offered traffic, and the
+/// ground-truth labels measured by the simulator.
+struct PathRecord {
+  topo::NodeId src = 0;
+  topo::NodeId dst = 0;
+  std::vector<topo::NodeId> nodes;  ///< node sequence src..dst
+  std::vector<topo::LinkId> links;  ///< directed link sequence
+  double traffic_bps = 0.0;         ///< offered rate (model input)
+  // labels
+  double mean_delay_s = 0.0;
+  double jitter_s2 = 0.0;
+  double loss_rate = 0.0;
+  std::uint64_t delivered = 0;  ///< label quality: packets behind the mean
+};
+
+struct Sample {
+  std::string topo_name;
+  std::uint32_t num_nodes = 0;
+  std::vector<topo::Link> links;             ///< directed link list
+  std::vector<double> link_capacity_bps;     ///< per link
+  std::vector<std::uint32_t> queue_pkts;     ///< per node (the paper's knob)
+  std::vector<PathRecord> paths;             ///< src-major pair order
+  double max_utilization = 0.0;              ///< provenance: load regime
+
+  [[nodiscard]] std::size_t num_links() const noexcept { return links.size(); }
+
+  /// Rebuild a Topology object (graph + attributes) from the sample.
+  [[nodiscard]] topo::Topology to_topology() const;
+
+  /// Structural validation (index ranges, path contiguity); throws
+  /// std::runtime_error on corruption.  Used after deserialization.
+  void validate() const;
+};
+
+}  // namespace rnx::data

@@ -1,0 +1,100 @@
+#include "eval/metrics.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/plan.hpp"
+#include "util/stats.hpp"
+
+namespace rnx::eval {
+
+PairedPredictions predict_dataset(const core::Model& model,
+                                  const data::Dataset& ds,
+                                  const data::Scaler& scaler,
+                                  std::uint64_t min_delivered,
+                                  core::PredictionTarget target) {
+  const nn::NoGradGuard guard;
+  const bool delay = target == core::PredictionTarget::kDelay;
+  PairedPredictions pp;
+  for (const auto& s : ds.samples()) {
+    const auto valid = core::valid_label_rows(s, min_delivered, target);
+    if (valid.empty()) continue;
+    const nn::Var pred = model.forward(s, scaler);
+    for (const auto row : valid) {
+      pp.truth.push_back(delay ? s.paths[row].mean_delay_s
+                               : s.paths[row].jitter_s2);
+      pp.pred.push_back(delay
+                            ? scaler.target_to_delay(pred.value()(row, 0))
+                            : scaler.target_to_jitter(pred.value()(row, 0)));
+    }
+  }
+  return pp;
+}
+
+std::vector<double> relative_errors(const PairedPredictions& pp) {
+  std::vector<double> out;
+  out.reserve(pp.size());
+  for (std::size_t i = 0; i < pp.size(); ++i) {
+    if (pp.truth[i] <= 0.0)
+      throw std::logic_error("relative_errors: non-positive truth");
+    out.push_back((pp.pred[i] - pp.truth[i]) / pp.truth[i]);
+  }
+  return out;
+}
+
+std::vector<double> absolute_relative_errors(const PairedPredictions& pp) {
+  std::vector<double> out = relative_errors(pp);
+  for (auto& e : out) e = std::abs(e);
+  return out;
+}
+
+RegressionSummary summarize(const PairedPredictions& pp) {
+  if (pp.size() == 0)
+    throw std::invalid_argument("summarize: empty prediction set");
+  RegressionSummary s;
+  s.n = pp.size();
+
+  util::Welford truth_w, err_w;
+  double se = 0.0, ae = 0.0;
+  for (std::size_t i = 0; i < pp.size(); ++i) {
+    const double e = pp.pred[i] - pp.truth[i];
+    se += e * e;
+    ae += std::abs(e);
+    truth_w.add(pp.truth[i]);
+    err_w.add(e);
+  }
+  const auto n = static_cast<double>(pp.size());
+  s.mae = ae / n;
+  s.rmse = std::sqrt(se / n);
+
+  const std::vector<double> ape = absolute_relative_errors(pp);
+  double ape_sum = 0.0;
+  for (const double a : ape) ape_sum += a;
+  s.mape = ape_sum / n;
+  s.median_ape = util::percentile(ape, 50.0);
+  s.p90_ape = util::percentile(ape, 90.0);
+
+  const double ss_tot = truth_w.variance() * n;
+  s.r2 = ss_tot > 0.0 ? 1.0 - se / ss_tot : 0.0;
+
+  // Pearson correlation between truth and prediction.
+  double mt = 0.0, mp = 0.0;
+  for (std::size_t i = 0; i < pp.size(); ++i) {
+    mt += pp.truth[i];
+    mp += pp.pred[i];
+  }
+  mt /= n;
+  mp /= n;
+  double cov = 0.0, vt = 0.0, vp = 0.0;
+  for (std::size_t i = 0; i < pp.size(); ++i) {
+    const double a = pp.truth[i] - mt;
+    const double b = pp.pred[i] - mp;
+    cov += a * b;
+    vt += a * a;
+    vp += b * b;
+  }
+  s.pearson = (vt > 0.0 && vp > 0.0) ? cov / std::sqrt(vt * vp) : 0.0;
+  return s;
+}
+
+}  // namespace rnx::eval

@@ -1,0 +1,54 @@
+// Evaluation metrics over model predictions.
+//
+// The paper's headline plot (Fig. 2) is the CDF of the relative error of
+// delay predictions; relative_errors() + util::Cdf reproduce it.  The
+// summary adds the usual regression metrics for the tables.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/model.hpp"
+#include "data/dataset.hpp"
+
+namespace rnx::eval {
+
+/// Ground-truth and predicted mean delays (seconds), paired per path,
+/// pooled over a whole dataset.
+struct PairedPredictions {
+  std::vector<double> truth;
+  std::vector<double> pred;
+
+  [[nodiscard]] std::size_t size() const noexcept { return truth.size(); }
+};
+
+/// Run the model over every sample (inference mode) and pool the
+/// label-valid paths.  Predictions are de-normalized back to seconds
+/// (delay) or seconds^2 (jitter), matching `target`.
+[[nodiscard]] PairedPredictions predict_dataset(
+    const core::Model& model, const data::Dataset& ds,
+    const data::Scaler& scaler, std::uint64_t min_delivered,
+    core::PredictionTarget target = core::PredictionTarget::kDelay);
+
+/// Signed relative errors (pred - truth) / truth.
+[[nodiscard]] std::vector<double> relative_errors(
+    const PairedPredictions& pp);
+/// |pred - truth| / truth.
+[[nodiscard]] std::vector<double> absolute_relative_errors(
+    const PairedPredictions& pp);
+
+struct RegressionSummary {
+  std::size_t n = 0;
+  double mae = 0.0;         ///< seconds
+  double rmse = 0.0;        ///< seconds
+  double mape = 0.0;        ///< mean |rel err| (fraction)
+  double median_ape = 0.0;  ///< median |rel err|
+  double p90_ape = 0.0;     ///< 90th percentile |rel err|
+  double r2 = 0.0;          ///< coefficient of determination
+  double pearson = 0.0;     ///< linear correlation
+};
+
+[[nodiscard]] RegressionSummary summarize(const PairedPredictions& pp);
+
+}  // namespace rnx::eval

@@ -1,0 +1,109 @@
+#include "nn/autograd.hpp"
+
+#include <stdexcept>
+
+namespace rnx::nn {
+
+namespace {
+bool g_no_grad = false;
+}
+
+namespace detail {
+Tensor& Node::grad_ref() {
+  if (grad.empty()) grad = Tensor::zeros(value.rows(), value.cols());
+  return grad;
+}
+}  // namespace detail
+
+Var::Var(Tensor value, bool requires_grad) {
+  node_ = std::make_shared<detail::Node>();
+  node_->value = std::move(value);
+  node_->requires_grad = requires_grad;
+}
+
+Var Var::make(Tensor value, std::vector<Var> parents,
+              std::function<void(const Tensor& self_grad)> backward) {
+  Var v;
+  v.node_ = std::make_shared<detail::Node>();
+  v.node_->value = std::move(value);
+  if (g_no_grad) return v;  // inference: no tape edges
+  bool needs = false;
+  for (const auto& p : parents)
+    if (p.defined() && p.node()->requires_grad) needs = true;
+  if (!needs) return v;  // constant subgraph: prune the tape
+  v.node_->requires_grad = true;
+  v.node_->parents.reserve(parents.size());
+  for (auto& p : parents) v.node_->parents.push_back(p.node());
+  v.node_->backward = std::move(backward);
+  return v;
+}
+
+const Tensor& Var::value() const {
+  if (!node_) throw std::logic_error("Var::value: undefined Var");
+  return node_->value;
+}
+
+Tensor& Var::mutable_value() {
+  if (!node_) throw std::logic_error("Var::mutable_value: undefined Var");
+  return node_->value;
+}
+
+bool Var::requires_grad() const {
+  return node_ != nullptr && node_->requires_grad;
+}
+
+const Tensor& Var::grad() const {
+  if (!node_) throw std::logic_error("Var::grad: undefined Var");
+  return node_->grad_ref();
+}
+
+Tensor& Var::grad_ref() {
+  if (!node_) throw std::logic_error("Var::grad_ref: undefined Var");
+  return node_->grad_ref();
+}
+
+void Var::zero_grad() {
+  if (node_ && !node_->grad.empty()) node_->grad.fill(0.0);
+}
+
+void Var::backward() const {
+  if (!node_) throw std::logic_error("Var::backward: undefined Var");
+  if (node_->value.rows() != 1 || node_->value.cols() != 1)
+    throw std::logic_error("Var::backward: loss must be 1x1");
+
+  // Iterative post-order DFS to produce a topological order.
+  static int epoch = 0;
+  ++epoch;
+  std::vector<detail::Node*> order;
+  std::vector<std::pair<detail::Node*, std::size_t>> stack;
+  stack.emplace_back(node_.get(), 0);
+  node_->visit_mark = epoch;
+  while (!stack.empty()) {
+    auto& [n, next_child] = stack.back();
+    if (next_child < n->parents.size()) {
+      detail::Node* child = n->parents[next_child].get();
+      ++next_child;
+      if (child->requires_grad && child->visit_mark != epoch) {
+        child->visit_mark = epoch;
+        stack.emplace_back(child, 0);
+      }
+    } else {
+      order.push_back(n);
+      stack.pop_back();
+    }
+  }
+
+  node_->grad_ref().fill(0.0);
+  node_->grad_ref()(0, 0) = 1.0;
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    detail::Node* n = *it;
+    if (n->backward) n->backward(n->grad_ref());
+  }
+}
+
+NoGradGuard::NoGradGuard() noexcept : prev_(g_no_grad) { g_no_grad = true; }
+NoGradGuard::~NoGradGuard() { g_no_grad = prev_; }
+
+bool grad_disabled() noexcept { return g_no_grad; }
+
+}  // namespace rnx::nn

@@ -1,0 +1,41 @@
+#include "nn/gradcheck.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rnx::nn {
+
+GradCheckReport grad_check(const std::function<Var()>& loss_fn,
+                           std::vector<Var>& params, double eps) {
+  // Analytic pass.
+  for (auto& p : params) p.zero_grad();
+  Var loss = loss_fn();
+  loss.backward();
+  std::vector<Tensor> analytic;
+  analytic.reserve(params.size());
+  for (auto& p : params) analytic.push_back(p.grad());
+
+  GradCheckReport rep;
+  for (std::size_t pi = 0; pi < params.size(); ++pi) {
+    Tensor& w = params[pi].mutable_value();
+    for (std::size_t i = 0; i < w.size(); ++i) {
+      const double orig = w.flat()[i];
+      w.flat()[i] = orig + eps;
+      const double lp = loss_fn().value().item();
+      w.flat()[i] = orig - eps;
+      const double lm = loss_fn().value().item();
+      w.flat()[i] = orig;
+      const double numeric = (lp - lm) / (2.0 * eps);
+      const double exact = analytic[pi].flat()[i];
+      const double abs_err = std::abs(numeric - exact);
+      const double rel_err =
+          abs_err / std::max({1.0, std::abs(numeric), std::abs(exact)});
+      rep.max_abs_err = std::max(rep.max_abs_err, abs_err);
+      rep.max_rel_err = std::max(rep.max_rel_err, rel_err);
+      ++rep.entries;
+    }
+  }
+  return rep;
+}
+
+}  // namespace rnx::nn

@@ -1,0 +1,32 @@
+// Central-difference gradient verification.
+//
+// Used by the test suite to pin every op's backward implementation: for a
+// scalar loss L(theta) rebuilt by `loss_fn` on each call, the analytic
+// gradient from one reverse sweep is compared entry-by-entry against
+// (L(theta + eps e_i) - L(theta - eps e_i)) / 2 eps.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "nn/autograd.hpp"
+
+namespace rnx::nn {
+
+struct GradCheckReport {
+  double max_abs_err = 0.0;
+  double max_rel_err = 0.0;  ///< |analytic-numeric| / max(1, |analytic|, |numeric|)
+  std::size_t entries = 0;
+
+  [[nodiscard]] bool ok(double tol = 1e-6) const noexcept {
+    return max_rel_err <= tol;
+  }
+};
+
+/// loss_fn must rebuild the computation graph from `params` (reading their
+/// current values) and return the 1x1 loss Var.
+[[nodiscard]] GradCheckReport grad_check(
+    const std::function<Var()>& loss_fn, std::vector<Var>& params,
+    double eps = 1e-5);
+
+}  // namespace rnx::nn

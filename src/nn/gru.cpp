@@ -1,0 +1,45 @@
+#include "nn/gru.hpp"
+
+#include <stdexcept>
+
+#include "nn/init.hpp"
+#include "nn/ops.hpp"
+
+namespace rnx::nn {
+
+GRUCell::GRUCell(std::size_t input_dim, std::size_t hidden_dim,
+                 util::RngStream& rng, std::string name)
+    : in_(input_dim), hid_(hidden_dim), name_(std::move(name)) {
+  if (input_dim == 0 || hidden_dim == 0)
+    throw std::invalid_argument("GRUCell: zero dimension");
+  auto w = [&](std::size_t r, std::size_t c) {
+    return Var(glorot_uniform(r, c, rng), /*requires_grad=*/true);
+  };
+  auto b = [&](std::size_t c) {
+    return Var(Tensor::zeros(1, c), /*requires_grad=*/true);
+  };
+  wxz_ = w(in_, hid_); whz_ = w(hid_, hid_); bz_ = b(hid_);
+  wxr_ = w(in_, hid_); whr_ = w(hid_, hid_); br_ = b(hid_);
+  wxn_ = w(in_, hid_); whn_ = w(hid_, hid_); bn_ = b(hid_);
+}
+
+Var GRUCell::step(const Var& x, const Var& h) const {
+  if (x.cols() != in_ || h.cols() != hid_ || x.rows() != h.rows())
+    throw std::invalid_argument("GRUCell::step: shape mismatch");
+  const Var z =
+      sigmoid(add_bias(add(matmul(x, wxz_), matmul(h, whz_)), bz_));
+  const Var r =
+      sigmoid(add_bias(add(matmul(x, wxr_), matmul(h, whr_)), br_));
+  const Var n = tanh_op(
+      add_bias(add(matmul(x, wxn_), matmul(mul(r, h), whn_)), bn_));
+  // h' = (1 - z) .* n + z .* h
+  return add(mul(affine(z, -1.0, 1.0), n), mul(z, h));
+}
+
+std::vector<std::pair<std::string, Var>> GRUCell::named_params() const {
+  return {{name_ + ".wxz", wxz_}, {name_ + ".whz", whz_}, {name_ + ".bz", bz_},
+          {name_ + ".wxr", wxr_}, {name_ + ".whr", whr_}, {name_ + ".br", br_},
+          {name_ + ".wxn", wxn_}, {name_ + ".whn", whn_}, {name_ + ".bn", bn_}};
+}
+
+}  // namespace rnx::nn

@@ -1,0 +1,47 @@
+// Gated recurrent unit cell.
+//
+// RouteNet uses recurrent units for all three state-update functions
+// (RNN_P over path sequences, RNN_L for link updates, RNN_N for node
+// updates — the latter introduced by this paper); GRUs are the choice in
+// the reference implementation.  Gate convention follows PyTorch:
+//   z = sigmoid(x Wxz + h Whz + bz)          (update gate)
+//   r = sigmoid(x Wxr + h Whr + br)          (reset gate)
+//   n = tanh  (x Wxn + (r .* h) Whn + bn)    (candidate)
+//   h' = (1 - z) .* n + z .* h
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "nn/autograd.hpp"
+#include "util/rng.hpp"
+
+namespace rnx::nn {
+
+class GRUCell {
+ public:
+  /// Weights Glorot-initialized from rng; biases zero.
+  GRUCell(std::size_t input_dim, std::size_t hidden_dim,
+          util::RngStream& rng, std::string name = "gru");
+
+  /// One step: x is (R x input_dim), h is (R x hidden_dim); returns the
+  /// new hidden state (R x hidden_dim).  Differentiable through both.
+  [[nodiscard]] Var step(const Var& x, const Var& h) const;
+
+  [[nodiscard]] std::size_t input_dim() const noexcept { return in_; }
+  [[nodiscard]] std::size_t hidden_dim() const noexcept { return hid_; }
+  /// Trainable parameters as (name, Var) pairs; Vars share the cell's
+  /// tape nodes, so optimizer updates are visible to the cell.
+  [[nodiscard]] std::vector<std::pair<std::string, Var>> named_params() const;
+
+ private:
+  std::size_t in_;
+  std::size_t hid_;
+  std::string name_;
+  Var wxz_, whz_, bz_;
+  Var wxr_, whr_, br_;
+  Var wxn_, whn_, bn_;
+};
+
+}  // namespace rnx::nn

@@ -1,0 +1,28 @@
+#include "nn/init.hpp"
+
+#include <cmath>
+
+namespace rnx::nn {
+
+Tensor glorot_uniform(std::size_t rows, std::size_t cols,
+                      util::RngStream& rng) {
+  const double limit =
+      std::sqrt(6.0 / static_cast<double>(rows + cols));
+  return uniform_init(rows, cols, -limit, limit, rng);
+}
+
+Tensor he_normal(std::size_t rows, std::size_t cols, util::RngStream& rng) {
+  const double stddev = std::sqrt(2.0 / static_cast<double>(rows));
+  Tensor t(rows, cols);
+  for (auto& x : t.flat()) x = rng.normal(0.0, stddev);
+  return t;
+}
+
+Tensor uniform_init(std::size_t rows, std::size_t cols, double lo, double hi,
+                    util::RngStream& rng) {
+  Tensor t(rows, cols);
+  for (auto& x : t.flat()) x = rng.uniform(lo, hi);
+  return t;
+}
+
+}  // namespace rnx::nn

@@ -1,0 +1,23 @@
+// Weight initialization schemes.
+#pragma once
+
+#include "nn/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace rnx::nn {
+
+/// Glorot/Xavier uniform: U(-L, L) with L = sqrt(6 / (fan_in + fan_out)).
+/// Default for GRU and dense weights (tanh/sigmoid gates).
+[[nodiscard]] Tensor glorot_uniform(std::size_t rows, std::size_t cols,
+                                    util::RngStream& rng);
+
+/// He/Kaiming normal: N(0, sqrt(2 / fan_in)); for ReLU layers.
+[[nodiscard]] Tensor he_normal(std::size_t rows, std::size_t cols,
+                               util::RngStream& rng);
+
+/// Uniform in [lo, hi).
+[[nodiscard]] Tensor uniform_init(std::size_t rows, std::size_t cols,
+                                  double lo, double hi,
+                                  util::RngStream& rng);
+
+}  // namespace rnx::nn

@@ -1,0 +1,64 @@
+#include "nn/layers.hpp"
+
+#include <stdexcept>
+
+#include "nn/init.hpp"
+#include "nn/ops.hpp"
+
+namespace rnx::nn {
+
+Var apply_activation(const Var& x, Activation act) {
+  switch (act) {
+    case Activation::kNone: return x;
+    case Activation::kRelu: return relu(x);
+    case Activation::kSigmoid: return sigmoid(x);
+    case Activation::kTanh: return tanh_op(x);
+    case Activation::kSoftplus: return softplus(x);
+  }
+  throw std::logic_error("apply_activation: unknown activation");
+}
+
+Dense::Dense(std::size_t input_dim, std::size_t output_dim, Activation act,
+             util::RngStream& rng, std::string name)
+    : in_(input_dim), out_(output_dim), act_(act), name_(std::move(name)) {
+  if (in_ == 0 || out_ == 0) throw std::invalid_argument("Dense: zero dim");
+  w_ = Var(act == Activation::kRelu ? he_normal(in_, out_, rng)
+                                    : glorot_uniform(in_, out_, rng),
+           /*requires_grad=*/true);
+  b_ = Var(Tensor::zeros(1, out_), /*requires_grad=*/true);
+}
+
+Var Dense::forward(const Var& x) const {
+  if (x.cols() != in_) throw std::invalid_argument("Dense: input dim mismatch");
+  return apply_activation(add_bias(matmul(x, w_), b_), act_);
+}
+
+std::vector<std::pair<std::string, Var>> Dense::named_params() const {
+  return {{name_ + ".w", w_}, {name_ + ".b", b_}};
+}
+
+Mlp::Mlp(const std::vector<std::size_t>& dims, Activation hidden_act,
+         util::RngStream& rng, std::string name) {
+  if (dims.size() < 2) throw std::invalid_argument("Mlp: need >= 2 dims");
+  for (std::size_t i = 0; i + 1 < dims.size(); ++i) {
+    const bool last = (i + 2 == dims.size());
+    layers_.emplace_back(dims[i], dims[i + 1],
+                         last ? Activation::kNone : hidden_act, rng,
+                         name + ".l" + std::to_string(i));
+  }
+}
+
+Var Mlp::forward(const Var& x) const {
+  Var h = x;
+  for (const auto& layer : layers_) h = layer.forward(h);
+  return h;
+}
+
+std::vector<std::pair<std::string, Var>> Mlp::named_params() const {
+  std::vector<std::pair<std::string, Var>> out;
+  for (const auto& layer : layers_)
+    for (auto& p : layer.named_params()) out.push_back(std::move(p));
+  return out;
+}
+
+}  // namespace rnx::nn

@@ -1,0 +1,52 @@
+// Dense layer and multi-layer perceptron (the readout network).
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "nn/autograd.hpp"
+#include "util/rng.hpp"
+
+namespace rnx::nn {
+
+enum class Activation : std::uint8_t { kNone, kRelu, kSigmoid, kTanh, kSoftplus };
+
+/// y = act(x W + b); W is (in x out).
+class Dense {
+ public:
+  Dense(std::size_t input_dim, std::size_t output_dim, Activation act,
+        util::RngStream& rng, std::string name = "dense");
+
+  [[nodiscard]] Var forward(const Var& x) const;
+  [[nodiscard]] std::size_t input_dim() const noexcept { return in_; }
+  [[nodiscard]] std::size_t output_dim() const noexcept { return out_; }
+  [[nodiscard]] std::vector<std::pair<std::string, Var>> named_params() const;
+
+ private:
+  std::size_t in_;
+  std::size_t out_;
+  Activation act_;
+  std::string name_;
+  Var w_, b_;
+};
+
+/// Feed-forward stack: hidden layers use `hidden_act`, the final layer is
+/// linear — the shape RouteNet's readout function uses.
+class Mlp {
+ public:
+  /// dims = {in, h1, ..., out}; needs at least {in, out}.
+  Mlp(const std::vector<std::size_t>& dims, Activation hidden_act,
+      util::RngStream& rng, std::string name = "mlp");
+
+  [[nodiscard]] Var forward(const Var& x) const;
+  [[nodiscard]] std::vector<std::pair<std::string, Var>> named_params() const;
+
+ private:
+  std::vector<Dense> layers_;
+};
+
+/// Apply an activation as a free function (used by Dense and tests).
+[[nodiscard]] Var apply_activation(const Var& x, Activation act);
+
+}  // namespace rnx::nn

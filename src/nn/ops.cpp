@@ -1,0 +1,366 @@
+#include "nn/ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace rnx::nn {
+
+namespace {
+void check_same_shape(const Var& a, const Var& b, const char* what) {
+  if (!a.value().same_shape(b.value()))
+    throw std::invalid_argument(std::string(what) + ": shape mismatch");
+}
+}  // namespace
+
+Var constant(Tensor t) { return Var(std::move(t), /*requires_grad=*/false); }
+
+Var add(const Var& a, const Var& b) {
+  check_same_shape(a, b, "add");
+  Tensor y = a.value();
+  y.add_inplace(b.value());
+  return Var::make(std::move(y), {a, b}, [a = Var(a), b = Var(b)](const Tensor& g) mutable {
+    if (a.requires_grad()) a.grad_ref().add_inplace(g);
+    if (b.requires_grad()) b.grad_ref().add_inplace(g);
+  });
+}
+
+Var sub(const Var& a, const Var& b) {
+  check_same_shape(a, b, "sub");
+  Tensor y = a.value();
+  y.axpy_inplace(-1.0, b.value());
+  return Var::make(std::move(y), {a, b}, [a = Var(a), b = Var(b)](const Tensor& g) mutable {
+    if (a.requires_grad()) a.grad_ref().add_inplace(g);
+    if (b.requires_grad()) b.grad_ref().axpy_inplace(-1.0, g);
+  });
+}
+
+Var mul(const Var& a, const Var& b) {
+  check_same_shape(a, b, "mul");
+  Tensor y(a.rows(), a.cols());
+  const auto av = a.value().flat(), bv = b.value().flat();
+  auto yv = y.flat();
+  for (std::size_t i = 0; i < yv.size(); ++i) yv[i] = av[i] * bv[i];
+  return Var::make(std::move(y), {a, b}, [a = Var(a), b = Var(b)](const Tensor& g) mutable {
+    const auto gv = g.flat();
+    if (a.requires_grad()) {
+      auto ag = a.grad_ref().flat();
+      const auto bv2 = b.value().flat();
+      for (std::size_t i = 0; i < gv.size(); ++i) ag[i] += gv[i] * bv2[i];
+    }
+    if (b.requires_grad()) {
+      auto bg = b.grad_ref().flat();
+      const auto av2 = a.value().flat();
+      for (std::size_t i = 0; i < gv.size(); ++i) bg[i] += gv[i] * av2[i];
+    }
+  });
+}
+
+Var scale(const Var& a, double c) { return affine(a, c, 0.0); }
+
+Var affine(const Var& a, double alpha, double beta) {
+  Tensor y(a.rows(), a.cols());
+  const auto av = a.value().flat();
+  auto yv = y.flat();
+  for (std::size_t i = 0; i < yv.size(); ++i) yv[i] = alpha * av[i] + beta;
+  return Var::make(std::move(y), {a}, [a = Var(a), alpha](const Tensor& g) mutable {
+    if (a.requires_grad()) a.grad_ref().axpy_inplace(alpha, g);
+  });
+}
+
+Var matmul(const Var& a, const Var& b) {
+  Tensor y = rnx::nn::matmul(a.value(), b.value());
+  return Var::make(std::move(y), {a, b}, [a = Var(a), b = Var(b)](const Tensor& g) mutable {
+    if (a.requires_grad()) matmul_nt_acc(a.grad_ref(), g, b.value());
+    if (b.requires_grad()) matmul_tn_acc(b.grad_ref(), a.value(), g);
+  });
+}
+
+Var add_bias(const Var& a, const Var& bias) {
+  if (bias.rows() != 1 || bias.cols() != a.cols())
+    throw std::invalid_argument("add_bias: bias must be 1 x cols(a)");
+  Tensor y = a.value();
+  const auto bv = bias.value().flat();
+  for (std::size_t r = 0; r < y.rows(); ++r) {
+    auto row = y.row(r);
+    for (std::size_t c = 0; c < row.size(); ++c) row[c] += bv[c];
+  }
+  return Var::make(std::move(y), {a, bias},
+                   [a = Var(a), bias = Var(bias)](const Tensor& g) mutable {
+                     if (a.requires_grad()) a.grad_ref().add_inplace(g);
+                     if (bias.requires_grad()) {
+                       auto bg = bias.grad_ref().flat();
+                       for (std::size_t r = 0; r < g.rows(); ++r) {
+                         const auto row = g.row(r);
+                         for (std::size_t c = 0; c < row.size(); ++c)
+                           bg[c] += row[c];
+                       }
+                     }
+                   });
+}
+
+Var sigmoid(const Var& a) {
+  Tensor y(a.rows(), a.cols());
+  const auto av = a.value().flat();
+  auto yv = y.flat();
+  for (std::size_t i = 0; i < yv.size(); ++i)
+    yv[i] = 1.0 / (1.0 + std::exp(-av[i]));
+  Tensor ycopy = y;  // captured for the backward (dy/dx = y(1-y))
+  return Var::make(std::move(y), {a},
+                   [a = Var(a), ycopy = std::move(ycopy)](const Tensor& g) mutable {
+                     if (!a.requires_grad()) return;
+                     auto ag = a.grad_ref().flat();
+                     const auto gv = g.flat();
+                     const auto yv2 = ycopy.flat();
+                     for (std::size_t i = 0; i < gv.size(); ++i)
+                       ag[i] += gv[i] * yv2[i] * (1.0 - yv2[i]);
+                   });
+}
+
+Var tanh_op(const Var& a) {
+  Tensor y(a.rows(), a.cols());
+  const auto av = a.value().flat();
+  auto yv = y.flat();
+  for (std::size_t i = 0; i < yv.size(); ++i) yv[i] = std::tanh(av[i]);
+  Tensor ycopy = y;
+  return Var::make(std::move(y), {a},
+                   [a = Var(a), ycopy = std::move(ycopy)](const Tensor& g) mutable {
+                     if (!a.requires_grad()) return;
+                     auto ag = a.grad_ref().flat();
+                     const auto gv = g.flat();
+                     const auto yv2 = ycopy.flat();
+                     for (std::size_t i = 0; i < gv.size(); ++i)
+                       ag[i] += gv[i] * (1.0 - yv2[i] * yv2[i]);
+                   });
+}
+
+Var relu(const Var& a) {
+  Tensor y(a.rows(), a.cols());
+  const auto av = a.value().flat();
+  auto yv = y.flat();
+  for (std::size_t i = 0; i < yv.size(); ++i) yv[i] = av[i] > 0.0 ? av[i] : 0.0;
+  return Var::make(std::move(y), {a}, [a = Var(a)](const Tensor& g) mutable {
+    if (!a.requires_grad()) return;
+    auto ag = a.grad_ref().flat();
+    const auto gv = g.flat();
+    const auto av2 = a.value().flat();
+    for (std::size_t i = 0; i < gv.size(); ++i)
+      if (av2[i] > 0.0) ag[i] += gv[i];
+  });
+}
+
+Var softplus(const Var& a) {
+  Tensor y(a.rows(), a.cols());
+  const auto av = a.value().flat();
+  auto yv = y.flat();
+  for (std::size_t i = 0; i < yv.size(); ++i) {
+    // Numerically stable: log(1+e^x) = max(x,0) + log1p(e^{-|x|}).
+    yv[i] = std::max(av[i], 0.0) + std::log1p(std::exp(-std::abs(av[i])));
+  }
+  return Var::make(std::move(y), {a}, [a = Var(a)](const Tensor& g) mutable {
+    if (!a.requires_grad()) return;
+    auto ag = a.grad_ref().flat();
+    const auto gv = g.flat();
+    const auto av2 = a.value().flat();
+    for (std::size_t i = 0; i < gv.size(); ++i)
+      ag[i] += gv[i] / (1.0 + std::exp(-av2[i]));
+  });
+}
+
+Var gather_rows(const Var& a, std::vector<Index> idx) {
+  const std::size_t cols = a.cols();
+  for (const Index i : idx)
+    if (i >= a.rows())
+      throw std::out_of_range("gather_rows: index out of range");
+  Tensor y(idx.size(), cols);
+  for (std::size_t r = 0; r < idx.size(); ++r) {
+    const auto src = a.value().row(idx[r]);
+    std::copy(src.begin(), src.end(), y.row(r).begin());
+  }
+  return Var::make(std::move(y), {a},
+                   [a = Var(a), idx = std::move(idx)](const Tensor& g) mutable {
+                     if (!a.requires_grad()) return;
+                     Tensor& ag = a.grad_ref();
+                     for (std::size_t r = 0; r < idx.size(); ++r) {
+                       auto dst = ag.row(idx[r]);
+                       const auto src = g.row(r);
+                       for (std::size_t c = 0; c < dst.size(); ++c)
+                         dst[c] += src[c];
+                     }
+                   });
+}
+
+Var scatter_rows(const Var& base, std::vector<Index> idx, const Var& rows) {
+  if (rows.rows() != idx.size() || rows.cols() != base.cols())
+    throw std::invalid_argument("scatter_rows: rows shape mismatch");
+  std::vector<char> seen(base.rows(), 0);
+  for (const Index i : idx) {
+    if (i >= base.rows())
+      throw std::out_of_range("scatter_rows: index out of range");
+    if (seen[i]) throw std::invalid_argument("scatter_rows: duplicate index");
+    seen[i] = 1;
+  }
+  Tensor y = base.value();
+  for (std::size_t r = 0; r < idx.size(); ++r) {
+    const auto src = rows.value().row(r);
+    std::copy(src.begin(), src.end(), y.row(idx[r]).begin());
+  }
+  return Var::make(
+      std::move(y), {base, rows},
+      [base = Var(base), rows = Var(rows), idx = std::move(idx),
+       seen = std::move(seen)](const Tensor& g) mutable {
+        if (base.requires_grad()) {
+          Tensor& bg = base.grad_ref();
+          for (std::size_t r = 0; r < g.rows(); ++r) {
+            if (seen[r]) continue;  // overwritten rows get no base grad
+            auto dst = bg.row(r);
+            const auto src = g.row(r);
+            for (std::size_t c = 0; c < dst.size(); ++c) dst[c] += src[c];
+          }
+        }
+        if (rows.requires_grad()) {
+          Tensor& rg = rows.grad_ref();
+          for (std::size_t r = 0; r < idx.size(); ++r) {
+            auto dst = rg.row(r);
+            const auto src = g.row(idx[r]);
+            for (std::size_t c = 0; c < dst.size(); ++c) dst[c] += src[c];
+          }
+        }
+      });
+}
+
+Var segment_sum(const Var& a, std::vector<Index> seg,
+                std::size_t num_segments) {
+  if (seg.size() != a.rows())
+    throw std::invalid_argument("segment_sum: one segment id per row");
+  for (const Index s : seg)
+    if (s >= num_segments)
+      throw std::out_of_range("segment_sum: segment id out of range");
+  Tensor y(num_segments, a.cols());
+  for (std::size_t r = 0; r < seg.size(); ++r) {
+    auto dst = y.row(seg[r]);
+    const auto src = a.value().row(r);
+    for (std::size_t c = 0; c < dst.size(); ++c) dst[c] += src[c];
+  }
+  return Var::make(std::move(y), {a},
+                   [a = Var(a), seg = std::move(seg)](const Tensor& g) mutable {
+                     if (!a.requires_grad()) return;
+                     Tensor& ag = a.grad_ref();
+                     for (std::size_t r = 0; r < seg.size(); ++r) {
+                       auto dst = ag.row(r);
+                       const auto src = g.row(seg[r]);
+                       for (std::size_t c = 0; c < dst.size(); ++c)
+                         dst[c] += src[c];
+                     }
+                   });
+}
+
+Var concat_cols(const Var& a, const Var& b) {
+  if (a.rows() != b.rows())
+    throw std::invalid_argument("concat_cols: row count mismatch");
+  const std::size_t ca = a.cols(), cb = b.cols();
+  Tensor y(a.rows(), ca + cb);
+  for (std::size_t r = 0; r < y.rows(); ++r) {
+    const auto ra = a.value().row(r);
+    const auto rb = b.value().row(r);
+    auto ry = y.row(r);
+    std::copy(ra.begin(), ra.end(), ry.begin());
+    std::copy(rb.begin(), rb.end(), ry.begin() + static_cast<std::ptrdiff_t>(ca));
+  }
+  return Var::make(std::move(y), {a, b},
+                   [a = Var(a), b = Var(b), ca, cb](const Tensor& g) mutable {
+                     for (std::size_t r = 0; r < g.rows(); ++r) {
+                       const auto gr = g.row(r);
+                       if (a.requires_grad()) {
+                         auto dst = a.grad_ref().row(r);
+                         for (std::size_t c = 0; c < ca; ++c) dst[c] += gr[c];
+                       }
+                       if (b.requires_grad()) {
+                         auto dst = b.grad_ref().row(r);
+                         for (std::size_t c = 0; c < cb; ++c)
+                           dst[c] += gr[ca + c];
+                       }
+                     }
+                   });
+}
+
+Var sum_all(const Var& a) {
+  double s = 0.0;
+  for (const double x : a.value().flat()) s += x;
+  return Var::make(Tensor::scalar(s), {a}, [a = Var(a)](const Tensor& g) mutable {
+    if (!a.requires_grad()) return;
+    const double gs = g(0, 0);
+    auto ag = a.grad_ref().flat();
+    for (auto& x : ag) x += gs;
+  });
+}
+
+Var mean_all(const Var& a) {
+  const auto n = static_cast<double>(a.value().size());
+  return scale(sum_all(a), 1.0 / n);
+}
+
+namespace {
+Var pointwise_loss(const Var& pred, const Tensor& target,
+                   double (*f)(double), double (*df)(double),
+                   const char* name) {
+  if (!pred.value().same_shape(target))
+    throw std::invalid_argument(std::string(name) + ": shape mismatch");
+  const auto pv = pred.value().flat();
+  const auto tv = target.flat();
+  const auto n = static_cast<double>(pv.size());
+  double s = 0.0;
+  for (std::size_t i = 0; i < pv.size(); ++i) s += f(pv[i] - tv[i]);
+  return Var::make(Tensor::scalar(s / n), {pred},
+                   [pred = Var(pred), target, df, n](const Tensor& g) mutable {
+                     if (!pred.requires_grad()) return;
+                     const double gs = g(0, 0) / n;
+                     auto pg = pred.grad_ref().flat();
+                     const auto pv2 = pred.value().flat();
+                     const auto tv2 = target.flat();
+                     for (std::size_t i = 0; i < pg.size(); ++i)
+                       pg[i] += gs * df(pv2[i] - tv2[i]);
+                   });
+}
+}  // namespace
+
+Var mse_loss(const Var& pred, const Tensor& target) {
+  return pointwise_loss(
+      pred, target, [](double e) { return e * e; },
+      [](double e) { return 2.0 * e; }, "mse_loss");
+}
+
+Var mae_loss(const Var& pred, const Tensor& target) {
+  return pointwise_loss(
+      pred, target, [](double e) { return std::abs(e); },
+      [](double e) { return e > 0.0 ? 1.0 : (e < 0.0 ? -1.0 : 0.0); },
+      "mae_loss");
+}
+
+Var huber_loss(const Var& pred, const Tensor& target, double delta) {
+  if (delta <= 0.0) throw std::invalid_argument("huber_loss: delta <= 0");
+  if (!pred.value().same_shape(target))
+    throw std::invalid_argument("huber_loss: shape mismatch");
+  const auto pv = pred.value().flat();
+  const auto tv = target.flat();
+  const auto n = static_cast<double>(pv.size());
+  double s = 0.0;
+  for (std::size_t i = 0; i < pv.size(); ++i) {
+    const double e = std::abs(pv[i] - tv[i]);
+    s += e <= delta ? 0.5 * e * e : delta * (e - 0.5 * delta);
+  }
+  return Var::make(Tensor::scalar(s / n), {pred},
+                   [pred = Var(pred), target, delta, n](const Tensor& g) mutable {
+                     if (!pred.requires_grad()) return;
+                     const double gs = g(0, 0) / n;
+                     auto pg = pred.grad_ref().flat();
+                     const auto pv2 = pred.value().flat();
+                     const auto tv2 = target.flat();
+                     for (std::size_t i = 0; i < pg.size(); ++i) {
+                       const double e = pv2[i] - tv2[i];
+                       pg[i] += gs * std::clamp(e, -delta, delta);
+                     }
+                   });
+}
+
+}  // namespace rnx::nn

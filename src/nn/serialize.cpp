@@ -1,0 +1,85 @@
+#include "nn/serialize.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <stdexcept>
+
+namespace rnx::nn {
+
+namespace {
+constexpr char kMagic[4] = {'R', 'N', 'X', 'W'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ofstream& f, const T& v) {
+  f.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+template <typename T>
+void read_pod(std::ifstream& f, T& v) {
+  f.read(reinterpret_cast<char*>(&v), sizeof(T));
+  if (!f) throw std::runtime_error("load_params: truncated file");
+}
+}  // namespace
+
+void save_params(const std::string& path, const NamedParams& params) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("save_params: cannot open " + path);
+  f.write(kMagic, sizeof(kMagic));
+  write_pod(f, kVersion);
+  write_pod(f, static_cast<std::uint64_t>(params.size()));
+  for (const auto& [name, var] : params) {
+    write_pod(f, static_cast<std::uint32_t>(name.size()));
+    f.write(name.data(), static_cast<std::streamsize>(name.size()));
+    const Tensor& t = var.value();
+    write_pod(f, static_cast<std::uint64_t>(t.rows()));
+    write_pod(f, static_cast<std::uint64_t>(t.cols()));
+    f.write(reinterpret_cast<const char*>(t.flat().data()),
+            static_cast<std::streamsize>(t.size() * sizeof(double)));
+  }
+  if (!f) throw std::runtime_error("save_params: write failed on " + path);
+}
+
+void load_params(const std::string& path, NamedParams& params) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("load_params: cannot open " + path);
+  char magic[4];
+  f.read(magic, sizeof(magic));
+  if (!f || std::string_view(magic, 4) != std::string_view(kMagic, 4))
+    throw std::runtime_error("load_params: bad magic in " + path);
+  std::uint32_t version = 0;
+  read_pod(f, version);
+  if (version != kVersion)
+    throw std::runtime_error("load_params: unsupported version");
+  std::uint64_t count = 0;
+  read_pod(f, count);
+
+  std::map<std::string, Var*> by_name;
+  for (auto& [name, var] : params) {
+    if (!by_name.emplace(name, &var).second)
+      throw std::runtime_error("load_params: duplicate param name " + name);
+  }
+  if (count != params.size())
+    throw std::runtime_error("load_params: parameter count mismatch");
+
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::uint32_t name_len = 0;
+    read_pod(f, name_len);
+    std::string name(name_len, '\0');
+    f.read(name.data(), name_len);
+    std::uint64_t rows = 0, cols = 0;
+    read_pod(f, rows);
+    read_pod(f, cols);
+    const auto it = by_name.find(name);
+    if (it == by_name.end())
+      throw std::runtime_error("load_params: unknown parameter " + name);
+    Tensor& dst = it->second->mutable_value();
+    if (dst.rows() != rows || dst.cols() != cols)
+      throw std::runtime_error("load_params: shape mismatch for " + name);
+    f.read(reinterpret_cast<char*>(dst.flat().data()),
+           static_cast<std::streamsize>(rows * cols * sizeof(double)));
+    if (!f) throw std::runtime_error("load_params: truncated tensor " + name);
+  }
+}
+
+}  // namespace rnx::nn

@@ -1,0 +1,28 @@
+// Versioned binary (de)serialization of named parameter sets.
+//
+// Format: magic "RNXW", u32 version, u64 count, then per parameter:
+// u32 name length, name bytes, u64 rows, u64 cols, rows*cols doubles
+// (little-endian, as written by the host).  load_params matches strictly
+// by name and shape so a weight file can never be silently misapplied to
+// a different architecture.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "nn/autograd.hpp"
+
+namespace rnx::nn {
+
+using NamedParams = std::vector<std::pair<std::string, Var>>;
+
+/// Write all parameters to path; throws std::runtime_error on I/O failure.
+void save_params(const std::string& path, const NamedParams& params);
+
+/// Read parameters from path into the given set.  Every stored name must
+/// exist in `params` with an identical shape and vice versa; throws
+/// std::runtime_error otherwise.
+void load_params(const std::string& path, NamedParams& params);
+
+}  // namespace rnx::nn

@@ -1,0 +1,153 @@
+#include "nn/tensor.hpp"
+
+#include <stdexcept>
+
+namespace rnx::nn {
+
+Tensor::Tensor(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+Tensor::Tensor(std::size_t rows, std::size_t cols, std::vector<double> data)
+    : rows_(rows), cols_(cols), data_(std::move(data)) {
+  if (data_.size() != rows * cols)
+    throw std::invalid_argument("Tensor: data size != rows*cols");
+}
+
+Tensor Tensor::zeros(std::size_t rows, std::size_t cols) {
+  return Tensor(rows, cols);
+}
+
+Tensor Tensor::full(std::size_t rows, std::size_t cols, double value) {
+  Tensor t(rows, cols);
+  t.fill(value);
+  return t;
+}
+
+Tensor Tensor::scalar(double value) {
+  Tensor t(1, 1);
+  t(0, 0) = value;
+  return t;
+}
+
+double& Tensor::at(std::size_t r, std::size_t c) {
+  if (r >= rows_ || c >= cols_) throw std::out_of_range("Tensor::at");
+  return data_[r * cols_ + c];
+}
+
+double Tensor::at(std::size_t r, std::size_t c) const {
+  if (r >= rows_ || c >= cols_) throw std::out_of_range("Tensor::at");
+  return data_[r * cols_ + c];
+}
+
+double Tensor::item() const {
+  if (rows_ != 1 || cols_ != 1)
+    throw std::logic_error("Tensor::item: not a 1x1 scalar");
+  return data_[0];
+}
+
+void Tensor::fill(double v) noexcept {
+  for (auto& x : data_) x = v;
+}
+
+void Tensor::add_inplace(const Tensor& o) {
+  if (!same_shape(o)) throw std::invalid_argument("add_inplace: shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += o.data_[i];
+}
+
+void Tensor::axpy_inplace(double a, const Tensor& o) {
+  if (!same_shape(o)) throw std::invalid_argument("axpy_inplace: shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += a * o.data_[i];
+}
+
+void Tensor::scale_inplace(double a) noexcept {
+  for (auto& x : data_) x *= a;
+}
+
+double Tensor::squared_norm() const noexcept {
+  double s = 0.0;
+  for (double x : data_) s += x * x;
+  return s;
+}
+
+namespace {
+void check_mm(std::size_t ak, std::size_t bk, const char* what) {
+  if (ak != bk) throw std::invalid_argument(std::string(what) + ": inner dim mismatch");
+}
+}  // namespace
+
+// Simple ikj-ordered kernels: cache-friendly row-major traversal.  The
+// matrices here are small (<= ~1000 x 64); this is within ~2x of a tuned
+// BLAS at these sizes and keeps the substrate dependency-free.
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  check_mm(a.cols(), b.rows(), "matmul");
+  Tensor c(a.rows(), b.cols());
+  matmul_acc(c, a, b);
+  return c;
+}
+
+void matmul_acc(Tensor& c, const Tensor& a, const Tensor& b) {
+  check_mm(a.cols(), b.rows(), "matmul_acc");
+  if (c.rows() != a.rows() || c.cols() != b.cols())
+    throw std::invalid_argument("matmul_acc: output shape mismatch");
+  const std::size_t n = a.rows(), k = a.cols(), m = b.cols();
+  for (std::size_t i = 0; i < n; ++i) {
+    double* crow = c.row(i).data();
+    const double* arow = a.row(i).data();
+    for (std::size_t p = 0; p < k; ++p) {
+      const double av = arow[p];
+      if (av == 0.0) continue;
+      const double* brow = b.row(p).data();
+      for (std::size_t j = 0; j < m; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+Tensor matmul_tn(const Tensor& a, const Tensor& b) {
+  check_mm(a.rows(), b.rows(), "matmul_tn");
+  Tensor c(a.cols(), b.cols());
+  matmul_tn_acc(c, a, b);
+  return c;
+}
+
+void matmul_tn_acc(Tensor& c, const Tensor& a, const Tensor& b) {
+  check_mm(a.rows(), b.rows(), "matmul_tn_acc");
+  if (c.rows() != a.cols() || c.cols() != b.cols())
+    throw std::invalid_argument("matmul_tn_acc: output shape mismatch");
+  const std::size_t k = a.rows(), n = a.cols(), m = b.cols();
+  for (std::size_t p = 0; p < k; ++p) {
+    const double* arow = a.row(p).data();
+    const double* brow = b.row(p).data();
+    for (std::size_t i = 0; i < n; ++i) {
+      const double av = arow[i];
+      if (av == 0.0) continue;
+      double* crow = c.row(i).data();
+      for (std::size_t j = 0; j < m; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+Tensor matmul_nt(const Tensor& a, const Tensor& b) {
+  check_mm(a.cols(), b.cols(), "matmul_nt");
+  Tensor c(a.rows(), b.rows());
+  matmul_nt_acc(c, a, b);
+  return c;
+}
+
+void matmul_nt_acc(Tensor& c, const Tensor& a, const Tensor& b) {
+  check_mm(a.cols(), b.cols(), "matmul_nt_acc");
+  if (c.rows() != a.rows() || c.cols() != b.rows())
+    throw std::invalid_argument("matmul_nt_acc: output shape mismatch");
+  const std::size_t n = a.rows(), k = a.cols(), m = b.rows();
+  for (std::size_t i = 0; i < n; ++i) {
+    const double* arow = a.row(i).data();
+    double* crow = c.row(i).data();
+    for (std::size_t j = 0; j < m; ++j) {
+      const double* brow = b.row(j).data();
+      double s = 0.0;
+      for (std::size_t p = 0; p < k; ++p) s += arow[p] * brow[p];
+      crow[j] += s;
+    }
+  }
+}
+
+}  // namespace rnx::nn

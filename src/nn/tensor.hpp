@@ -1,0 +1,88 @@
+// Dense row-major 2-D tensor of doubles.
+//
+// This is the numeric workhorse of the from-scratch deep-learning substrate
+// (DESIGN.md S3).  Everything RouteNet needs is expressible on 2-D tensors:
+// entity-state matrices are (num_entities x state_dim), minibatch features
+// are (rows x features).  Double precision keeps the numerical gradient
+// checks in the test suite tight (1e-6 relative) at negligible cost for the
+// matrix sizes involved (<= ~1000 x 64).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace rnx::nn {
+
+class Tensor {
+ public:
+  Tensor() = default;
+  /// rows x cols, zero-initialized.
+  Tensor(std::size_t rows, std::size_t cols);
+  /// rows x cols from row-major data (size must match).
+  Tensor(std::size_t rows, std::size_t cols, std::vector<double> data);
+
+  [[nodiscard]] static Tensor zeros(std::size_t rows, std::size_t cols);
+  [[nodiscard]] static Tensor full(std::size_t rows, std::size_t cols,
+                                   double value);
+  /// 1x1 scalar tensor.
+  [[nodiscard]] static Tensor scalar(double value);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+
+  [[nodiscard]] double& at(std::size_t r, std::size_t c);
+  [[nodiscard]] double at(std::size_t r, std::size_t c) const;
+  /// Unchecked element access (hot loops).
+  [[nodiscard]] double& operator()(std::size_t r, std::size_t c) noexcept {
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] double operator()(std::size_t r, std::size_t c) const noexcept {
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] std::span<double> row(std::size_t r) noexcept {
+    return {data_.data() + r * cols_, cols_};
+  }
+  [[nodiscard]] std::span<const double> row(std::size_t r) const noexcept {
+    return {data_.data() + r * cols_, cols_};
+  }
+  [[nodiscard]] std::span<double> flat() noexcept { return data_; }
+  [[nodiscard]] std::span<const double> flat() const noexcept { return data_; }
+
+  [[nodiscard]] bool same_shape(const Tensor& o) const noexcept {
+    return rows_ == o.rows_ && cols_ == o.cols_;
+  }
+  /// Value of a 1x1 tensor; throws otherwise.
+  [[nodiscard]] double item() const;
+
+  // -- in-place helpers used by ops/optimizers -------------------------
+  void fill(double v) noexcept;
+  void add_inplace(const Tensor& o);          ///< this += o
+  void axpy_inplace(double a, const Tensor& o);  ///< this += a * o
+  void scale_inplace(double a) noexcept;      ///< this *= a
+  [[nodiscard]] double squared_norm() const noexcept;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+// -- out-of-place kernels (no autograd; ops.cpp builds the tape on top) --
+
+/// C = A (rows x k) * B (k x cols)
+[[nodiscard]] Tensor matmul(const Tensor& a, const Tensor& b);
+/// C = A^T * B  (A: k x rows, B: k x cols)
+[[nodiscard]] Tensor matmul_tn(const Tensor& a, const Tensor& b);
+/// C = A * B^T  (A: rows x k, B: cols x k)
+[[nodiscard]] Tensor matmul_nt(const Tensor& a, const Tensor& b);
+/// C += A * B (accumulating variant; shapes as matmul)
+void matmul_acc(Tensor& c, const Tensor& a, const Tensor& b);
+/// C += A^T * B
+void matmul_tn_acc(Tensor& c, const Tensor& a, const Tensor& b);
+/// C += A * B^T
+void matmul_nt_acc(Tensor& c, const Tensor& a, const Tensor& b);
+
+}  // namespace rnx::nn

@@ -1,0 +1,13 @@
+#include "sim/metrics.hpp"
+
+#include <stdexcept>
+
+namespace rnx::sim {
+
+const PathStats& SimResult::path(topo::NodeId src, topo::NodeId dst) const {
+  for (const auto& p : paths)
+    if (p.src == src && p.dst == dst) return p;
+  throw std::out_of_range("SimResult::path: pair not simulated");
+}
+
+}  // namespace rnx::sim

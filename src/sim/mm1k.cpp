@@ -1,0 +1,58 @@
+#include "sim/mm1k.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rnx::sim {
+
+namespace {
+void check(double lambda, double mu) {
+  if (lambda < 0.0 || mu <= 0.0)
+    throw std::invalid_argument("mm1k: need lambda >= 0, mu > 0");
+}
+}  // namespace
+
+double mm1_mean_sojourn(double lambda, double mu) {
+  check(lambda, mu);
+  if (lambda >= mu) throw std::invalid_argument("mm1: unstable (lambda >= mu)");
+  return 1.0 / (mu - lambda);
+}
+
+double mm1k_prob_n(double lambda, double mu, std::uint32_t k, std::uint32_t n) {
+  check(lambda, mu);
+  if (k == 0) throw std::invalid_argument("mm1k: K must be >= 1");
+  if (n > k) return 0.0;
+  const double rho = lambda / mu;
+  if (std::abs(rho - 1.0) < 1e-12)
+    return 1.0 / static_cast<double>(k + 1);
+  return (1.0 - rho) * std::pow(rho, n) / (1.0 - std::pow(rho, k + 1));
+}
+
+double mm1k_blocking(double lambda, double mu, std::uint32_t k) {
+  return mm1k_prob_n(lambda, mu, k, k);
+}
+
+double mm1k_mean_system(double lambda, double mu, std::uint32_t k) {
+  check(lambda, mu);
+  if (k == 0) throw std::invalid_argument("mm1k: K must be >= 1");
+  const double rho = lambda / mu;
+  if (std::abs(rho - 1.0) < 1e-12) return static_cast<double>(k) / 2.0;
+  const double rk1 = std::pow(rho, k + 1);
+  return rho / (1.0 - rho) -
+         static_cast<double>(k + 1) * rk1 / (1.0 - rk1);
+}
+
+double mm1k_mean_sojourn(double lambda, double mu, std::uint32_t k) {
+  check(lambda, mu);
+  if (lambda == 0.0) return 1.0 / mu;
+  const double lam_eff = lambda * (1.0 - mm1k_blocking(lambda, mu, k));
+  if (lam_eff <= 0.0) return 1.0 / mu;
+  return mm1k_mean_system(lambda, mu, k) / lam_eff;
+}
+
+double mm1k_utilization(double lambda, double mu, std::uint32_t k) {
+  check(lambda, mu);
+  return lambda * (1.0 - mm1k_blocking(lambda, mu, k)) / mu;
+}
+
+}  // namespace rnx::sim

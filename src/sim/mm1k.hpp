@@ -1,0 +1,37 @@
+// Closed-form M/M/1 and M/M/1/K queueing results.
+//
+// These are the analytic ground truth the simulator is validated against
+// (tests/sim_test.cpp, bench_sim_validation): a single link with Poisson
+// arrivals and exponential packet sizes *is* an M/M/1/K system where K is
+// the port queue capacity (system size, packet in service included).
+#pragma once
+
+#include <cstdint>
+
+namespace rnx::sim {
+
+/// Mean sojourn time (waiting + service) of an M/M/1 queue; requires
+/// lambda < mu.  W = 1 / (mu - lambda).
+[[nodiscard]] double mm1_mean_sojourn(double lambda, double mu);
+
+/// Steady-state probability that an M/M/1/K system (capacity K packets
+/// including the one in service) holds n packets.
+[[nodiscard]] double mm1k_prob_n(double lambda, double mu, std::uint32_t k,
+                                 std::uint32_t n);
+
+/// Blocking probability (= P[N = K]): fraction of arrivals dropped.
+[[nodiscard]] double mm1k_blocking(double lambda, double mu, std::uint32_t k);
+
+/// Mean number in system.
+[[nodiscard]] double mm1k_mean_system(double lambda, double mu,
+                                      std::uint32_t k);
+
+/// Mean sojourn time of *accepted* packets: N / (lambda * (1 - P_block)).
+[[nodiscard]] double mm1k_mean_sojourn(double lambda, double mu,
+                                       std::uint32_t k);
+
+/// Utilization of the server: rho_eff = lambda_eff / mu.
+[[nodiscard]] double mm1k_utilization(double lambda, double mu,
+                                      std::uint32_t k);
+
+}  // namespace rnx::sim

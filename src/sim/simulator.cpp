@@ -1,0 +1,232 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <queue>
+#include <stdexcept>
+#include <vector>
+
+#include "util/log.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace rnx::sim {
+
+namespace {
+
+struct Packet {
+  double gen_time;
+  double size_bits;
+  std::uint32_t flow;
+  std::uint16_t hop;
+  bool measured;
+};
+
+enum class EvType : std::uint8_t { kFlowGen, kHopArrival, kDeparture };
+
+struct Event {
+  double time;
+  std::uint64_t seq;  // tie-breaker: FIFO among simultaneous events
+  EvType type;
+  std::uint32_t idx;  // flow id (kFlowGen) or link id (others)
+  Packet pkt{};       // payload for kHopArrival
+
+  bool operator>(const Event& o) const noexcept {
+    if (time != o.time) return time > o.time;
+    return seq > o.seq;
+  }
+};
+
+struct Flow {
+  topo::NodeId src;
+  topo::NodeId dst;
+  double rate_pps;
+  const topo::Path* path;
+  util::RngStream rng;
+};
+
+struct Port {
+  std::deque<Packet> q;      // front = in service
+  std::uint32_t capacity;    // max packets in system
+  double service_start = 0;  // start time of current service
+  // occupancy integration (measurement window only)
+  double last_change = 0.0;
+  double occupancy_integral = 0.0;
+  double busy_s = 0.0;
+  std::uint64_t arrivals = 0;
+  std::uint64_t drops = 0;
+};
+
+}  // namespace
+
+Simulator::Simulator(const topo::Topology& topo,
+                     const topo::RoutingScheme& routing,
+                     const topo::TrafficMatrix& traffic, SimConfig config)
+    : topo_(topo), routing_(routing), traffic_(traffic), cfg_(config) {
+  if (topo.num_nodes() != routing.num_nodes() ||
+      topo.num_nodes() != traffic.num_nodes())
+    throw std::invalid_argument("Simulator: size mismatch between inputs");
+  if (cfg_.window_s <= 0.0 || cfg_.warmup_s < 0.0)
+    throw std::invalid_argument("Simulator: bad time configuration");
+  if (cfg_.mean_packet_bits <= 0.0)
+    throw std::invalid_argument("Simulator: bad packet size");
+  topo.validate();
+}
+
+SimResult Simulator::run() {
+  const double w_start = cfg_.warmup_s;
+  const double w_end = cfg_.warmup_s + cfg_.window_s;
+  const util::RngStream root(cfg_.seed);
+
+  // --- flows ----------------------------------------------------------
+  std::vector<Flow> flows;
+  for (const auto& [s, d] : routing_.pairs()) {
+    const double bps = traffic_.get(s, d);
+    if (bps <= 0.0) continue;
+    flows.push_back(Flow{s, d, bps / cfg_.mean_packet_bits,
+                         &routing_.path(s, d),
+                         root.derive("flow", flows.size())});
+  }
+
+  // --- ports ----------------------------------------------------------
+  std::vector<Port> ports(topo_.num_links());
+  for (topo::LinkId l = 0; l < topo_.num_links(); ++l)
+    ports[l].capacity = topo_.queue_size(topo_.graph().link(l).src);
+
+  // --- per-flow statistics ---------------------------------------------
+  std::vector<util::Welford> delay(flows.size());
+  std::vector<std::uint64_t> generated(flows.size(), 0);
+  std::vector<std::uint64_t> dropped(flows.size(), 0);
+
+  // --- event loop -------------------------------------------------------
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> heap;
+  std::uint64_t seq = 0;
+  std::uint64_t events = 0;
+
+  auto window_overlap = [&](double a, double b) {
+    return std::max(0.0, std::min(b, w_end) - std::max(a, w_start));
+  };
+  auto integrate = [&](Port& p, double now) {
+    const double span = window_overlap(p.last_change, now);
+    if (span > 0.0)
+      p.occupancy_integral += span * static_cast<double>(p.q.size());
+    p.last_change = now;
+  };
+
+  auto start_service = [&](topo::LinkId l, double now) {
+    Port& p = ports[l];
+    p.service_start = now;
+    const double svc = p.q.front().size_bits / topo_.link_capacity(l);
+    heap.push(Event{now + svc, seq++, EvType::kDeparture, l});
+  };
+
+  // Offer a packet to the port of its current hop; drop if full.
+  auto offer = [&](Packet pkt, double now) {
+    const Flow& f = flows[pkt.flow];
+    const topo::LinkId l = f.path->links[pkt.hop];
+    Port& p = ports[l];
+    ++p.arrivals;
+    if (p.q.size() >= p.capacity) {
+      ++p.drops;
+      if (pkt.measured) ++dropped[pkt.flow];
+      return;
+    }
+    integrate(p, now);
+    p.q.push_back(pkt);
+    if (p.q.size() == 1) start_service(l, now);
+  };
+
+  auto schedule_gen = [&](std::uint32_t fi, double now) {
+    Flow& f = flows[fi];
+    const double next = now + f.rng.exponential(1.0 / f.rate_pps);
+    if (next < w_end) heap.push(Event{next, seq++, EvType::kFlowGen, fi});
+  };
+
+  // Prime every flow with its first arrival.
+  for (std::uint32_t fi = 0; fi < flows.size(); ++fi) schedule_gen(fi, 0.0);
+
+  while (!heap.empty()) {
+    if (++events > cfg_.max_events) {
+      util::log_warn("Simulator: event cap reached, truncating run");
+      break;
+    }
+    const Event ev = heap.top();
+    heap.pop();
+    const double now = ev.time;
+
+    switch (ev.type) {
+      case EvType::kFlowGen: {
+        Flow& f = flows[ev.idx];
+        Packet pkt;
+        pkt.gen_time = now;
+        pkt.flow = ev.idx;
+        pkt.hop = 0;
+        pkt.measured = (now >= w_start && now < w_end);
+        pkt.size_bits = cfg_.size_dist == PacketSizeDist::kExponential
+                            ? f.rng.exponential(cfg_.mean_packet_bits)
+                            : cfg_.mean_packet_bits;
+        if (pkt.measured) ++generated[ev.idx];
+        schedule_gen(ev.idx, now);
+        offer(pkt, now);
+        break;
+      }
+      case EvType::kDeparture: {
+        Port& p = ports[ev.idx];
+        integrate(p, now);
+        Packet pkt = p.q.front();
+        p.q.pop_front();
+        p.busy_s += window_overlap(p.service_start, now);
+        if (!p.q.empty()) start_service(ev.idx, now);
+
+        const Flow& f = flows[pkt.flow];
+        const double prop = topo_.link_prop_delay(ev.idx);
+        const double arrive = now + prop;
+        ++pkt.hop;
+        if (pkt.hop == f.path->links.size()) {
+          if (pkt.measured) delay[pkt.flow].add(arrive - pkt.gen_time);
+        } else if (prop == 0.0) {
+          offer(pkt, arrive);  // fast path: no wire latency, no heap trip
+        } else {
+          heap.push(Event{arrive, seq++, EvType::kHopArrival,
+                          f.path->links[pkt.hop], pkt});
+        }
+        break;
+      }
+      case EvType::kHopArrival:
+        offer(ev.pkt, now);
+        break;
+    }
+  }
+
+  // --- assemble results --------------------------------------------------
+  SimResult res;
+  res.total_events = events;
+  res.sim_time_s = w_end;
+  res.paths.reserve(flows.size());
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    PathStats ps;
+    ps.src = flows[i].src;
+    ps.dst = flows[i].dst;
+    ps.generated = generated[i];
+    ps.delivered = delay[i].count();
+    ps.dropped = dropped[i];
+    ps.mean_delay_s = delay[i].mean();
+    ps.jitter_s2 = delay[i].variance();
+    ps.min_delay_s = delay[i].min();
+    ps.max_delay_s = delay[i].max();
+    res.paths.push_back(ps);
+  }
+  res.links.resize(ports.size());
+  for (std::size_t l = 0; l < ports.size(); ++l) {
+    // Close the occupancy integral at the window end.
+    integrate(ports[l], w_end);
+    LinkStats& ls = res.links[l];
+    ls.arrivals = ports[l].arrivals;
+    ls.drops = ports[l].drops;
+    ls.utilization = ports[l].busy_s / cfg_.window_s;
+    ls.mean_queue_pkts = ports[l].occupancy_integral / cfg_.window_s;
+  }
+  return res;
+}
+
+}  // namespace rnx::sim

@@ -1,0 +1,67 @@
+// Packet-level discrete-event network simulator.
+//
+// This is the in-house OMNeT++ substitute used to produce ground-truth
+// datasets (DESIGN.md S1).  Model:
+//
+//  * every (src, dst) pair with traffic is a flow: Poisson packet
+//    arrivals at rate TM(src,dst)/mean_packet_bits, i.i.d. packet sizes
+//    (exponential by default);
+//  * forwarding follows the RoutingScheme's fixed path;
+//  * each directed link is an output port with a finite drop-tail FIFO
+//    whose capacity (in packets, including the one in service) is the
+//    *queue size of the transmitting node* — the feature the paper varies;
+//  * service time = packet size / link capacity; then the packet takes
+//    the link's propagation delay to reach the next node.
+//
+// A single-link instance of this model is exactly M/M/1/K, which the test
+// suite exploits to validate delay, loss and utilization against closed
+// forms (sim/mm1k.hpp).
+//
+// Statistics are collected for the cohort of packets *generated* inside
+// the measurement window (after warm-up); the event loop drains fully, so
+// every measured packet is either delivered or dropped — an invariant the
+// tests assert.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/metrics.hpp"
+#include "topo/routing.hpp"
+#include "topo/topology.hpp"
+#include "topo/traffic.hpp"
+
+namespace rnx::sim {
+
+enum class PacketSizeDist : std::uint8_t {
+  kExponential,   ///< M/M/1-style; default, matches the analytic reference
+  kDeterministic  ///< fixed-size packets (M/D/1-style)
+};
+
+struct SimConfig {
+  double warmup_s = 0.1;    ///< transient discarded before measuring
+  double window_s = 1.0;    ///< measurement window length
+  double mean_packet_bits = 8000.0;  ///< 1000-byte packets
+  PacketSizeDist size_dist = PacketSizeDist::kExponential;
+  std::uint64_t seed = 1;
+  std::uint64_t max_events = 500'000'000;  ///< hard safety cap
+};
+
+/// One simulation run over a fixed topology/routing/traffic triple.
+/// The referenced topology, routing and traffic objects must outlive run().
+class Simulator {
+ public:
+  Simulator(const topo::Topology& topo, const topo::RoutingScheme& routing,
+            const topo::TrafficMatrix& traffic, SimConfig config);
+
+  /// Execute the simulation to full drain and return all statistics.
+  /// Deterministic for a fixed (inputs, config.seed).
+  [[nodiscard]] SimResult run();
+
+ private:
+  const topo::Topology& topo_;
+  const topo::RoutingScheme& routing_;
+  const topo::TrafficMatrix& traffic_;
+  SimConfig cfg_;
+};
+
+}  // namespace rnx::sim

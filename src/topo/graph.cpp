@@ -1,0 +1,63 @@
+#include "topo/graph.hpp"
+
+#include <stdexcept>
+
+namespace rnx::topo {
+
+Graph::Graph(std::size_t num_nodes) : num_nodes_(num_nodes), out_(num_nodes) {
+  if (num_nodes == 0) throw std::invalid_argument("Graph: zero nodes");
+}
+
+LinkId Graph::add_link(NodeId src, NodeId dst) {
+  if (src >= num_nodes_ || dst >= num_nodes_)
+    throw std::out_of_range("Graph::add_link: node id out of range");
+  if (src == dst) throw std::invalid_argument("Graph::add_link: self-loop");
+  if (by_endpoints_.contains(key(src, dst)))
+    throw std::invalid_argument("Graph::add_link: parallel link");
+  const auto id = static_cast<LinkId>(links_.size());
+  links_.push_back(Link{src, dst});
+  out_[src].push_back(id);
+  by_endpoints_.emplace(key(src, dst), id);
+  return id;
+}
+
+void Graph::add_edge(NodeId a, NodeId b) {
+  add_link(a, b);
+  add_link(b, a);
+}
+
+std::optional<LinkId> Graph::find_link(NodeId src, NodeId dst) const noexcept {
+  if (src >= num_nodes_ || dst >= num_nodes_) return std::nullopt;
+  const auto it = by_endpoints_.find(key(src, dst));
+  if (it == by_endpoints_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool Graph::strongly_connected() const {
+  if (num_nodes_ == 0) return false;
+  // BFS forward from node 0 and on the reversed graph; strongly connected
+  // iff both reach every node.  (Fine at our topology sizes.)
+  auto bfs = [&](bool reversed) {
+    std::vector<char> seen(num_nodes_, 0);
+    std::vector<NodeId> stack{0};
+    seen[0] = 1;
+    std::size_t count = 1;
+    while (!stack.empty()) {
+      const NodeId u = stack.back();
+      stack.pop_back();
+      for (const auto& l : links_) {
+        const NodeId from = reversed ? l.dst : l.src;
+        const NodeId to = reversed ? l.src : l.dst;
+        if (from == u && !seen[to]) {
+          seen[to] = 1;
+          ++count;
+          stack.push_back(to);
+        }
+      }
+    }
+    return count == num_nodes_;
+  };
+  return bfs(false) && bfs(true);
+}
+
+}  // namespace rnx::topo

@@ -1,0 +1,62 @@
+// Directed graph with stable integer ids for nodes and links.
+//
+// All higher layers (routing, simulation, the GNN schema) address entities
+// by these ids: NodeId indexes node-state rows, LinkId indexes link-state
+// rows and simulator port queues.  Undirected physical links are modelled
+// as two directed links (one per direction), matching both the simulator
+// (independent per-direction queues) and RouteNet (per-direction states).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+namespace rnx::topo {
+
+using NodeId = std::uint32_t;
+using LinkId = std::uint32_t;
+
+/// One directed link.
+struct Link {
+  NodeId src;
+  NodeId dst;
+};
+
+class Graph {
+ public:
+  explicit Graph(std::size_t num_nodes);
+
+  /// Add a directed link; returns its id.  Parallel links are rejected
+  /// (std::invalid_argument) — the network model is a simple digraph.
+  LinkId add_link(NodeId src, NodeId dst);
+  /// Add both directions of an undirected edge.
+  void add_edge(NodeId a, NodeId b);
+
+  [[nodiscard]] std::size_t num_nodes() const noexcept { return num_nodes_; }
+  [[nodiscard]] std::size_t num_links() const noexcept { return links_.size(); }
+  [[nodiscard]] const Link& link(LinkId id) const { return links_.at(id); }
+  [[nodiscard]] const std::vector<Link>& links() const noexcept {
+    return links_;
+  }
+  /// Outgoing link ids of a node.
+  [[nodiscard]] const std::vector<LinkId>& out_links(NodeId n) const {
+    return out_.at(n);
+  }
+  /// Directed link id from src to dst, if present.
+  [[nodiscard]] std::optional<LinkId> find_link(NodeId src,
+                                                NodeId dst) const noexcept;
+  /// True if every node can reach every other node along directed links.
+  [[nodiscard]] bool strongly_connected() const;
+
+ private:
+  [[nodiscard]] std::uint64_t key(NodeId s, NodeId d) const noexcept {
+    return static_cast<std::uint64_t>(s) * num_nodes_ + d;
+  }
+  std::size_t num_nodes_;
+  std::vector<Link> links_;
+  std::vector<std::vector<LinkId>> out_;
+  std::unordered_map<std::uint64_t, LinkId> by_endpoints_;
+};
+
+}  // namespace rnx::topo

@@ -1,0 +1,218 @@
+#include "topo/routing.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <set>
+#include <stdexcept>
+
+namespace rnx::topo {
+
+RoutingScheme::RoutingScheme(std::size_t num_nodes)
+    : n_(num_nodes), paths_(num_nodes * num_nodes) {
+  if (num_nodes == 0) throw std::invalid_argument("RoutingScheme: zero nodes");
+}
+
+void RoutingScheme::set_path(NodeId src, NodeId dst, Path path) {
+  if (src >= n_ || dst >= n_)
+    throw std::out_of_range("RoutingScheme::set_path: endpoint out of range");
+  if (src == dst)
+    throw std::invalid_argument("RoutingScheme::set_path: src == dst");
+  if (path.nodes.size() < 2 || path.nodes.front() != src ||
+      path.nodes.back() != dst || path.links.size() + 1 != path.nodes.size())
+    throw std::invalid_argument("RoutingScheme::set_path: malformed path");
+  paths_[idx(src, dst)] = std::move(path);
+}
+
+const Path& RoutingScheme::path(NodeId src, NodeId dst) const {
+  const auto& p = paths_.at(idx(src, dst));
+  if (p.empty())
+    throw std::out_of_range("RoutingScheme::path: no path installed");
+  return p;
+}
+
+bool RoutingScheme::has_path(NodeId src, NodeId dst) const {
+  if (src >= n_ || dst >= n_ || src == dst) return false;
+  return !paths_[idx(src, dst)].empty();
+}
+
+std::vector<std::pair<NodeId, NodeId>> RoutingScheme::pairs() const {
+  std::vector<std::pair<NodeId, NodeId>> out;
+  for (NodeId s = 0; s < n_; ++s)
+    for (NodeId d = 0; d < n_; ++d)
+      if (s != d && !paths_[idx(s, d)].empty()) out.emplace_back(s, d);
+  return out;
+}
+
+namespace {
+
+struct DijkstraResult {
+  std::vector<double> dist;
+  std::vector<LinkId> via_link;  // incoming link on the shortest path
+  static constexpr LinkId kNone = std::numeric_limits<LinkId>::max();
+};
+
+DijkstraResult dijkstra(const Graph& g, std::span<const double> w,
+                        NodeId src) {
+  if (w.size() != g.num_links())
+    throw std::invalid_argument("dijkstra: weight count != link count");
+  DijkstraResult r;
+  r.dist.assign(g.num_nodes(), std::numeric_limits<double>::infinity());
+  r.via_link.assign(g.num_nodes(), DijkstraResult::kNone);
+  using QE = std::pair<double, NodeId>;  // (dist, node); node id breaks ties
+  std::priority_queue<QE, std::vector<QE>, std::greater<>> pq;
+  r.dist[src] = 0.0;
+  pq.emplace(0.0, src);
+  while (!pq.empty()) {
+    const auto [d, u] = pq.top();
+    pq.pop();
+    if (d > r.dist[u]) continue;
+    for (const LinkId l : g.out_links(u)) {
+      if (w[l] < 0.0) continue;  // negative weight marks a removed link
+      const NodeId v = g.link(l).dst;
+      const double nd = d + w[l];
+      if (nd < r.dist[v] ||
+          (nd == r.dist[v] && r.via_link[v] != DijkstraResult::kNone &&
+           l < r.via_link[v])) {
+        r.dist[v] = nd;
+        r.via_link[v] = l;
+        pq.emplace(nd, v);
+      }
+    }
+  }
+  return r;
+}
+
+Path extract_path(const Graph& g, const DijkstraResult& r, NodeId src,
+                  NodeId dst) {
+  if (r.via_link[dst] == DijkstraResult::kNone && src != dst)
+    throw std::runtime_error("shortest_path: destination unreachable");
+  Path p;
+  NodeId cur = dst;
+  while (cur != src) {
+    const LinkId l = r.via_link[cur];
+    p.links.push_back(l);
+    p.nodes.push_back(cur);
+    cur = g.link(l).src;
+  }
+  p.nodes.push_back(src);
+  std::reverse(p.nodes.begin(), p.nodes.end());
+  std::reverse(p.links.begin(), p.links.end());
+  return p;
+}
+
+double path_weight(const Path& p, std::span<const double> w) {
+  double total = 0.0;
+  for (const LinkId l : p.links) total += w[l];
+  return total;
+}
+
+}  // namespace
+
+Path shortest_path(const Graph& g, std::span<const double> link_weights,
+                   NodeId src, NodeId dst) {
+  if (src == dst) throw std::invalid_argument("shortest_path: src == dst");
+  return extract_path(g, dijkstra(g, link_weights, src), src, dst);
+}
+
+RoutingScheme shortest_path_routing(const Topology& topo,
+                                    std::span<const double> link_weights) {
+  const auto& g = topo.graph();
+  RoutingScheme rs(g.num_nodes());
+  for (NodeId s = 0; s < g.num_nodes(); ++s) {
+    const auto r = dijkstra(g, link_weights, s);
+    for (NodeId d = 0; d < g.num_nodes(); ++d) {
+      if (s == d) continue;
+      rs.set_path(s, d, extract_path(g, r, s, d));
+    }
+  }
+  return rs;
+}
+
+RoutingScheme hop_count_routing(const Topology& topo) {
+  const std::vector<double> w(topo.num_links(), 1.0);
+  return shortest_path_routing(topo, w);
+}
+
+std::vector<double> random_link_weights(const Topology& topo,
+                                        util::RngStream& rng, double lo,
+                                        double hi) {
+  std::vector<double> w(topo.num_links());
+  for (auto& x : w) x = rng.uniform(lo, hi);
+  return w;
+}
+
+std::vector<Path> k_shortest_paths(const Graph& g,
+                                   std::span<const double> link_weights,
+                                   NodeId src, NodeId dst, std::size_t k) {
+  if (k == 0) return {};
+  std::vector<Path> result;
+  result.push_back(shortest_path(g, link_weights, src, dst));
+
+  // Candidate set ordered by (weight, node sequence) for determinism.
+  auto cmp = [&](const Path& a, const Path& b) {
+    const double wa = path_weight(a, link_weights);
+    const double wb = path_weight(b, link_weights);
+    if (wa != wb) return wa < wb;
+    return a.nodes < b.nodes;
+  };
+  std::vector<Path> candidates;
+
+  std::vector<double> w(link_weights.begin(), link_weights.end());
+  while (result.size() < k) {
+    const Path& prev = result.back();
+    // Spur from every node of the previous path except the last.
+    for (std::size_t i = 0; i + 1 < prev.nodes.size(); ++i) {
+      const NodeId spur = prev.nodes[i];
+      const std::span<const NodeId> root_nodes(prev.nodes.data(), i + 1);
+
+      std::vector<double> wmod = w;
+      // Remove links that would recreate an already-found path with the
+      // same root.
+      for (const Path& p : result) {
+        if (p.nodes.size() > i &&
+            std::equal(root_nodes.begin(), root_nodes.end(),
+                       p.nodes.begin())) {
+          if (i < p.links.size()) wmod[p.links[i]] = -1.0;
+        }
+      }
+      // Remove root nodes (except spur) to keep paths loop-free.
+      for (std::size_t j = 0; j < i; ++j) {
+        const NodeId banned = prev.nodes[j];
+        for (const LinkId l : g.out_links(banned)) wmod[l] = -1.0;
+        for (LinkId l = 0; l < g.num_links(); ++l)
+          if (g.link(l).dst == banned) wmod[l] = -1.0;
+      }
+
+      Path spur_path;
+      try {
+        spur_path = extract_path(g, dijkstra(g, wmod, spur), spur, dst);
+      } catch (const std::runtime_error&) {
+        continue;  // no spur path from here
+      }
+      // Stitch root + spur.
+      Path total;
+      total.nodes.assign(root_nodes.begin(), root_nodes.end());
+      total.links.assign(prev.links.begin(),
+                         prev.links.begin() + static_cast<std::ptrdiff_t>(i));
+      total.nodes.insert(total.nodes.end(), spur_path.nodes.begin() + 1,
+                         spur_path.nodes.end());
+      total.links.insert(total.links.end(), spur_path.links.begin(),
+                         spur_path.links.end());
+      const bool dup =
+          std::any_of(result.begin(), result.end(),
+                      [&](const Path& p) { return p.nodes == total.nodes; }) ||
+          std::any_of(candidates.begin(), candidates.end(), [&](const Path& p) {
+            return p.nodes == total.nodes;
+          });
+      if (!dup) candidates.push_back(std::move(total));
+    }
+    if (candidates.empty()) break;
+    const auto best = std::min_element(candidates.begin(), candidates.end(), cmp);
+    result.push_back(*best);
+    candidates.erase(best);
+  }
+  return result;
+}
+
+}  // namespace rnx::topo

@@ -1,0 +1,78 @@
+// Routing schemes: per-(source, destination) forwarding paths.
+//
+// A RoutingScheme fixes one loop-free node path per ordered pair, which is
+// what both the packet simulator (forwarding tables) and RouteNet (the set
+// of path entities) consume.  Diversity across dataset samples comes from
+// re-running Dijkstra under randomized link weights, mirroring how the
+// RouteNet datasets vary routing.  Yen's algorithm provides k-shortest
+// alternatives for the what-if example and tests.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "topo/topology.hpp"
+#include "util/rng.hpp"
+
+namespace rnx::topo {
+
+/// One forwarding path: node sequence (size h+1) and the corresponding
+/// directed link sequence (size h).
+struct Path {
+  std::vector<NodeId> nodes;
+  std::vector<LinkId> links;
+
+  [[nodiscard]] std::size_t hops() const noexcept { return links.size(); }
+  [[nodiscard]] bool empty() const noexcept { return nodes.empty(); }
+};
+
+class RoutingScheme {
+ public:
+  explicit RoutingScheme(std::size_t num_nodes);
+
+  /// Install a path for (src, dst); validates endpoints and contiguity.
+  void set_path(NodeId src, NodeId dst, Path path);
+  [[nodiscard]] const Path& path(NodeId src, NodeId dst) const;
+  [[nodiscard]] bool has_path(NodeId src, NodeId dst) const;
+  [[nodiscard]] std::size_t num_nodes() const noexcept { return n_; }
+
+  /// All ordered pairs with installed paths, in (src-major) order.  This is
+  /// the canonical path-entity ordering used by the GNN schema and labels.
+  [[nodiscard]] std::vector<std::pair<NodeId, NodeId>> pairs() const;
+
+ private:
+  [[nodiscard]] std::size_t idx(NodeId s, NodeId d) const {
+    return static_cast<std::size_t>(s) * n_ + d;
+  }
+  std::size_t n_;
+  std::vector<Path> paths_;
+};
+
+/// Single-source Dijkstra over directed link weights; returns the
+/// min-weight path from src to dst (throws if unreachable).  Ties are
+/// broken deterministically by node id.
+[[nodiscard]] Path shortest_path(const Graph& g,
+                                 std::span<const double> link_weights,
+                                 NodeId src, NodeId dst);
+
+/// All-pairs shortest-path routing under the given link weights.
+[[nodiscard]] RoutingScheme shortest_path_routing(
+    const Topology& topo, std::span<const double> link_weights);
+
+/// Hop-count routing (all weights = 1).
+[[nodiscard]] RoutingScheme hop_count_routing(const Topology& topo);
+
+/// Per-directed-link weights drawn uniformly from [lo, hi); feeding these
+/// to shortest_path_routing yields a randomized loop-free routing scheme.
+[[nodiscard]] std::vector<double> random_link_weights(const Topology& topo,
+                                                      util::RngStream& rng,
+                                                      double lo = 1.0,
+                                                      double hi = 10.0);
+
+/// Yen's algorithm: up to k loop-free shortest paths from src to dst in
+/// increasing weight order (fewer if the graph has fewer distinct paths).
+[[nodiscard]] std::vector<Path> k_shortest_paths(
+    const Graph& g, std::span<const double> link_weights, NodeId src,
+    NodeId dst, std::size_t k);
+
+}  // namespace rnx::topo

@@ -1,0 +1,67 @@
+// Topology = graph + physical attributes.
+//
+// Per directed link: capacity (bits/s) and propagation delay (s).
+// Per node: output-queue capacity in packets — the node feature this
+// paper's extended RouteNet learns to exploit.  A node's queue size applies
+// to all of its output ports (the paper varies queue size per forwarding
+// device, not per port).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "topo/graph.hpp"
+
+namespace rnx::topo {
+
+/// Queue regimes used in the paper's evaluation (§3): devices either have a
+/// standard-size queue or a queue holding a single packet.
+inline constexpr std::uint32_t kStandardQueuePackets = 32;
+inline constexpr std::uint32_t kTinyQueuePackets = 1;
+
+class Topology {
+ public:
+  Topology(std::string name, Graph graph);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const Graph& graph() const noexcept { return graph_; }
+  [[nodiscard]] std::size_t num_nodes() const noexcept {
+    return graph_.num_nodes();
+  }
+  [[nodiscard]] std::size_t num_links() const noexcept {
+    return graph_.num_links();
+  }
+
+  // -- link attributes ------------------------------------------------
+  void set_link_capacity(LinkId l, double bits_per_sec);
+  void set_all_capacities(double bits_per_sec);
+  [[nodiscard]] double link_capacity(LinkId l) const {
+    return capacity_bps_.at(l);
+  }
+  void set_link_prop_delay(LinkId l, double seconds);
+  [[nodiscard]] double link_prop_delay(LinkId l) const {
+    return prop_delay_s_.at(l);
+  }
+
+  // -- node attributes ------------------------------------------------
+  void set_queue_size(NodeId n, std::uint32_t packets);
+  void set_all_queue_sizes(std::uint32_t packets);
+  [[nodiscard]] std::uint32_t queue_size(NodeId n) const {
+    return queue_pkts_.at(n);
+  }
+  [[nodiscard]] const std::vector<std::uint32_t>& queue_sizes() const noexcept {
+    return queue_pkts_;
+  }
+
+  /// Throws std::logic_error if any capacity or queue size is unset/invalid.
+  void validate() const;
+
+ private:
+  std::string name_;
+  Graph graph_;
+  std::vector<double> capacity_bps_;
+  std::vector<double> prop_delay_s_;
+  std::vector<std::uint32_t> queue_pkts_;
+};
+
+}  // namespace rnx::topo

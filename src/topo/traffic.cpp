@@ -1,0 +1,112 @@
+#include "topo/traffic.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace rnx::topo {
+
+TrafficMatrix::TrafficMatrix(std::size_t num_nodes)
+    : n_(num_nodes), bps_(num_nodes * num_nodes, 0.0) {
+  if (num_nodes == 0) throw std::invalid_argument("TrafficMatrix: zero nodes");
+}
+
+void TrafficMatrix::set(NodeId src, NodeId dst, double bits_per_sec) {
+  if (src >= n_ || dst >= n_)
+    throw std::out_of_range("TrafficMatrix::set: endpoint out of range");
+  if (src == dst && bits_per_sec != 0.0)
+    throw std::invalid_argument("TrafficMatrix::set: self traffic");
+  if (bits_per_sec < 0.0)
+    throw std::invalid_argument("TrafficMatrix::set: negative rate");
+  bps_[idx(src, dst)] = bits_per_sec;
+}
+
+double TrafficMatrix::get(NodeId src, NodeId dst) const {
+  if (src >= n_ || dst >= n_)
+    throw std::out_of_range("TrafficMatrix::get: endpoint out of range");
+  return bps_[idx(src, dst)];
+}
+
+double TrafficMatrix::total() const noexcept {
+  return std::accumulate(bps_.begin(), bps_.end(), 0.0);
+}
+
+void TrafficMatrix::scale(double f) {
+  if (f <= 0.0) throw std::invalid_argument("TrafficMatrix::scale: f <= 0");
+  for (auto& x : bps_) x *= f;
+}
+
+TrafficMatrix uniform_traffic(std::size_t n, double lo, double hi,
+                              util::RngStream& rng) {
+  if (lo < 0.0 || hi <= lo)
+    throw std::invalid_argument("uniform_traffic: bad range");
+  TrafficMatrix tm(n);
+  for (NodeId s = 0; s < n; ++s)
+    for (NodeId d = 0; d < n; ++d)
+      if (s != d) tm.set(s, d, rng.uniform(lo, hi));
+  return tm;
+}
+
+TrafficMatrix gravity_traffic(std::size_t n, double total_bps,
+                              util::RngStream& rng) {
+  if (total_bps <= 0.0)
+    throw std::invalid_argument("gravity_traffic: total must be positive");
+  std::vector<double> mass(n);
+  for (auto& m : mass) m = rng.exponential(1.0);
+  double denom = 0.0;
+  for (NodeId s = 0; s < n; ++s)
+    for (NodeId d = 0; d < n; ++d)
+      if (s != d) denom += mass[s] * mass[d];
+  TrafficMatrix tm(n);
+  for (NodeId s = 0; s < n; ++s)
+    for (NodeId d = 0; d < n; ++d)
+      if (s != d) tm.set(s, d, total_bps * mass[s] * mass[d] / denom);
+  return tm;
+}
+
+TrafficMatrix hotspot_traffic(std::size_t n, double lo, double hi,
+                              std::size_t hotspots, double boost,
+                              util::RngStream& rng) {
+  TrafficMatrix tm = uniform_traffic(n, lo, hi, rng);
+  for (std::size_t h = 0; h < hotspots; ++h) {
+    NodeId s, d;
+    do {
+      s = static_cast<NodeId>(rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+      d = static_cast<NodeId>(rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+    } while (s == d);
+    tm.set(s, d, tm.get(s, d) * boost);
+  }
+  return tm;
+}
+
+std::vector<double> per_link_load_bps(const Topology& topo,
+                                      const RoutingScheme& rs,
+                                      const TrafficMatrix& tm) {
+  std::vector<double> load(topo.num_links(), 0.0);
+  for (const auto& [s, d] : rs.pairs()) {
+    const double rate = tm.get(s, d);
+    if (rate <= 0.0) continue;
+    for (const LinkId l : rs.path(s, d).links) load[l] += rate;
+  }
+  return load;
+}
+
+double max_link_utilization(const Topology& topo, const RoutingScheme& rs,
+                            const TrafficMatrix& tm) {
+  const auto load = per_link_load_bps(topo, rs, tm);
+  double u = 0.0;
+  for (LinkId l = 0; l < topo.num_links(); ++l)
+    u = std::max(u, load[l] / topo.link_capacity(l));
+  return u;
+}
+
+void scale_to_max_utilization(TrafficMatrix& tm, const Topology& topo,
+                              const RoutingScheme& rs, double target) {
+  if (target <= 0.0)
+    throw std::invalid_argument("scale_to_max_utilization: target <= 0");
+  const double current = max_link_utilization(topo, rs, tm);
+  if (current <= 0.0)
+    throw std::invalid_argument("scale_to_max_utilization: empty matrix");
+  tm.scale(target / current);
+}
+
+}  // namespace rnx::topo

@@ -1,0 +1,69 @@
+// End-to-end traffic matrices and load/utilization accounting.
+//
+// A TrafficMatrix holds the offered rate (bits/s) for every ordered
+// (source, destination) pair.  Dataset samples draw a matrix from one of
+// the generators, then rescale it so the most loaded link hits a target
+// utilization — this is how the datasets sweep the operating regime from
+// lightly loaded to near saturation, as in the RouteNet data releases.
+#pragma once
+
+#include <vector>
+
+#include "topo/routing.hpp"
+#include "topo/topology.hpp"
+#include "util/rng.hpp"
+
+namespace rnx::topo {
+
+class TrafficMatrix {
+ public:
+  explicit TrafficMatrix(std::size_t num_nodes);
+
+  void set(NodeId src, NodeId dst, double bits_per_sec);
+  [[nodiscard]] double get(NodeId src, NodeId dst) const;
+  [[nodiscard]] std::size_t num_nodes() const noexcept { return n_; }
+  /// Sum of all entries (bits/s).
+  [[nodiscard]] double total() const noexcept;
+  /// Multiply every entry by f (> 0).
+  void scale(double f);
+
+ private:
+  [[nodiscard]] std::size_t idx(NodeId s, NodeId d) const {
+    return static_cast<std::size_t>(s) * n_ + d;
+  }
+  std::size_t n_;
+  std::vector<double> bps_;
+};
+
+/// Independent uniform draw in [lo, hi) bits/s for every ordered pair.
+[[nodiscard]] TrafficMatrix uniform_traffic(std::size_t n, double lo,
+                                            double hi, util::RngStream& rng);
+
+/// Gravity model: node masses m_i ~ Exp(1); T(s,d) proportional to
+/// m_s * m_d, normalized so the matrix total equals total_bps.
+[[nodiscard]] TrafficMatrix gravity_traffic(std::size_t n, double total_bps,
+                                            util::RngStream& rng);
+
+/// Uniform background plus `hotspots` randomly chosen pairs boosted by
+/// `boost` (multiplier); models elephant flows.
+[[nodiscard]] TrafficMatrix hotspot_traffic(std::size_t n, double lo,
+                                            double hi, std::size_t hotspots,
+                                            double boost,
+                                            util::RngStream& rng);
+
+/// Offered load per directed link (bits/s) when tm is routed over rs.
+[[nodiscard]] std::vector<double> per_link_load_bps(const Topology& topo,
+                                                    const RoutingScheme& rs,
+                                                    const TrafficMatrix& tm);
+
+/// max over links of load/capacity (0 if the matrix is empty).
+[[nodiscard]] double max_link_utilization(const Topology& topo,
+                                          const RoutingScheme& rs,
+                                          const TrafficMatrix& tm);
+
+/// Rescale tm in place so max_link_utilization == target (> 0).
+/// Throws std::invalid_argument when tm carries no traffic.
+void scale_to_max_utilization(TrafficMatrix& tm, const Topology& topo,
+                              const RoutingScheme& rs, double target);
+
+}  // namespace rnx::topo

@@ -1,0 +1,168 @@
+#include "topo/zoo.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+#include <utility>
+
+namespace rnx::topo {
+
+namespace {
+
+Topology from_edges(std::string name, std::size_t n,
+                    std::initializer_list<std::pair<NodeId, NodeId>> edges,
+                    double capacity_bps) {
+  Graph g(n);
+  for (const auto& [a, b] : edges) g.add_edge(a, b);
+  Topology t(std::move(name), std::move(g));
+  t.set_all_capacities(capacity_bps);
+  return t;
+}
+
+}  // namespace
+
+Topology nsfnet(double default_capacity_bps) {
+  // 14 nodes, 21 undirected edges (42 directed links); the classic NSFNET
+  // T1 backbone map used by the RouteNet datasets.
+  return from_edges("nsfnet", 14,
+                    {{0, 1},  {0, 2},  {0, 3},  {1, 2},  {1, 7},   {2, 5},
+                     {3, 4},  {3, 10}, {4, 5},  {4, 6},  {5, 9},   {5, 12},
+                     {6, 7},  {7, 8},  {8, 9},  {8, 11}, {8, 13},  {9, 10},
+                     {10, 11}, {11, 12}, {12, 13}},
+                    default_capacity_bps);
+}
+
+Topology geant2(double default_capacity_bps) {
+  // 24 nodes, 37 undirected edges (74 directed links).  Matches the GEANT2
+  // map's size and degree profile (mean degree ~3.1, hubs of degree 4-5);
+  // see DESIGN.md §2 for the substitution note.
+  return from_edges(
+      "geant2", 24,
+      {{0, 1},   {0, 2},   {0, 22},  {1, 3},   {1, 23},  {2, 3},   {2, 4},
+       {3, 5},   {4, 5},   {4, 6},   {5, 7},   {5, 16},  {6, 7},   {6, 8},
+       {7, 9},   {8, 9},   {8, 10},  {9, 11},  {10, 11}, {10, 12}, {11, 13},
+       {12, 13}, {12, 14}, {13, 15}, {14, 15}, {14, 16}, {15, 17}, {16, 17},
+       {16, 18}, {17, 19}, {18, 19}, {18, 20}, {19, 21}, {20, 21}, {20, 22},
+       {21, 23}, {22, 23}},
+      default_capacity_bps);
+}
+
+Topology line(std::size_t n, double capacity_bps) {
+  if (n < 2) throw std::invalid_argument("line: need >= 2 nodes");
+  Graph g(n);
+  for (NodeId i = 0; i + 1 < n; ++i) g.add_edge(i, i + 1);
+  Topology t("line" + std::to_string(n), std::move(g));
+  t.set_all_capacities(capacity_bps);
+  return t;
+}
+
+Topology ring(std::size_t n, double capacity_bps) {
+  if (n < 3) throw std::invalid_argument("ring: need >= 3 nodes");
+  Graph g(n);
+  for (NodeId i = 0; i < n; ++i)
+    g.add_edge(i, static_cast<NodeId>((i + 1) % n));
+  Topology t("ring" + std::to_string(n), std::move(g));
+  t.set_all_capacities(capacity_bps);
+  return t;
+}
+
+Topology star(std::size_t leaves, double capacity_bps) {
+  if (leaves < 2) throw std::invalid_argument("star: need >= 2 leaves");
+  Graph g(leaves + 1);
+  for (NodeId i = 1; i <= leaves; ++i) g.add_edge(0, i);
+  Topology t("star" + std::to_string(leaves), std::move(g));
+  t.set_all_capacities(capacity_bps);
+  return t;
+}
+
+Topology random_connected(std::size_t n, std::size_t m, util::RngStream& rng,
+                          double capacity_bps) {
+  if (n < 2) throw std::invalid_argument("random_connected: need >= 2 nodes");
+  if (m + 1 < n || m > n * (n - 1) / 2)
+    throw std::invalid_argument("random_connected: bad edge count");
+  Graph g(n);
+  std::set<std::pair<NodeId, NodeId>> used;
+  auto norm = [](NodeId a, NodeId b) {
+    return a < b ? std::pair{a, b} : std::pair{b, a};
+  };
+  // Random spanning tree: attach each node i>0 to a uniformly chosen
+  // earlier node (random recursive tree — uniform enough for workloads).
+  for (NodeId i = 1; i < n; ++i) {
+    const auto j = static_cast<NodeId>(rng.uniform_int(0, i - 1));
+    g.add_edge(j, i);
+    used.insert(norm(j, i));
+  }
+  while (used.size() < m) {
+    const auto a = static_cast<NodeId>(rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+    const auto b = static_cast<NodeId>(rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+    if (a == b || used.contains(norm(a, b))) continue;
+    g.add_edge(a, b);
+    used.insert(norm(a, b));
+  }
+  Topology t("rand" + std::to_string(n) + "m" + std::to_string(m),
+             std::move(g));
+  t.set_all_capacities(capacity_bps);
+  return t;
+}
+
+Topology barabasi_albert(std::size_t n, std::size_t attach,
+                         util::RngStream& rng, double capacity_bps) {
+  if (attach == 0 || n <= attach)
+    throw std::invalid_argument("barabasi_albert: need n > attach >= 1");
+  Graph g(n);
+  std::vector<NodeId> endpoint_pool;  // node appears once per incident edge
+  std::set<std::pair<NodeId, NodeId>> used;
+  auto norm = [](NodeId a, NodeId b) {
+    return a < b ? std::pair{a, b} : std::pair{b, a};
+  };
+  // Seed: clique over the first attach+1 nodes.
+  for (NodeId a = 0; a <= attach; ++a)
+    for (NodeId b = a + 1; b <= attach; ++b) {
+      g.add_edge(a, b);
+      used.insert(norm(a, b));
+      endpoint_pool.push_back(a);
+      endpoint_pool.push_back(b);
+    }
+  for (NodeId i = static_cast<NodeId>(attach) + 1; i < n; ++i) {
+    std::size_t added = 0;
+    while (added < attach) {
+      const auto pick = endpoint_pool[static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(endpoint_pool.size()) - 1))];
+      if (pick == i || used.contains(norm(pick, i))) continue;
+      g.add_edge(pick, i);
+      used.insert(norm(pick, i));
+      endpoint_pool.push_back(pick);
+      endpoint_pool.push_back(i);
+      ++added;
+    }
+  }
+  Topology t("ba" + std::to_string(n) + "k" + std::to_string(attach),
+             std::move(g));
+  t.set_all_capacities(capacity_bps);
+  return t;
+}
+
+void randomize_capacities(Topology& topo, std::span<const double> choices,
+                          util::RngStream& rng) {
+  if (choices.empty())
+    throw std::invalid_argument("randomize_capacities: no choices");
+  const auto& g = topo.graph();
+  for (LinkId l = 0; l < g.num_links(); ++l) {
+    const auto& lk = g.link(l);
+    if (lk.src > lk.dst) continue;  // handle each undirected pair once
+    const double cap = choices[static_cast<std::size_t>(rng.uniform_int(
+        0, static_cast<std::int64_t>(choices.size()) - 1))];
+    topo.set_link_capacity(l, cap);
+    if (const auto rev = g.find_link(lk.dst, lk.src))
+      topo.set_link_capacity(*rev, cap);
+  }
+}
+
+void randomize_queue_sizes(Topology& topo, double p_tiny,
+                           util::RngStream& rng) {
+  for (NodeId n = 0; n < topo.num_nodes(); ++n)
+    topo.set_queue_size(
+        n, rng.bernoulli(p_tiny) ? kTinyQueuePackets : kStandardQueuePackets);
+}
+
+}  // namespace rnx::topo

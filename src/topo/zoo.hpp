@@ -1,0 +1,58 @@
+// Topology zoo: the two topologies the paper evaluates on (NSFNET, GEANT2),
+// small synthetic shapes for tests, and random-topology generators for the
+// extension experiments (generalization beyond the paper's pair).
+//
+// Capacities follow the RouteNet dataset convention of a small set of
+// discrete link speeds; callers can override.  Queue sizes default to
+// kStandardQueuePackets; the dataset generator randomizes them per sample.
+#pragma once
+
+#include <span>
+
+#include "topo/topology.hpp"
+#include "util/rng.hpp"
+
+namespace rnx::topo {
+
+/// 14-node / 21-edge NSFNET T1 backbone (the paper's unseen-test topology).
+/// Edge map follows the standard published NSFNET adjacency.
+[[nodiscard]] Topology nsfnet(double default_capacity_bps = 10e6);
+
+/// 24-node / 37-edge GEANT2-scale pan-European backbone (the paper's
+/// training topology).  Node/edge counts and degree profile match the
+/// GEANT2 map used by the RouteNet dataset releases; see DESIGN.md for the
+/// substitution note on the exact adjacency.
+[[nodiscard]] Topology geant2(double default_capacity_bps = 10e6);
+
+/// n-node line: 0-1-2-...-(n-1).  Unit tests and M/M/1 validation.
+[[nodiscard]] Topology line(std::size_t n, double capacity_bps = 10e6);
+
+/// n-node ring.
+[[nodiscard]] Topology ring(std::size_t n, double capacity_bps = 10e6);
+
+/// Star with n leaves around hub node 0 (n+1 nodes total).
+[[nodiscard]] Topology star(std::size_t leaves, double capacity_bps = 10e6);
+
+/// Connected random graph: uniform spanning tree + (m - n + 1) extra
+/// distinct random edges.  Requires m >= n-1 and m <= n(n-1)/2.
+[[nodiscard]] Topology random_connected(std::size_t n, std::size_t m,
+                                        util::RngStream& rng,
+                                        double capacity_bps = 10e6);
+
+/// Barabási-Albert preferential attachment: each new node attaches to
+/// `attach` existing nodes.  Produces hub-heavy degree profiles.
+[[nodiscard]] Topology barabasi_albert(std::size_t n, std::size_t attach,
+                                       util::RngStream& rng,
+                                       double capacity_bps = 10e6);
+
+/// Assign each link a capacity drawn uniformly from `choices`
+/// (both directions of an undirected edge get the same speed).
+void randomize_capacities(Topology& topo, std::span<const double> choices,
+                          util::RngStream& rng);
+
+/// Assign each node's queue size: tiny (1 packet) with probability
+/// p_tiny, else standard — the paper's §3 evaluation scenario.
+void randomize_queue_sizes(Topology& topo, double p_tiny,
+                           util::RngStream& rng);
+
+}  // namespace rnx::topo

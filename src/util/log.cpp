@@ -1,0 +1,30 @@
+#include "util/log.hpp"
+
+#include <iostream>
+
+namespace rnx::util {
+
+namespace {
+LogLevel g_level = LogLevel::kInfo;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo:  return "info";
+    case LogLevel::kWarn:  return "warn";
+    case LogLevel::kError: return "error";
+    case LogLevel::kOff:   return "off";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) noexcept { g_level = level; }
+LogLevel log_level() noexcept { return g_level; }
+
+void log_line(LogLevel level, const std::string& msg) {
+  if (level < g_level) return;
+  std::cerr << '[' << level_name(level) << "] " << msg << '\n';
+}
+
+}  // namespace rnx::util

@@ -1,0 +1,86 @@
+// Streaming and batch statistics used across the simulator, the dataset
+// pipeline and the evaluation harness: Welford accumulators (numerically
+// stable online mean/variance), percentiles, histograms and empirical CDFs.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace rnx::util {
+
+/// Numerically stable online accumulator for mean / variance / extrema
+/// (Welford's algorithm).  Used by the simulator for per-path delay and
+/// jitter without storing per-packet samples.
+class Welford {
+ public:
+  void add(double x) noexcept;
+  /// Merge another accumulator (parallel-combine form).
+  void merge(const Welford& other) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Population variance (0 when fewer than 2 samples).
+  [[nodiscard]] double variance() const noexcept;
+  /// Sample (Bessel-corrected) variance.
+  [[nodiscard]] double sample_variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return n_ ? max_ : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Linear-interpolated percentile of an unsorted sample, q in [0, 100].
+/// Copies and sorts internally; for repeated queries use Cdf.
+[[nodiscard]] double percentile(std::span<const double> xs, double q);
+
+/// Empirical CDF over a sample; supports percentile queries and evaluation
+/// of P(X <= x).  This is what bench_fig2 uses to print the paper's curves.
+class Cdf {
+ public:
+  explicit Cdf(std::vector<double> xs);
+
+  [[nodiscard]] std::size_t size() const noexcept { return xs_.size(); }
+  /// Quantile for q in [0, 100] with linear interpolation.
+  [[nodiscard]] double percentile(double q) const;
+  /// Fraction of samples <= x.
+  [[nodiscard]] double at(double x) const;
+  /// Evenly spaced (x, F(x)) series of n points spanning the sample range;
+  /// convenient for printing a plottable curve.
+  [[nodiscard]] std::vector<std::pair<double, double>> series(
+      std::size_t n) const;
+  [[nodiscard]] const std::vector<double>& sorted() const noexcept {
+    return xs_;
+  }
+
+ private:
+  std::vector<double> xs_;  // sorted ascending
+};
+
+/// Fixed-bin histogram over [lo, hi); out-of-range values clamp to the
+/// edge bins.  Used by the simulator's delay distribution diagnostics.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+  [[nodiscard]] std::size_t bin_count(std::size_t i) const;
+  [[nodiscard]] std::size_t bins() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::size_t total() const noexcept { return total_; }
+  [[nodiscard]] double bin_lo(std::size_t i) const;
+  [[nodiscard]] double bin_hi(std::size_t i) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace rnx::util

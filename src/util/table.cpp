@@ -1,0 +1,89 @@
+#include "util/table.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace rnx::util {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  if (header_.empty()) throw std::invalid_argument("Table: empty header");
+}
+
+Table& Table::add_row(std::vector<std::string> cells) {
+  if (cells.size() != header_.size())
+    throw std::invalid_argument("Table: row width != header width");
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> w(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) w[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      w[c] = std::max(w[c], row[c].size());
+
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << std::left << std::setw(static_cast<int>(w[c])) << row[c];
+      if (c + 1 < row.size()) os << "  ";
+    }
+    os << '\n';
+  };
+  emit(header_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < w.size(); ++c) total += w[c] + (c + 1 < w.size() ? 2 : 0);
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit(row);
+}
+
+std::string Table::cell(double v, int precision) {
+  std::ostringstream ss;
+  ss << std::fixed << std::setprecision(precision) << v;
+  return ss.str();
+}
+
+std::string Table::cell(std::size_t v) { return std::to_string(v); }
+std::string Table::cell(long long v) { return std::to_string(v); }
+
+namespace {
+std::string csv_escape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+CsvWriter::CsvWriter(const std::string& path, std::vector<std::string> header)
+    : path_(path), columns_(header.size()) {
+  auto* f = new std::ofstream(path);
+  if (!*f) {
+    delete f;
+    throw std::runtime_error("CsvWriter: cannot open " + path);
+  }
+  file_ = f;
+  add_row(header);
+}
+
+CsvWriter::~CsvWriter() { delete static_cast<std::ofstream*>(file_); }
+
+void CsvWriter::add_row(const std::vector<std::string>& cells) {
+  if (cells.size() != columns_)
+    throw std::invalid_argument("CsvWriter: row width mismatch");
+  auto& f = *static_cast<std::ofstream*>(file_);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    f << csv_escape(cells[i]);
+    if (i + 1 < cells.size()) f << ',';
+  }
+  f << '\n';
+}
+
+}  // namespace rnx::util

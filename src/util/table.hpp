@@ -1,0 +1,54 @@
+// Minimal aligned-table and CSV emitters.  Benches use these to print the
+// paper-style rows to stdout and to write plottable CSV files next to the
+// binaries.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rnx::util {
+
+/// Collects rows of cells and renders a column-aligned text table.
+/// Numeric formatting is the caller's responsibility (push preformatted
+/// strings or use the cell() helpers).
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  Table& add_row(std::vector<std::string> cells);
+  /// Render to a stream with 2-space column separation and a rule under
+  /// the header.
+  void print(std::ostream& os) const;
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+  /// Format a double with fixed precision (for consistent columns).
+  [[nodiscard]] static std::string cell(double v, int precision = 4);
+  [[nodiscard]] static std::string cell(std::size_t v);
+  [[nodiscard]] static std::string cell(long long v);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Line-buffered CSV writer; throws std::runtime_error if the file cannot
+/// be opened.  Values containing commas/quotes are quoted per RFC 4180.
+class CsvWriter {
+ public:
+  CsvWriter(const std::string& path, std::vector<std::string> header);
+  ~CsvWriter();
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  void add_row(const std::vector<std::string>& cells);
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+ private:
+  std::string path_;
+  void* file_;  // std::ofstream, kept opaque to avoid <fstream> in header
+  std::size_t columns_;
+};
+
+}  // namespace rnx::util

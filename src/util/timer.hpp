@@ -1,0 +1,24 @@
+// Wall-clock stopwatch for coarse experiment timing (dataset generation,
+// training epochs).  Microbenchmarks use google-benchmark instead.
+#pragma once
+
+#include <chrono>
+
+namespace rnx::util {
+
+class Stopwatch {
+ public:
+  Stopwatch() noexcept : start_(clock::now()) {}
+
+  /// Seconds elapsed since construction or the last reset().
+  [[nodiscard]] double seconds() const noexcept {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+  void reset() noexcept { start_ = clock::now(); }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace rnx::util

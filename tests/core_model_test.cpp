@@ -1,0 +1,262 @@
+// Tests for the two RouteNet variants: shapes, determinism, feature
+// sensitivity (the architectural point of the paper), gradient flow into
+// every parameter, weight persistence, and trainability.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+
+#include "core/routenet.hpp"
+#include "core/routenet_ext.hpp"
+#include "core/trainer.hpp"
+#include "data/generator.hpp"
+#include "nn/ops.hpp"
+#include "topo/zoo.hpp"
+
+namespace {
+
+using namespace rnx;
+
+data::Dataset small_dataset(std::size_t n = 6, std::uint64_t seed = 5) {
+  data::GeneratorConfig cfg;
+  cfg.target_packets = 8'000;
+  return data::Dataset(
+      data::generate_dataset(topo::ring(5), n, cfg, seed));
+}
+
+core::ModelConfig tiny_config() {
+  core::ModelConfig mc;
+  mc.state_dim = 8;
+  mc.readout_hidden = 8;
+  mc.iterations = 2;
+  return mc;
+}
+
+TEST(ModelForward, OutputShapeMatchesPaths) {
+  const data::Dataset ds = small_dataset(2);
+  const data::Scaler sc = data::Scaler::fit(ds.samples());
+  const core::RouteNet orig(tiny_config());
+  const core::ExtendedRouteNet ext(tiny_config());
+  for (const auto& s : ds.samples()) {
+    const nn::NoGradGuard guard;
+    const nn::Var a = orig.forward(s, sc);
+    const nn::Var b = ext.forward(s, sc);
+    EXPECT_EQ(a.rows(), s.paths.size());
+    EXPECT_EQ(a.cols(), 1u);
+    EXPECT_EQ(b.rows(), s.paths.size());
+    EXPECT_EQ(b.cols(), 1u);
+  }
+}
+
+TEST(ModelForward, DeterministicGivenWeights) {
+  const data::Dataset ds = small_dataset(1);
+  const data::Scaler sc = data::Scaler::fit(ds.samples());
+  const core::ExtendedRouteNet m(tiny_config());
+  const nn::NoGradGuard guard;
+  const nn::Var a = m.forward(ds[0], sc);
+  const nn::Var b = m.forward(ds[0], sc);
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    EXPECT_DOUBLE_EQ(a.value()(i, 0), b.value()(i, 0));
+}
+
+TEST(ModelForward, InitSeedChangesPredictions) {
+  const data::Dataset ds = small_dataset(1);
+  const data::Scaler sc = data::Scaler::fit(ds.samples());
+  core::ModelConfig c1 = tiny_config();
+  core::ModelConfig c2 = tiny_config();
+  c2.init_seed = 777;
+  const core::ExtendedRouteNet m1(c1), m2(c2);
+  const nn::NoGradGuard guard;
+  EXPECT_NE(m1.forward(ds[0], sc).value()(0, 0),
+            m2.forward(ds[0], sc).value()(0, 0));
+}
+
+TEST(ModelForward, TracedExposesStates) {
+  const data::Dataset ds = small_dataset(1);
+  const data::Scaler sc = data::Scaler::fit(ds.samples());
+  const nn::NoGradGuard guard;
+  const auto tr_orig = core::RouteNet(tiny_config()).forward_traced(ds[0], sc);
+  EXPECT_EQ(tr_orig.path_states.rows(), ds[0].paths.size());
+  EXPECT_EQ(tr_orig.link_states.rows(), ds[0].num_links());
+  EXPECT_FALSE(tr_orig.node_states.defined());  // original has no nodes
+
+  const auto tr_ext =
+      core::ExtendedRouteNet(tiny_config()).forward_traced(ds[0], sc);
+  EXPECT_EQ(tr_ext.node_states.rows(), static_cast<std::size_t>(ds[0].num_nodes));
+  EXPECT_EQ(tr_ext.node_states.cols(), tiny_config().state_dim);
+}
+
+// The architectural point of the paper: the extended model *sees* queue
+// sizes; the original is provably blind to them.
+TEST(QueueSensitivity, ExtendedSeesQueuesOriginalDoesNot) {
+  const data::Dataset ds = small_dataset(2);
+  const data::Scaler sc = data::Scaler::fit(ds.samples());
+  data::Sample flipped = ds[0];
+  for (auto& q : flipped.queue_pkts)
+    q = (q == topo::kTinyQueuePackets) ? topo::kStandardQueuePackets
+                                       : topo::kTinyQueuePackets;
+
+  const nn::NoGradGuard guard;
+  const core::RouteNet orig(tiny_config());
+  const core::ExtendedRouteNet ext(tiny_config());
+
+  const nn::Var orig_a = orig.forward(ds[0], sc);
+  const nn::Var orig_b = orig.forward(flipped, sc);
+  const nn::Var ext_a = ext.forward(ds[0], sc);
+  const nn::Var ext_b = ext.forward(flipped, sc);
+
+  double orig_diff = 0.0, ext_diff = 0.0;
+  for (std::size_t i = 0; i < orig_a.rows(); ++i) {
+    orig_diff += std::abs(orig_a.value()(i, 0) - orig_b.value()(i, 0));
+    ext_diff += std::abs(ext_a.value()(i, 0) - ext_b.value()(i, 0));
+  }
+  EXPECT_DOUBLE_EQ(orig_diff, 0.0);  // original cannot react to queues
+  EXPECT_GT(ext_diff, 1e-6);         // extended must react
+}
+
+TEST(TrafficSensitivity, BothModelsReactToTraffic) {
+  const data::Dataset ds = small_dataset(1);
+  const data::Scaler sc = data::Scaler::fit(ds.samples());
+  data::Sample heavier = ds[0];
+  for (auto& p : heavier.paths) p.traffic_bps *= 3.0;
+  const nn::NoGradGuard guard;
+  for (const core::Model* m :
+       {static_cast<const core::Model*>(new core::RouteNet(tiny_config())),
+        static_cast<const core::Model*>(
+            new core::ExtendedRouteNet(tiny_config()))}) {
+    const nn::Var a = m->forward(ds[0], sc);
+    const nn::Var b = m->forward(heavier, sc);
+    double diff = 0.0;
+    for (std::size_t i = 0; i < a.rows(); ++i)
+      diff += std::abs(a.value()(i, 0) - b.value()(i, 0));
+    EXPECT_GT(diff, 1e-6) << m->name();
+    delete m;
+  }
+}
+
+TEST(ModelGradients, FlowIntoEveryParameter) {
+  const data::Dataset ds = small_dataset(1);
+  const data::Scaler sc = data::Scaler::fit(ds.samples());
+  for (const bool extended : {false, true}) {
+    std::unique_ptr<core::Model> m;
+    if (extended)
+      m = std::make_unique<core::ExtendedRouteNet>(tiny_config());
+    else
+      m = std::make_unique<core::RouteNet>(tiny_config());
+    const nn::Var loss =
+        core::Trainer::sample_loss(*m, ds[0], sc, /*min_delivered=*/1);
+    ASSERT_TRUE(loss.defined());
+    loss.backward();
+    for (auto& [name, v] : m->named_params()) {
+      double norm = 0.0;
+      for (const double g : v.grad().flat()) norm += g * g;
+      EXPECT_GT(norm, 0.0) << (extended ? "ext " : "orig ") << name;
+    }
+  }
+}
+
+TEST(ModelGradients, NodeRuleVariantsBothTrain) {
+  const data::Dataset ds = small_dataset(1);
+  const data::Scaler sc = data::Scaler::fit(ds.samples());
+  for (const auto rule : {core::NodeUpdateRule::kSumPathStates,
+                          core::NodeUpdateRule::kPositionalMessages}) {
+    core::ModelConfig mc = tiny_config();
+    mc.node_rule = rule;
+    const core::ExtendedRouteNet m(mc);
+    const nn::Var loss = core::Trainer::sample_loss(m, ds[0], sc, 1);
+    ASSERT_TRUE(loss.defined());
+    loss.backward();
+    // RNN_N must receive gradient under both rules.
+    for (auto& [name, v] : m.named_params())
+      if (name.rfind("rnn_n", 0) == 0) {
+        double norm = 0.0;
+        for (const double g : v.grad().flat()) norm += g * g;
+        EXPECT_GT(norm, 0.0) << name;
+      }
+  }
+}
+
+TEST(ModelPersistence, SaveLoadReproducesPredictions) {
+  const data::Dataset ds = small_dataset(1);
+  const data::Scaler sc = data::Scaler::fit(ds.samples());
+  const std::string path = "/tmp/rnx_model_test.rnxw";
+  core::ExtendedRouteNet a(tiny_config());
+  a.save_weights(path);
+  core::ModelConfig other = tiny_config();
+  other.init_seed = 999;  // different init, same architecture
+  core::ExtendedRouteNet b(other);
+  b.load_weights(path);
+  const nn::NoGradGuard guard;
+  const nn::Var pa = a.forward(ds[0], sc);
+  const nn::Var pb = b.forward(ds[0], sc);
+  for (std::size_t i = 0; i < pa.rows(); ++i)
+    EXPECT_DOUBLE_EQ(pa.value()(i, 0), pb.value()(i, 0));
+  std::filesystem::remove(path);
+}
+
+TEST(ModelPersistence, ArchitectureMismatchRejected) {
+  const std::string path = "/tmp/rnx_model_test2.rnxw";
+  core::RouteNet orig(tiny_config());
+  orig.save_weights(path);
+  core::ExtendedRouteNet ext(tiny_config());
+  EXPECT_THROW(ext.load_weights(path), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+TEST(Training, LossDecreasesOnSmallDataset) {
+  const data::Dataset ds = small_dataset(8, 11);
+  const data::Scaler sc = data::Scaler::fit(ds.samples());
+  core::ExtendedRouteNet m(tiny_config());
+  core::TrainConfig tc;
+  tc.epochs = 12;
+  tc.batch_samples = 2;  // 4 optimizer steps per epoch on 8 samples
+  tc.lr = 3e-3;
+  tc.verbose = false;
+  core::Trainer trainer(m, tc);
+  const auto history = trainer.fit(ds, sc);
+  ASSERT_EQ(history.size(), 12u);
+  EXPECT_LT(history.back().train_loss, 0.5 * history.front().train_loss);
+}
+
+TEST(Training, IterationCountMatters) {
+  // T=0 would mean no message passing; we assert T is respected by
+  // checking that different T gives different predictions.
+  const data::Dataset ds = small_dataset(1);
+  const data::Scaler sc = data::Scaler::fit(ds.samples());
+  core::ModelConfig c1 = tiny_config();
+  c1.iterations = 1;
+  core::ModelConfig c4 = tiny_config();
+  c4.iterations = 4;
+  const core::ExtendedRouteNet m1(c1), m4(c4);
+  const nn::NoGradGuard guard;
+  EXPECT_NE(m1.forward(ds[0], sc).value()(0, 0),
+            m4.forward(ds[0], sc).value()(0, 0));
+}
+
+TEST(Training, SampleLossUndefinedWhenNoValidLabels) {
+  const data::Dataset ds = small_dataset(1);
+  const data::Scaler sc = data::Scaler::fit(ds.samples());
+  data::Sample s = ds[0];
+  for (auto& p : s.paths) p.delivered = 0;
+  const core::ExtendedRouteNet m(tiny_config());
+  EXPECT_FALSE(core::Trainer::sample_loss(m, s, sc, 10).defined());
+}
+
+TEST(Training, EarlyStoppingTriggers) {
+  const data::Dataset ds = small_dataset(6, 13);
+  const auto [val, train] = ds.split(2);
+  const data::Scaler sc = data::Scaler::fit(train.samples());
+  core::ExtendedRouteNet m(tiny_config());
+  core::TrainConfig tc;
+  tc.epochs = 50;
+  tc.patience = 2;
+  tc.lr = 0.0;  // no learning -> val loss flat -> stop after patience
+  // Adam rejects lr=0, so use a tiny lr instead.
+  tc.lr = 1e-12;
+  tc.verbose = false;
+  core::Trainer trainer(m, tc);
+  const auto history = trainer.fit(train, sc, &val);
+  EXPECT_LE(history.size(), 4u);  // stopped long before 50
+}
+
+}  // namespace

@@ -1,0 +1,170 @@
+// Tests for the message-passing plan (core/plan.hpp): the batched index
+// structure must agree with a per-path reading of the paper's Fig. 1.
+#include <gtest/gtest.h>
+
+#include "core/plan.hpp"
+#include "data/generator.hpp"
+#include "topo/zoo.hpp"
+
+namespace {
+
+using namespace rnx;
+using core::build_plan;
+using core::MpPlan;
+
+// Hand-built sample on line 0-1-2 with two paths:
+//   path 0: 0 -> 2 (hops 0->1, 1->2)
+//   path 1: 1 -> 2 (hop 1->2)
+data::Sample tiny_sample() {
+  data::Sample s;
+  s.topo_name = "line3";
+  s.num_nodes = 3;
+  s.links = {{0, 1}, {1, 0}, {1, 2}, {2, 1}};
+  s.link_capacity_bps = {1e6, 1e6, 1e6, 1e6};
+  s.queue_pkts = {32, 1, 32};
+  data::PathRecord p0;
+  p0.src = 0;
+  p0.dst = 2;
+  p0.nodes = {0, 1, 2};
+  p0.links = {0, 2};
+  p0.traffic_bps = 1e5;
+  p0.mean_delay_s = 1e-3;
+  p0.delivered = 100;
+  data::PathRecord p1;
+  p1.src = 1;
+  p1.dst = 2;
+  p1.nodes = {1, 2};
+  p1.links = {2};
+  p1.traffic_bps = 2e5;
+  p1.mean_delay_s = 5e-4;
+  p1.delivered = 100;
+  s.paths = {p0, p1};
+  s.validate();
+  return s;
+}
+
+TEST(PlanOriginal, LinkSequencePositions) {
+  const MpPlan plan = build_plan(tiny_sample(), /*use_nodes=*/false);
+  EXPECT_EQ(plan.num_paths, 2u);
+  EXPECT_EQ(plan.num_links, 4u);
+  EXPECT_EQ(plan.num_nodes, 3u);
+  ASSERT_EQ(plan.positions.size(), 2u);  // max 2 hops
+
+  // Position 0: both paths consume their first link.
+  const auto& p0 = plan.positions[0];
+  EXPECT_FALSE(p0.is_node);
+  EXPECT_EQ(p0.path_rows, (std::vector<nn::Index>{0, 1}));
+  EXPECT_EQ(p0.elem_ids, (std::vector<nn::Index>{0, 2}));
+
+  // Position 1: only path 0 is still active.
+  const auto& p1 = plan.positions[1];
+  EXPECT_EQ(p1.path_rows, (std::vector<nn::Index>{0}));
+  EXPECT_EQ(p1.elem_ids, (std::vector<nn::Index>{2}));
+
+  // Original plan has no node incidences.
+  EXPECT_TRUE(plan.inc_path_rows.empty());
+}
+
+TEST(PlanExtended, InterleavedNodeLinkPositions) {
+  const MpPlan plan = build_plan(tiny_sample(), /*use_nodes=*/true);
+  ASSERT_EQ(plan.positions.size(), 4u);  // n,l,n,l for the 2-hop path
+
+  // Position 0 (node): path 0 reads node 0, path 1 reads node 1.
+  EXPECT_TRUE(plan.positions[0].is_node);
+  EXPECT_EQ(plan.positions[0].path_rows, (std::vector<nn::Index>{0, 1}));
+  EXPECT_EQ(plan.positions[0].elem_ids, (std::vector<nn::Index>{0, 1}));
+
+  // Position 1 (link): first links.
+  EXPECT_FALSE(plan.positions[1].is_node);
+  EXPECT_EQ(plan.positions[1].elem_ids, (std::vector<nn::Index>{0, 2}));
+
+  // Position 2 (node): only path 0; its second transit node is 1.
+  EXPECT_TRUE(plan.positions[2].is_node);
+  EXPECT_EQ(plan.positions[2].path_rows, (std::vector<nn::Index>{0}));
+  EXPECT_EQ(plan.positions[2].elem_ids, (std::vector<nn::Index>{1}));
+
+  // Position 3 (link): path 0's second link.
+  EXPECT_FALSE(plan.positions[3].is_node);
+  EXPECT_EQ(plan.positions[3].elem_ids, (std::vector<nn::Index>{2}));
+}
+
+TEST(PlanExtended, NodeIncidencesCoverTransitNodes) {
+  const MpPlan plan = build_plan(tiny_sample(), /*use_nodes=*/true);
+  // path 0 occupies queues at nodes 0 and 1; path 1 at node 1.
+  ASSERT_EQ(plan.inc_path_rows.size(), 3u);
+  EXPECT_EQ(plan.inc_path_rows, (std::vector<nn::Index>{0, 0, 1}));
+  EXPECT_EQ(plan.inc_node_ids, (std::vector<nn::Index>{0, 1, 1}));
+}
+
+TEST(PlanExtended, AlternatingParityInvariant) {
+  // On a real sample: every even position is a node, odd is a link, and
+  // element ids are within range.
+  data::GeneratorConfig cfg;
+  cfg.target_packets = 3'000;
+  util::RngStream rng(3);
+  const data::Sample s = data::generate_sample(topo::nsfnet(), cfg, rng);
+  const MpPlan plan = build_plan(s, true);
+  for (std::size_t pos = 0; pos < plan.positions.size(); ++pos) {
+    const auto& sp = plan.positions[pos];
+    EXPECT_EQ(sp.is_node, pos % 2 == 0);
+    ASSERT_EQ(sp.path_rows.size(), sp.elem_ids.size());
+    for (std::size_t i = 0; i < sp.path_rows.size(); ++i) {
+      EXPECT_LT(sp.path_rows[i], plan.num_paths);
+      EXPECT_LT(sp.elem_ids[i],
+                sp.is_node ? plan.num_nodes : plan.num_links);
+    }
+  }
+}
+
+TEST(PlanExtended, PerPathSequenceReconstructs) {
+  // Collecting each path's (position, element) participation must
+  // reproduce exactly its interleaved node/link sequence.
+  data::GeneratorConfig cfg;
+  cfg.target_packets = 3'000;
+  util::RngStream rng(5);
+  const data::Sample s = data::generate_sample(topo::ring(6), cfg, rng);
+  const MpPlan plan = build_plan(s, true);
+
+  for (std::size_t pi = 0; pi < s.paths.size(); ++pi) {
+    std::vector<nn::Index> seq;
+    for (const auto& pos : plan.positions)
+      for (std::size_t i = 0; i < pos.path_rows.size(); ++i)
+        if (pos.path_rows[i] == pi) seq.push_back(pos.elem_ids[i]);
+    const auto& path = s.paths[pi];
+    ASSERT_EQ(seq.size(), 2 * path.links.size());
+    for (std::size_t h = 0; h < path.links.size(); ++h) {
+      EXPECT_EQ(seq[2 * h], path.nodes[h]);      // node position
+      EXPECT_EQ(seq[2 * h + 1], path.links[h]);  // link position
+    }
+  }
+}
+
+TEST(PlanOriginal, ActivePathCountsDecrease) {
+  data::GeneratorConfig cfg;
+  cfg.target_packets = 3'000;
+  util::RngStream rng(7);
+  const data::Sample s = data::generate_sample(topo::geant2(), cfg, rng);
+  const MpPlan plan = build_plan(s, false);
+  for (std::size_t pos = 1; pos < plan.positions.size(); ++pos)
+    EXPECT_LE(plan.positions[pos].path_rows.size(),
+              plan.positions[pos - 1].path_rows.size());
+  // First position covers every path.
+  EXPECT_EQ(plan.positions[0].path_rows.size(), plan.num_paths);
+  // No empty trailing positions.
+  EXPECT_FALSE(plan.positions.back().path_rows.empty());
+}
+
+TEST(ValidLabelRows, FiltersThinAndZeroLabels) {
+  data::Sample s = tiny_sample();
+  s.paths[0].delivered = 5;     // below threshold 10
+  s.paths[1].delivered = 100;
+  auto rows = core::valid_label_rows(s, 10);
+  EXPECT_EQ(rows, (std::vector<nn::Index>{1}));
+  s.paths[1].mean_delay_s = 0.0;  // unusable label
+  rows = core::valid_label_rows(s, 10);
+  EXPECT_TRUE(rows.empty());
+  rows = core::valid_label_rows(s, 0);
+  EXPECT_EQ(rows, (std::vector<nn::Index>{0}));
+}
+
+}  // namespace

@@ -1,0 +1,284 @@
+// Tests for src/data: generation determinism, schema validation, scaling,
+// dataset persistence and caching.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+
+#include "data/dataset.hpp"
+#include "data/generator.hpp"
+#include "data/normalize.hpp"
+#include "topo/zoo.hpp"
+
+namespace {
+
+using namespace rnx;
+using data::Dataset;
+using data::GeneratorConfig;
+using data::Sample;
+using data::Scaler;
+
+GeneratorConfig fast_config() {
+  GeneratorConfig cfg;
+  cfg.target_packets = 5'000;
+  return cfg;
+}
+
+Dataset tiny_dataset(std::size_t n = 4, std::uint64_t seed = 7) {
+  return Dataset(
+      data::generate_dataset(topo::ring(4), n, fast_config(), seed));
+}
+
+// ---- generator ---------------------------------------------------------------
+
+TEST(Generator, SampleIsStructurallyValid) {
+  const Dataset ds = tiny_dataset(2);
+  for (const auto& s : ds.samples()) {
+    EXPECT_NO_THROW(s.validate());
+    EXPECT_EQ(s.num_nodes, 4u);
+    EXPECT_EQ(s.num_links(), 8u);
+    EXPECT_EQ(s.paths.size(), 12u);  // all ordered pairs of 4 nodes
+  }
+}
+
+TEST(Generator, DeterministicForSameSeed) {
+  const Dataset a = tiny_dataset(3, 11);
+  const Dataset b = tiny_dataset(3, 11);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].queue_pkts, b[i].queue_pkts);
+    ASSERT_EQ(a[i].paths.size(), b[i].paths.size());
+    for (std::size_t p = 0; p < a[i].paths.size(); ++p) {
+      EXPECT_DOUBLE_EQ(a[i].paths[p].traffic_bps, b[i].paths[p].traffic_bps);
+      EXPECT_DOUBLE_EQ(a[i].paths[p].mean_delay_s,
+                       b[i].paths[p].mean_delay_s);
+    }
+  }
+}
+
+TEST(Generator, PrefixProperty) {
+  // The first k samples of a count=n run equal a count=k run.
+  const Dataset big = tiny_dataset(4, 13);
+  const Dataset small = tiny_dataset(2, 13);
+  for (std::size_t i = 0; i < small.size(); ++i)
+    EXPECT_DOUBLE_EQ(big[i].paths[0].mean_delay_s,
+                     small[i].paths[0].mean_delay_s);
+}
+
+TEST(Generator, SeedsProduceDifferentScenarios) {
+  const Dataset a = tiny_dataset(1, 1);
+  const Dataset b = tiny_dataset(1, 2);
+  EXPECT_NE(a[0].paths[0].traffic_bps, b[0].paths[0].traffic_bps);
+}
+
+TEST(Generator, QueueMixRespectsProbabilities) {
+  GeneratorConfig cfg = fast_config();
+  cfg.p_tiny_queue = 0.0;
+  Dataset all_std(
+      data::generate_dataset(topo::ring(4), 2, cfg, 3));
+  for (const auto& s : all_std.samples())
+    for (const auto q : s.queue_pkts)
+      EXPECT_EQ(q, topo::kStandardQueuePackets);
+
+  cfg.p_tiny_queue = 1.0;
+  Dataset all_tiny(
+      data::generate_dataset(topo::ring(4), 2, cfg, 3));
+  for (const auto& s : all_tiny.samples())
+    for (const auto q : s.queue_pkts) EXPECT_EQ(q, topo::kTinyQueuePackets);
+}
+
+TEST(Generator, UtilizationTargetRecorded) {
+  GeneratorConfig cfg = fast_config();
+  cfg.util_lo = 0.6;
+  cfg.util_hi = 0.7;
+  const Dataset ds(data::generate_dataset(topo::ring(4), 3, cfg, 5));
+  for (const auto& s : ds.samples()) {
+    EXPECT_GE(s.max_utilization, 0.6);
+    EXPECT_LE(s.max_utilization, 0.7);
+  }
+}
+
+TEST(Generator, LabelsAreUsable) {
+  const Dataset ds = tiny_dataset(3, 17);
+  std::size_t usable = 0;
+  for (const auto& s : ds.samples())
+    for (const auto& p : s.paths)
+      if (p.delivered >= 10 && p.mean_delay_s > 0.0) ++usable;
+  // The vast majority of paths should carry usable labels.
+  EXPECT_GT(usable, ds.total_paths() * 8 / 10);
+}
+
+TEST(Generator, ProgressCallbackFires) {
+  std::size_t calls = 0;
+  (void)data::generate_dataset(topo::ring(4), 3, fast_config(), 1,
+                               [&](std::size_t done, std::size_t total) {
+                                 ++calls;
+                                 EXPECT_LE(done, total);
+                               });
+  EXPECT_EQ(calls, 3u);
+}
+
+// ---- sample validation ----------------------------------------------------------
+
+TEST(SampleValidate, DetectsCorruption) {
+  Dataset ds = tiny_dataset(1);
+  Sample s = ds[0];
+  EXPECT_NO_THROW(s.validate());
+  Sample broken = s;
+  broken.queue_pkts.pop_back();
+  EXPECT_THROW(broken.validate(), std::runtime_error);
+  broken = s;
+  broken.paths[0].links[0] = 999;
+  EXPECT_THROW(broken.validate(), std::runtime_error);
+  broken = s;
+  broken.paths[0].nodes.front() = broken.paths[0].nodes.back();
+  EXPECT_THROW(broken.validate(), std::runtime_error);
+  broken = s;
+  broken.link_capacity_bps[0] = -1.0;
+  EXPECT_THROW(broken.validate(), std::runtime_error);
+}
+
+TEST(SampleToTopology, RoundTripsAttributes) {
+  const Dataset ds = tiny_dataset(1);
+  const Sample& s = ds[0];
+  const topo::Topology t = s.to_topology();
+  EXPECT_EQ(t.num_nodes(), s.num_nodes);
+  EXPECT_EQ(t.num_links(), s.num_links());
+  for (topo::LinkId l = 0; l < t.num_links(); ++l)
+    EXPECT_DOUBLE_EQ(t.link_capacity(l), s.link_capacity_bps[l]);
+  for (topo::NodeId n = 0; n < t.num_nodes(); ++n)
+    EXPECT_EQ(t.queue_size(n), s.queue_pkts[n]);
+}
+
+// ---- scaler -------------------------------------------------------------------
+
+TEST(Scaler, NormalizesToZeroMeanUnitVar) {
+  const Dataset ds = tiny_dataset(6, 23);
+  const Scaler sc = Scaler::fit(ds.samples());
+  double sum = 0.0, ss = 0.0;
+  std::size_t n = 0;
+  for (const auto& s : ds.samples())
+    for (const auto& p : s.paths) {
+      const double z = sc.traffic(p.traffic_bps);
+      sum += z;
+      ss += z * z;
+      ++n;
+    }
+  EXPECT_NEAR(sum / n, 0.0, 1e-9);
+  EXPECT_NEAR(ss / n, 1.0, 1e-6);
+}
+
+TEST(Scaler, DelayTransformRoundTrips) {
+  const Dataset ds = tiny_dataset(4, 29);
+  const Scaler sc = Scaler::fit(ds.samples());
+  for (const double d : {1e-4, 1e-3, 5e-3})
+    EXPECT_NEAR(sc.target_to_delay(sc.delay_to_target(d)), d, 1e-12);
+  EXPECT_THROW((void)sc.delay_to_target(0.0), std::invalid_argument);
+}
+
+TEST(Scaler, DegenerateChannelFallsBackToUnitScale) {
+  GeneratorConfig cfg = fast_config();
+  cfg.randomize_queues = false;       // all queues identical
+  cfg.randomize_capacities = false;   // all capacities identical
+  const Dataset ds(data::generate_dataset(topo::ring(4), 2, cfg, 31));
+  const Scaler sc = Scaler::fit(ds.samples());
+  EXPECT_DOUBLE_EQ(sc.queue_moments().stddev, 1.0);
+  EXPECT_DOUBLE_EQ(sc.capacity_moments().stddev, 1.0);
+}
+
+TEST(Scaler, EmptyLabelsThrow) {
+  std::vector<Sample> none;
+  EXPECT_THROW(Scaler::fit(none), std::invalid_argument);
+}
+
+// ---- dataset container / persistence ----------------------------------------
+
+TEST(Dataset, SplitAndShuffle) {
+  Dataset ds = tiny_dataset(6, 37);
+  const auto [a, b] = ds.split(2);
+  EXPECT_EQ(a.size(), 2u);
+  EXPECT_EQ(b.size(), 4u);
+  EXPECT_THROW(ds.split(7), std::invalid_argument);
+
+  util::RngStream rng(1);
+  Dataset shuffled = ds;
+  shuffled.shuffle(rng);
+  EXPECT_EQ(shuffled.size(), ds.size());
+  // Same multiset of samples (compare a stable fingerprint).
+  auto fp = [](const Dataset& d) {
+    std::vector<double> v;
+    for (const auto& s : d.samples()) v.push_back(s.paths[0].traffic_bps);
+    std::sort(v.begin(), v.end());
+    return v;
+  };
+  EXPECT_EQ(fp(shuffled), fp(ds));
+}
+
+TEST(Dataset, SaveLoadRoundTrip) {
+  const std::string path = "/tmp/rnx_dataset_test.rnxd";
+  const Dataset ds = tiny_dataset(3, 41);
+  ds.save(path);
+  const Dataset loaded = Dataset::load(path);
+  ASSERT_EQ(loaded.size(), ds.size());
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    EXPECT_EQ(loaded[i].topo_name, ds[i].topo_name);
+    EXPECT_EQ(loaded[i].queue_pkts, ds[i].queue_pkts);
+    ASSERT_EQ(loaded[i].paths.size(), ds[i].paths.size());
+    for (std::size_t p = 0; p < ds[i].paths.size(); ++p) {
+      EXPECT_EQ(loaded[i].paths[p].nodes, ds[i].paths[p].nodes);
+      EXPECT_DOUBLE_EQ(loaded[i].paths[p].mean_delay_s,
+                       ds[i].paths[p].mean_delay_s);
+      EXPECT_EQ(loaded[i].paths[p].delivered, ds[i].paths[p].delivered);
+    }
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(Dataset, LoadRejectsGarbage) {
+  const std::string path = "/tmp/rnx_dataset_garbage.rnxd";
+  {
+    std::ofstream f(path, std::ios::binary);
+    f << "not a dataset at all";
+  }
+  EXPECT_THROW(Dataset::load(path), std::runtime_error);
+  std::filesystem::remove(path);
+  EXPECT_THROW(Dataset::load("/tmp/rnx_missing.rnxd"), std::runtime_error);
+}
+
+TEST(Dataset, CsvExportHasHeaderAndRows) {
+  const std::string path = "/tmp/rnx_dataset_test.csv";
+  const Dataset ds = tiny_dataset(2, 43);
+  ds.export_csv(path);
+  std::ifstream f(path);
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(f, line)) ++lines;
+  EXPECT_EQ(lines, 1 + ds.total_paths());
+  std::filesystem::remove(path);
+}
+
+TEST(Dataset, LoadOrGenerateCaches) {
+  const std::string path = "/tmp/rnx_cache_test/dir/ds.rnxd";
+  std::filesystem::remove_all("/tmp/rnx_cache_test");
+  std::size_t generator_calls = 0;
+  auto gen = [&] {
+    ++generator_calls;
+    return tiny_dataset(2, 47);
+  };
+  const Dataset a = data::load_or_generate(path, 2, gen);
+  EXPECT_EQ(generator_calls, 1u);
+  const Dataset b = data::load_or_generate(path, 2, gen);
+  EXPECT_EQ(generator_calls, 1u);  // served from cache
+  EXPECT_EQ(b.size(), 2u);
+  // Size mismatch forces regeneration.
+  const Dataset c = data::load_or_generate(path, 3, [&] {
+    ++generator_calls;
+    return tiny_dataset(3, 47);
+  });
+  EXPECT_EQ(generator_calls, 2u);
+  EXPECT_EQ(c.size(), 3u);
+  std::filesystem::remove_all("/tmp/rnx_cache_test");
+}
+
+}  // namespace

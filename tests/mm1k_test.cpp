@@ -1,0 +1,114 @@
+// Closed-form M/M/1(/K) identities — the analytic yardstick the simulator
+// is validated against (sim_test.cpp).
+#include <gtest/gtest.h>
+
+#include "sim/mm1k.hpp"
+
+namespace {
+
+using namespace rnx::sim;
+
+TEST(Mm1, SojournMatchesTextbook) {
+  // lambda=0.5, mu=1 -> W = 1/(mu-lambda) = 2.
+  EXPECT_NEAR(mm1_mean_sojourn(0.5, 1.0), 2.0, 1e-12);
+  EXPECT_NEAR(mm1_mean_sojourn(8.0, 10.0), 0.5, 1e-12);
+}
+
+TEST(Mm1, UnstableThrows) {
+  EXPECT_THROW((void)mm1_mean_sojourn(1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)mm1_mean_sojourn(2.0, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)mm1_mean_sojourn(1.0, 0.0), std::invalid_argument);
+}
+
+TEST(Mm1k, ProbabilitiesSumToOne) {
+  for (const double rho : {0.3, 0.8, 1.0, 1.5}) {
+    for (const std::uint32_t k : {1u, 2u, 8u, 32u}) {
+      double sum = 0.0;
+      for (std::uint32_t n = 0; n <= k; ++n)
+        sum += mm1k_prob_n(rho, 1.0, k, n);
+      EXPECT_NEAR(sum, 1.0, 1e-12) << "rho=" << rho << " k=" << k;
+    }
+  }
+}
+
+TEST(Mm1k, ProbBeyondCapacityIsZero) {
+  EXPECT_DOUBLE_EQ(mm1k_prob_n(0.5, 1.0, 4, 5), 0.0);
+}
+
+TEST(Mm1k, RhoOneIsUniform) {
+  for (std::uint32_t n = 0; n <= 4; ++n)
+    EXPECT_NEAR(mm1k_prob_n(1.0, 1.0, 4, n), 0.2, 1e-12);
+  EXPECT_NEAR(mm1k_mean_system(1.0, 1.0, 4), 2.0, 1e-12);
+}
+
+TEST(Mm1k, K1IsErlangBlocking) {
+  // K=1: P_block = rho/(1+rho); mean sojourn of accepted = service time.
+  const double lambda = 2.0, mu = 4.0;
+  EXPECT_NEAR(mm1k_blocking(lambda, mu, 1), 0.5 / 1.5, 1e-12);
+  EXPECT_NEAR(mm1k_mean_sojourn(lambda, mu, 1), 1.0 / mu, 1e-12);
+}
+
+TEST(Mm1k, BlockingIncreasesWithLoad) {
+  double prev = 0.0;
+  for (const double lambda : {0.2, 0.5, 0.9, 1.4, 2.0}) {
+    const double b = mm1k_blocking(lambda, 1.0, 8);
+    EXPECT_GT(b, prev);
+    prev = b;
+  }
+}
+
+TEST(Mm1k, BlockingDecreasesWithCapacity) {
+  double prev = 1.0;
+  for (const std::uint32_t k : {1u, 2u, 4u, 16u, 64u}) {
+    const double b = mm1k_blocking(0.8, 1.0, k);
+    EXPECT_LT(b, prev);
+    prev = b;
+  }
+}
+
+TEST(Mm1k, ConvergesToMm1ForLargeK) {
+  const double lambda = 0.7, mu = 1.0;
+  EXPECT_NEAR(mm1k_mean_sojourn(lambda, mu, 500),
+              mm1_mean_sojourn(lambda, mu), 1e-9);
+  EXPECT_NEAR(mm1k_blocking(lambda, mu, 500), 0.0, 1e-12);
+}
+
+TEST(Mm1k, UtilizationIsEffectiveLoad) {
+  const double lambda = 2.0, mu = 1.0;  // overloaded, K=4
+  const double util = mm1k_utilization(lambda, mu, 4);
+  EXPECT_GT(util, 0.9);
+  EXPECT_LT(util, 1.0);  // server can never exceed 1
+  EXPECT_NEAR(util, lambda * (1.0 - mm1k_blocking(lambda, mu, 4)) / mu,
+              1e-12);
+}
+
+TEST(Mm1k, ZeroArrivalsEdgeCases) {
+  EXPECT_NEAR(mm1k_blocking(0.0, 1.0, 4), 0.0, 1e-12);
+  EXPECT_NEAR(mm1k_mean_sojourn(0.0, 2.0, 4), 0.5, 1e-12);  // pure service
+}
+
+TEST(Mm1k, InvalidArgumentsThrow) {
+  EXPECT_THROW((void)mm1k_blocking(1.0, 0.0, 4), std::invalid_argument);
+  EXPECT_THROW((void)mm1k_blocking(-1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW((void)mm1k_blocking(1.0, 1.0, 0), std::invalid_argument);
+  EXPECT_THROW((void)mm1k_mean_system(1.0, 1.0, 0), std::invalid_argument);
+}
+
+// Little's law consistency: N = lambda_eff * W.
+class LittleLaw : public ::testing::TestWithParam<std::tuple<double, int>> {};
+
+TEST_P(LittleLaw, HoldsAcrossRegimes) {
+  const double rho = std::get<0>(GetParam());
+  const auto k = static_cast<std::uint32_t>(std::get<1>(GetParam()));
+  const double mu = 1.0, lambda = rho * mu;
+  const double lam_eff = lambda * (1.0 - mm1k_blocking(lambda, mu, k));
+  EXPECT_NEAR(mm1k_mean_system(lambda, mu, k),
+              lam_eff * mm1k_mean_sojourn(lambda, mu, k), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Regimes, LittleLaw,
+    ::testing::Combine(::testing::Values(0.2, 0.6, 0.9, 0.99, 1.3),
+                       ::testing::Values(1, 2, 8, 32)));
+
+}  // namespace

@@ -1,0 +1,144 @@
+// Tests for the dense tensor and its matmul kernels.
+#include <gtest/gtest.h>
+
+#include "nn/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using rnx::nn::Tensor;
+using rnx::util::RngStream;
+
+Tensor random_tensor(std::size_t r, std::size_t c, RngStream& rng) {
+  Tensor t(r, c);
+  for (auto& x : t.flat()) x = rng.normal();
+  return t;
+}
+
+// Naive triple-loop reference.
+Tensor ref_matmul(const Tensor& a, const Tensor& b) {
+  Tensor c(a.rows(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < b.cols(); ++j) {
+      double s = 0.0;
+      for (std::size_t k = 0; k < a.cols(); ++k) s += a(i, k) * b(k, j);
+      c(i, j) = s;
+    }
+  return c;
+}
+
+void expect_tensor_near(const Tensor& a, const Tensor& b, double tol = 1e-12) {
+  ASSERT_TRUE(a.same_shape(b));
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < a.cols(); ++j)
+      EXPECT_NEAR(a(i, j), b(i, j), tol) << "at (" << i << "," << j << ")";
+}
+
+TEST(Tensor, ConstructionAndAccess) {
+  Tensor t(2, 3);
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_EQ(t.cols(), 3u);
+  EXPECT_EQ(t.size(), 6u);
+  for (const double x : t.flat()) EXPECT_EQ(x, 0.0);
+  t(1, 2) = 5.0;
+  EXPECT_EQ(t.at(1, 2), 5.0);
+  EXPECT_THROW((void)t.at(2, 0), std::out_of_range);
+  EXPECT_THROW((void)t.at(0, 3), std::out_of_range);
+}
+
+TEST(Tensor, FromDataValidatesSize) {
+  EXPECT_NO_THROW(Tensor(2, 2, {1, 2, 3, 4}));
+  EXPECT_THROW(Tensor(2, 2, {1, 2, 3}), std::invalid_argument);
+}
+
+TEST(Tensor, ScalarItem) {
+  EXPECT_DOUBLE_EQ(Tensor::scalar(3.5).item(), 3.5);
+  EXPECT_THROW((void)Tensor(2, 1).item(), std::logic_error);
+}
+
+TEST(Tensor, FactoryHelpers) {
+  const Tensor f = Tensor::full(2, 2, 7.0);
+  for (const double x : f.flat()) EXPECT_EQ(x, 7.0);
+  const Tensor z = Tensor::zeros(3, 1);
+  EXPECT_EQ(z.rows(), 3u);
+}
+
+TEST(Tensor, InplaceOps) {
+  Tensor a(1, 3, {1, 2, 3});
+  const Tensor b(1, 3, {10, 20, 30});
+  a.add_inplace(b);
+  expect_tensor_near(a, Tensor(1, 3, {11, 22, 33}));
+  a.axpy_inplace(-1.0, b);
+  expect_tensor_near(a, Tensor(1, 3, {1, 2, 3}));
+  a.scale_inplace(2.0);
+  expect_tensor_near(a, Tensor(1, 3, {2, 4, 6}));
+  EXPECT_DOUBLE_EQ(a.squared_norm(), 4 + 16 + 36);
+  Tensor wrong(1, 2);
+  EXPECT_THROW(a.add_inplace(wrong), std::invalid_argument);
+}
+
+TEST(Tensor, RowSpanIsView) {
+  Tensor t(2, 2, {1, 2, 3, 4});
+  auto row = t.row(1);
+  row[0] = 9.0;
+  EXPECT_DOUBLE_EQ(t(1, 0), 9.0);
+}
+
+// Property sweep: kernels vs naive reference across shapes.
+class MatmulProperty
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(MatmulProperty, MatchesReference) {
+  const auto [n, k, m] = GetParam();
+  RngStream rng(static_cast<std::uint64_t>(n * 10000 + k * 100 + m));
+  const Tensor a = random_tensor(n, k, rng);
+  const Tensor b = random_tensor(k, m, rng);
+  expect_tensor_near(rnx::nn::matmul(a, b), ref_matmul(a, b), 1e-10);
+}
+
+TEST_P(MatmulProperty, TransposedVariantsMatchReference) {
+  const auto [n, k, m] = GetParam();
+  RngStream rng(static_cast<std::uint64_t>(n + k + m));
+  // matmul_tn(a, b) = a^T b with a: k x n.
+  const Tensor a_t = random_tensor(k, n, rng);
+  const Tensor b = random_tensor(k, m, rng);
+  Tensor a(n, k);
+  for (std::size_t i = 0; i < a_t.rows(); ++i)
+    for (std::size_t j = 0; j < a_t.cols(); ++j) a(j, i) = a_t(i, j);
+  expect_tensor_near(rnx::nn::matmul_tn(a_t, b), ref_matmul(a, b), 1e-10);
+
+  // matmul_nt(x, y) = x y^T with y: m x k.
+  const Tensor x = random_tensor(n, k, rng);
+  const Tensor y_t = random_tensor(m, k, rng);
+  Tensor y(k, m);
+  for (std::size_t i = 0; i < y_t.rows(); ++i)
+    for (std::size_t j = 0; j < y_t.cols(); ++j) y(j, i) = y_t(i, j);
+  expect_tensor_near(rnx::nn::matmul_nt(x, y_t), ref_matmul(x, y), 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MatmulProperty,
+    ::testing::Values(std::tuple{1, 1, 1}, std::tuple{2, 3, 4},
+                      std::tuple{5, 1, 7}, std::tuple{16, 16, 16},
+                      std::tuple{33, 7, 12}, std::tuple{64, 17, 3}));
+
+TEST(Matmul, AccumulatingVariantsAddIntoC) {
+  RngStream rng(5);
+  const Tensor a = random_tensor(3, 4, rng);
+  const Tensor b = random_tensor(4, 2, rng);
+  Tensor c = Tensor::full(3, 2, 1.0);
+  rnx::nn::matmul_acc(c, a, b);
+  Tensor expected = ref_matmul(a, b);
+  for (auto& x : expected.flat()) x += 1.0;
+  expect_tensor_near(c, expected, 1e-10);
+}
+
+TEST(Matmul, ShapeMismatchThrows) {
+  const Tensor a(2, 3), b(4, 2), c(2, 2);
+  EXPECT_THROW(rnx::nn::matmul(a, b), std::invalid_argument);
+  Tensor bad_out(3, 2);
+  const Tensor b2(3, 2);
+  EXPECT_THROW(rnx::nn::matmul_acc(bad_out, a, b2), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,218 @@
+// Tests for src/topo/routing: Dijkstra vs exhaustive reference, routing
+// scheme validation, Yen's k-shortest paths.  Property-style suites sweep
+// random graphs (TEST_P).
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "topo/routing.hpp"
+#include "topo/zoo.hpp"
+
+namespace {
+
+using namespace rnx::topo;
+using rnx::util::RngStream;
+
+double path_weight(const Path& p, const std::vector<double>& w) {
+  double s = 0.0;
+  for (const auto l : p.links) s += w[l];
+  return s;
+}
+
+// Bellman-Ford reference distances (handles any nonnegative weights).
+std::vector<double> reference_distances(const Graph& g,
+                                        const std::vector<double>& w,
+                                        NodeId src) {
+  std::vector<double> dist(g.num_nodes(),
+                           std::numeric_limits<double>::infinity());
+  dist[src] = 0.0;
+  for (std::size_t round = 0; round + 1 < g.num_nodes(); ++round)
+    for (LinkId l = 0; l < g.num_links(); ++l) {
+      const auto& lk = g.link(l);
+      if (dist[lk.src] + w[l] < dist[lk.dst])
+        dist[lk.dst] = dist[lk.src] + w[l];
+    }
+  return dist;
+}
+
+void check_path_valid(const Graph& g, const Path& p, NodeId src, NodeId dst) {
+  ASSERT_GE(p.nodes.size(), 2u);
+  EXPECT_EQ(p.nodes.front(), src);
+  EXPECT_EQ(p.nodes.back(), dst);
+  ASSERT_EQ(p.links.size() + 1, p.nodes.size());
+  for (std::size_t i = 0; i < p.links.size(); ++i) {
+    EXPECT_EQ(g.link(p.links[i]).src, p.nodes[i]);
+    EXPECT_EQ(g.link(p.links[i]).dst, p.nodes[i + 1]);
+  }
+}
+
+// ---- shortest_path ---------------------------------------------------------
+
+TEST(ShortestPath, TrivialLine) {
+  const Topology t = line(4);
+  const std::vector<double> w(t.num_links(), 1.0);
+  const Path p = shortest_path(t.graph(), w, 0, 3);
+  check_path_valid(t.graph(), p, 0, 3);
+  EXPECT_EQ(p.hops(), 3u);
+}
+
+TEST(ShortestPath, PrefersCheaperDetour) {
+  // 0-1-2 with expensive direct 0->2.
+  Graph g(3);
+  const LinkId l01 = g.add_link(0, 1);
+  const LinkId l12 = g.add_link(1, 2);
+  const LinkId l02 = g.add_link(0, 2);
+  std::vector<double> w(3);
+  w[l01] = 1.0;
+  w[l12] = 1.0;
+  w[l02] = 5.0;
+  const Path p = shortest_path(g, w, 0, 2);
+  EXPECT_EQ(p.hops(), 2u);
+  EXPECT_NEAR(path_weight(p, w), 2.0, 1e-12);
+}
+
+TEST(ShortestPath, UnreachableThrows) {
+  Graph g(3);
+  g.add_link(0, 1);  // no path to 2
+  const std::vector<double> w(1, 1.0);
+  EXPECT_THROW(shortest_path(g, w, 0, 2), std::runtime_error);
+}
+
+TEST(ShortestPath, SrcEqualsDstThrows) {
+  const Topology t = line(3);
+  const std::vector<double> w(t.num_links(), 1.0);
+  EXPECT_THROW(shortest_path(t.graph(), w, 1, 1), std::invalid_argument);
+}
+
+TEST(ShortestPath, WeightCountMismatchThrows) {
+  const Topology t = line(3);
+  const std::vector<double> w(2, 1.0);  // needs 4
+  EXPECT_THROW(shortest_path(t.graph(), w, 0, 2), std::invalid_argument);
+}
+
+// Property suite: Dijkstra distance equals Bellman-Ford on random graphs.
+class DijkstraProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(DijkstraProperty, MatchesBellmanFordOnRandomGraph) {
+  RngStream rng(static_cast<std::uint64_t>(GetParam()));
+  const Topology t = random_connected(10, 18, rng);
+  const auto w = random_link_weights(t, rng, 0.5, 4.0);
+  for (NodeId s = 0; s < t.num_nodes(); ++s) {
+    const auto ref = reference_distances(t.graph(), w, s);
+    for (NodeId d = 0; d < t.num_nodes(); ++d) {
+      if (s == d) continue;
+      const Path p = shortest_path(t.graph(), w, s, d);
+      check_path_valid(t.graph(), p, s, d);
+      EXPECT_NEAR(path_weight(p, w), ref[d], 1e-9)
+          << "pair " << s << "->" << d;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DijkstraProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+// ---- RoutingScheme -----------------------------------------------------------
+
+TEST(RoutingScheme, AllPairsInstalled) {
+  const Topology t = geant2();
+  const RoutingScheme rs = hop_count_routing(t);
+  EXPECT_EQ(rs.pairs().size(), 24u * 23u);
+  for (const auto& [s, d] : rs.pairs()) {
+    const Path& p = rs.path(s, d);
+    check_path_valid(t.graph(), p, s, d);
+  }
+}
+
+TEST(RoutingScheme, RejectsMalformedPath) {
+  RoutingScheme rs(3);
+  Path bad;
+  bad.nodes = {0, 2};  // missing link record
+  EXPECT_THROW(rs.set_path(0, 2, bad), std::invalid_argument);
+  EXPECT_THROW(rs.set_path(0, 0, Path{}), std::invalid_argument);
+  EXPECT_THROW((void)rs.path(0, 2), std::out_of_range);
+  EXPECT_FALSE(rs.has_path(0, 2));
+}
+
+TEST(RoutingScheme, HopCountPathsAreMinimal) {
+  const Topology t = nsfnet();
+  const RoutingScheme rs = hop_count_routing(t);
+  const std::vector<double> unit(t.num_links(), 1.0);
+  for (const auto& [s, d] : rs.pairs()) {
+    const auto ref = reference_distances(t.graph(), unit, s);
+    EXPECT_NEAR(static_cast<double>(rs.path(s, d).hops()), ref[d], 1e-12);
+  }
+}
+
+TEST(RoutingScheme, RandomWeightsChangeRouting) {
+  const Topology t = geant2();
+  RngStream r1(100), r2(200);
+  const RoutingScheme a =
+      shortest_path_routing(t, random_link_weights(t, r1));
+  const RoutingScheme b =
+      shortest_path_routing(t, random_link_weights(t, r2));
+  std::size_t differing = 0;
+  for (const auto& [s, d] : a.pairs())
+    if (a.path(s, d).nodes != b.path(s, d).nodes) ++differing;
+  EXPECT_GT(differing, 20u);  // routing diversity across samples
+}
+
+TEST(RoutingScheme, PairsAreSrcMajorOrdered) {
+  const Topology t = line(3);
+  const RoutingScheme rs = hop_count_routing(t);
+  const auto pairs = rs.pairs();
+  ASSERT_EQ(pairs.size(), 6u);
+  EXPECT_EQ(pairs[0], (std::pair<NodeId, NodeId>{0, 1}));
+  EXPECT_EQ(pairs[1], (std::pair<NodeId, NodeId>{0, 2}));
+  EXPECT_EQ(pairs[5], (std::pair<NodeId, NodeId>{2, 1}));
+}
+
+// ---- Yen k-shortest -----------------------------------------------------------
+
+TEST(KShortest, FirstEqualsDijkstra) {
+  const Topology t = geant2();
+  RngStream rng(17);
+  const auto w = random_link_weights(t, rng);
+  const auto ks = k_shortest_paths(t.graph(), w, 0, 13, 4);
+  ASSERT_FALSE(ks.empty());
+  const Path sp = shortest_path(t.graph(), w, 0, 13);
+  EXPECT_EQ(ks[0].nodes, sp.nodes);
+}
+
+TEST(KShortest, NondecreasingWeightsAndDistinct) {
+  const Topology t = geant2();
+  RngStream rng(19);
+  const std::vector<double> wv = random_link_weights(t, rng);
+  const auto ks = k_shortest_paths(t.graph(), wv, 2, 21, 5);
+  ASSERT_GE(ks.size(), 2u);
+  for (std::size_t i = 1; i < ks.size(); ++i) {
+    EXPECT_GE(path_weight(ks[i], wv) + 1e-12, path_weight(ks[i - 1], wv));
+    for (std::size_t j = 0; j < i; ++j) EXPECT_NE(ks[i].nodes, ks[j].nodes);
+  }
+}
+
+TEST(KShortest, PathsAreLoopFreeAndValid) {
+  const Topology t = nsfnet();
+  RngStream rng(23);
+  const auto w = random_link_weights(t, rng);
+  for (const auto& p : k_shortest_paths(t.graph(), w, 1, 12, 6)) {
+    check_path_valid(t.graph(), p, 1, 12);
+    std::set<NodeId> seen(p.nodes.begin(), p.nodes.end());
+    EXPECT_EQ(seen.size(), p.nodes.size()) << "loop in path";
+  }
+}
+
+TEST(KShortest, LimitedGraphReturnsFewer) {
+  const Topology t = line(3);  // exactly one simple path 0->2
+  const std::vector<double> w(t.num_links(), 1.0);
+  const auto ks = k_shortest_paths(t.graph(), w, 0, 2, 5);
+  EXPECT_EQ(ks.size(), 1u);
+}
+
+TEST(KShortest, KZeroEmpty) {
+  const Topology t = line(3);
+  const std::vector<double> w(t.num_links(), 1.0);
+  EXPECT_TRUE(k_shortest_paths(t.graph(), w, 0, 2, 0).empty());
+}
+
+}  // namespace

@@ -1,0 +1,222 @@
+// Unit tests for src/topo: graph mechanics, topology attributes, the zoo.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "topo/graph.hpp"
+#include "topo/topology.hpp"
+#include "topo/zoo.hpp"
+
+namespace {
+
+using namespace rnx::topo;
+using rnx::util::RngStream;
+
+// ---- Graph ---------------------------------------------------------------
+
+TEST(Graph, AddLinkAssignsSequentialIds) {
+  Graph g(3);
+  EXPECT_EQ(g.add_link(0, 1), 0u);
+  EXPECT_EQ(g.add_link(1, 2), 1u);
+  EXPECT_EQ(g.num_links(), 2u);
+  EXPECT_EQ(g.link(0).src, 0u);
+  EXPECT_EQ(g.link(1).dst, 2u);
+}
+
+TEST(Graph, RejectsSelfLoopAndParallel) {
+  Graph g(3);
+  g.add_link(0, 1);
+  EXPECT_THROW(g.add_link(0, 0), std::invalid_argument);
+  EXPECT_THROW(g.add_link(0, 1), std::invalid_argument);
+  EXPECT_THROW(g.add_link(0, 5), std::out_of_range);
+}
+
+TEST(Graph, AddEdgeCreatesBothDirections) {
+  Graph g(2);
+  g.add_edge(0, 1);
+  EXPECT_EQ(g.num_links(), 2u);
+  ASSERT_TRUE(g.find_link(0, 1).has_value());
+  ASSERT_TRUE(g.find_link(1, 0).has_value());
+  EXPECT_NE(*g.find_link(0, 1), *g.find_link(1, 0));
+}
+
+TEST(Graph, FindLinkMissing) {
+  Graph g(3);
+  g.add_link(0, 1);
+  EXPECT_FALSE(g.find_link(1, 0).has_value());
+  EXPECT_FALSE(g.find_link(2, 9).has_value());
+}
+
+TEST(Graph, OutLinksListsOnlyOwn) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  EXPECT_EQ(g.out_links(0).size(), 1u);
+  EXPECT_EQ(g.out_links(1).size(), 2u);
+  for (const auto l : g.out_links(1)) EXPECT_EQ(g.link(l).src, 1u);
+}
+
+TEST(Graph, StronglyConnected) {
+  Graph ring(3);
+  ring.add_link(0, 1);
+  ring.add_link(1, 2);
+  ring.add_link(2, 0);
+  EXPECT_TRUE(ring.strongly_connected());
+
+  Graph chain(3);
+  chain.add_link(0, 1);
+  chain.add_link(1, 2);
+  EXPECT_FALSE(chain.strongly_connected());
+}
+
+TEST(Graph, ZeroNodesRejected) {
+  EXPECT_THROW(Graph(0), std::invalid_argument);
+}
+
+// ---- Topology --------------------------------------------------------------
+
+TEST(Topology, AttributeRoundTrip) {
+  Topology t = line(3, 10e6);
+  t.set_link_capacity(0, 25e6);
+  EXPECT_DOUBLE_EQ(t.link_capacity(0), 25e6);
+  EXPECT_DOUBLE_EQ(t.link_capacity(1), 10e6);
+  t.set_queue_size(1, 4);
+  EXPECT_EQ(t.queue_size(1), 4u);
+  t.set_link_prop_delay(0, 0.001);
+  EXPECT_DOUBLE_EQ(t.link_prop_delay(0), 0.001);
+}
+
+TEST(Topology, RejectsInvalidAttributes) {
+  Topology t = line(3);
+  EXPECT_THROW(t.set_link_capacity(0, 0.0), std::invalid_argument);
+  EXPECT_THROW(t.set_queue_size(0, 0), std::invalid_argument);
+  EXPECT_THROW(t.set_link_prop_delay(0, -1.0), std::invalid_argument);
+}
+
+TEST(Topology, DefaultQueueIsStandard) {
+  const Topology t = line(4);
+  for (NodeId n = 0; n < 4; ++n)
+    EXPECT_EQ(t.queue_size(n), kStandardQueuePackets);
+}
+
+// ---- zoo -------------------------------------------------------------------
+
+TEST(Zoo, NsfnetShape) {
+  const Topology t = nsfnet();
+  EXPECT_EQ(t.num_nodes(), 14u);
+  EXPECT_EQ(t.num_links(), 42u);  // 21 undirected edges
+  EXPECT_TRUE(t.graph().strongly_connected());
+}
+
+TEST(Zoo, Geant2Shape) {
+  const Topology t = geant2();
+  EXPECT_EQ(t.num_nodes(), 24u);
+  EXPECT_EQ(t.num_links(), 74u);  // 37 undirected edges
+  EXPECT_TRUE(t.graph().strongly_connected());
+}
+
+TEST(Zoo, ZooTopologiesAreSymmetric) {
+  for (const Topology& t : {nsfnet(), geant2()}) {
+    for (const auto& l : t.graph().links())
+      EXPECT_TRUE(t.graph().find_link(l.dst, l.src).has_value())
+          << t.name() << " missing reverse of " << l.src << "->" << l.dst;
+  }
+}
+
+TEST(Zoo, LineRingStarShapes) {
+  EXPECT_EQ(line(5).num_links(), 8u);
+  EXPECT_EQ(ring(5).num_links(), 10u);
+  EXPECT_EQ(star(4).num_nodes(), 5u);
+  EXPECT_EQ(star(4).num_links(), 8u);
+  EXPECT_THROW(line(1), std::invalid_argument);
+  EXPECT_THROW(ring(2), std::invalid_argument);
+}
+
+TEST(Zoo, RandomConnectedHasRequestedShape) {
+  RngStream rng(3);
+  const Topology t = random_connected(12, 20, rng);
+  EXPECT_EQ(t.num_nodes(), 12u);
+  EXPECT_EQ(t.num_links(), 40u);
+  EXPECT_TRUE(t.graph().strongly_connected());
+}
+
+TEST(Zoo, RandomConnectedRejectsBadEdgeCount) {
+  RngStream rng(3);
+  EXPECT_THROW(random_connected(5, 3, rng), std::invalid_argument);
+  EXPECT_THROW(random_connected(5, 11, rng), std::invalid_argument);
+}
+
+TEST(Zoo, RandomConnectedIsSeedDeterministic) {
+  RngStream r1(11), r2(11);
+  const Topology a = random_connected(10, 15, r1);
+  const Topology b = random_connected(10, 15, r2);
+  ASSERT_EQ(a.num_links(), b.num_links());
+  for (LinkId l = 0; l < a.num_links(); ++l) {
+    EXPECT_EQ(a.graph().link(l).src, b.graph().link(l).src);
+    EXPECT_EQ(a.graph().link(l).dst, b.graph().link(l).dst);
+  }
+}
+
+TEST(Zoo, BarabasiAlbertShape) {
+  RngStream rng(5);
+  const Topology t = barabasi_albert(20, 2, rng);
+  EXPECT_EQ(t.num_nodes(), 20u);
+  // clique(3)=3 edges + 17 nodes x 2 attachments = 37 undirected edges.
+  EXPECT_EQ(t.num_links(), 74u);
+  EXPECT_TRUE(t.graph().strongly_connected());
+}
+
+TEST(Zoo, RandomizeCapacitiesSymmetricAndFromChoices) {
+  RngStream rng(7);
+  Topology t = geant2();
+  const std::vector<double> choices = {10e6, 20e6, 40e6};
+  randomize_capacities(t, choices, rng);
+  const std::set<double> allowed(choices.begin(), choices.end());
+  for (LinkId l = 0; l < t.num_links(); ++l) {
+    EXPECT_TRUE(allowed.contains(t.link_capacity(l)));
+    const auto& lk = t.graph().link(l);
+    const auto rev = t.graph().find_link(lk.dst, lk.src);
+    ASSERT_TRUE(rev.has_value());
+    EXPECT_DOUBLE_EQ(t.link_capacity(l), t.link_capacity(*rev));
+  }
+}
+
+TEST(Zoo, RandomizeQueueSizesUsesBothRegimes) {
+  RngStream rng(9);
+  Topology t = geant2();
+  randomize_queue_sizes(t, 0.5, rng);
+  std::size_t tiny = 0, standard = 0;
+  for (NodeId n = 0; n < t.num_nodes(); ++n) {
+    if (t.queue_size(n) == kTinyQueuePackets) ++tiny;
+    else if (t.queue_size(n) == kStandardQueuePackets) ++standard;
+    else FAIL() << "unexpected queue size";
+  }
+  EXPECT_GT(tiny, 0u);
+  EXPECT_GT(standard, 0u);
+}
+
+TEST(Zoo, RandomizeQueueSizesExtremes) {
+  RngStream rng(9);
+  Topology t = nsfnet();
+  randomize_queue_sizes(t, 0.0, rng);
+  for (NodeId n = 0; n < t.num_nodes(); ++n)
+    EXPECT_EQ(t.queue_size(n), kStandardQueuePackets);
+  randomize_queue_sizes(t, 1.0, rng);
+  for (NodeId n = 0; n < t.num_nodes(); ++n)
+    EXPECT_EQ(t.queue_size(n), kTinyQueuePackets);
+}
+
+// Degree profile sanity for the paper's two topologies: mean degree ~3.
+TEST(Zoo, PaperTopologyDegreeProfiles) {
+  for (const Topology& t : {nsfnet(), geant2()}) {
+    const double mean_degree =
+        static_cast<double>(t.num_links()) / static_cast<double>(t.num_nodes());
+    EXPECT_GE(mean_degree, 2.5) << t.name();
+    EXPECT_LE(mean_degree, 3.5) << t.name();
+    for (NodeId n = 0; n < t.num_nodes(); ++n)
+      EXPECT_GE(t.graph().out_links(n).size(), 2u)
+          << t.name() << " node " << n;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,135 @@
+// Tests for src/topo/traffic: matrix generators and utilization scaling.
+#include <gtest/gtest.h>
+
+#include "topo/traffic.hpp"
+#include "topo/zoo.hpp"
+
+namespace {
+
+using namespace rnx::topo;
+using rnx::util::RngStream;
+
+TEST(TrafficMatrix, SetGetAndTotal) {
+  TrafficMatrix tm(3);
+  tm.set(0, 1, 100.0);
+  tm.set(2, 0, 50.0);
+  EXPECT_DOUBLE_EQ(tm.get(0, 1), 100.0);
+  EXPECT_DOUBLE_EQ(tm.get(1, 0), 0.0);
+  EXPECT_DOUBLE_EQ(tm.total(), 150.0);
+}
+
+TEST(TrafficMatrix, RejectsBadEntries) {
+  TrafficMatrix tm(3);
+  EXPECT_THROW(tm.set(0, 0, 1.0), std::invalid_argument);
+  EXPECT_THROW(tm.set(0, 1, -1.0), std::invalid_argument);
+  EXPECT_THROW(tm.set(0, 5, 1.0), std::out_of_range);
+  EXPECT_THROW((void)tm.get(5, 0), std::out_of_range);
+}
+
+TEST(TrafficMatrix, ScaleMultipliesEverything) {
+  TrafficMatrix tm(2);
+  tm.set(0, 1, 10.0);
+  tm.set(1, 0, 20.0);
+  tm.scale(2.5);
+  EXPECT_DOUBLE_EQ(tm.get(0, 1), 25.0);
+  EXPECT_DOUBLE_EQ(tm.get(1, 0), 50.0);
+  EXPECT_THROW(tm.scale(0.0), std::invalid_argument);
+}
+
+TEST(Generators, UniformWithinRangeAndFull) {
+  RngStream rng(1);
+  const TrafficMatrix tm = uniform_traffic(6, 10.0, 20.0, rng);
+  for (NodeId s = 0; s < 6; ++s)
+    for (NodeId d = 0; d < 6; ++d) {
+      if (s == d) {
+        EXPECT_DOUBLE_EQ(tm.get(s, d), 0.0);
+      } else {
+        EXPECT_GE(tm.get(s, d), 10.0);
+        EXPECT_LT(tm.get(s, d), 20.0);
+      }
+    }
+}
+
+TEST(Generators, GravityTotalsMatch) {
+  RngStream rng(2);
+  const TrafficMatrix tm = gravity_traffic(8, 1234.5, rng);
+  EXPECT_NEAR(tm.total(), 1234.5, 1e-6);
+}
+
+TEST(Generators, HotspotBoostsSomePairs) {
+  RngStream r1(3), r2(3);
+  const TrafficMatrix base = uniform_traffic(8, 1.0, 2.0, r1);
+  const TrafficMatrix hot = hotspot_traffic(8, 1.0, 2.0, 4, 10.0, r2);
+  // Same RNG stream: background identical, some entries boosted 10x.
+  std::size_t boosted = 0;
+  for (NodeId s = 0; s < 8; ++s)
+    for (NodeId d = 0; d < 8; ++d) {
+      if (s == d) continue;
+      if (hot.get(s, d) > base.get(s, d) * 5.0) ++boosted;
+    }
+  EXPECT_GE(boosted, 1u);
+  EXPECT_LE(boosted, 4u);
+}
+
+TEST(Load, PerLinkLoadMatchesHandComputation) {
+  // line 0-1-2: directed links 0:(0->1) 1:(1->0) 2:(1->2) 3:(2->1).
+  const Topology t = line(3, 10e6);
+  const RoutingScheme rs = hop_count_routing(t);
+  TrafficMatrix tm(3);
+  tm.set(0, 2, 100.0);  // crosses 0->1 and 1->2
+  tm.set(0, 1, 50.0);   // crosses 0->1
+  tm.set(2, 1, 25.0);   // crosses 2->1
+  const auto load = per_link_load_bps(t, rs, tm);
+  const auto l01 = *t.graph().find_link(0, 1);
+  const auto l12 = *t.graph().find_link(1, 2);
+  const auto l21 = *t.graph().find_link(2, 1);
+  const auto l10 = *t.graph().find_link(1, 0);
+  EXPECT_DOUBLE_EQ(load[l01], 150.0);
+  EXPECT_DOUBLE_EQ(load[l12], 100.0);
+  EXPECT_DOUBLE_EQ(load[l21], 25.0);
+  EXPECT_DOUBLE_EQ(load[l10], 0.0);
+}
+
+TEST(Load, MaxUtilizationUsesCapacity) {
+  const Topology t = line(3, 1000.0);  // 1 kbps links
+  const RoutingScheme rs = hop_count_routing(t);
+  TrafficMatrix tm(3);
+  tm.set(0, 2, 400.0);
+  EXPECT_NEAR(max_link_utilization(t, rs, tm), 0.4, 1e-12);
+}
+
+TEST(Load, ScaleToMaxUtilizationHitsTarget) {
+  const Topology t = geant2();
+  const RoutingScheme rs = hop_count_routing(t);
+  RngStream rng(7);
+  TrafficMatrix tm = uniform_traffic(24, 1.0, 5.0, rng);
+  scale_to_max_utilization(tm, t, rs, 0.75);
+  EXPECT_NEAR(max_link_utilization(t, rs, tm), 0.75, 1e-9);
+}
+
+TEST(Load, ScaleEmptyMatrixThrows) {
+  const Topology t = line(3);
+  const RoutingScheme rs = hop_count_routing(t);
+  TrafficMatrix tm(3);
+  EXPECT_THROW(scale_to_max_utilization(tm, t, rs, 0.5),
+               std::invalid_argument);
+}
+
+// Property: scaling preserves the matrix shape (ratios of entries).
+class ScalingProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(ScalingProperty, PreservesRatios) {
+  const Topology t = nsfnet();
+  const RoutingScheme rs = hop_count_routing(t);
+  RngStream rng(11);
+  TrafficMatrix tm = gravity_traffic(14, 1.0, rng);
+  const double ratio_before = tm.get(0, 1) / tm.get(1, 0);
+  scale_to_max_utilization(tm, t, rs, GetParam());
+  EXPECT_NEAR(tm.get(0, 1) / tm.get(1, 0), ratio_before, 1e-9);
+  EXPECT_NEAR(max_link_utilization(t, rs, tm), GetParam(), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Targets, ScalingProperty,
+                         ::testing::Values(0.2, 0.5, 0.8, 0.95, 1.2));
+
+}  // namespace

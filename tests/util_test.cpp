@@ -1,0 +1,314 @@
+// Unit tests for src/util: RNG streams, statistics, tables.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using rnx::util::Cdf;
+using rnx::util::Histogram;
+using rnx::util::RngStream;
+using rnx::util::Welford;
+
+// ---- RngStream -----------------------------------------------------------
+
+TEST(Rng, SameSeedSameSequence) {
+  RngStream a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  RngStream a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a() == b()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, DeriveIsDeterministic) {
+  const RngStream root(42);
+  RngStream c1 = root.derive("flow", 7);
+  RngStream c2 = root.derive("flow", 7);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(c1(), c2());
+}
+
+TEST(Rng, DeriveByLabelAndIndexAreIndependent) {
+  const RngStream root(42);
+  RngStream a = root.derive("flow", 0);
+  RngStream b = root.derive("flow", 1);
+  RngStream c = root.derive("init", 0);
+  EXPECT_NE(a(), b());
+  RngStream a2 = root.derive("flow", 0);
+  EXPECT_NE(a2(), c());
+}
+
+TEST(Rng, DeriveDoesNotAdvanceParent) {
+  RngStream root(42);
+  const auto child = root.derive("x");
+  (void)child;
+  RngStream fresh(42);
+  EXPECT_EQ(root(), fresh());
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  RngStream r(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespected) {
+  RngStream r(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = r.uniform(2.5, 7.5);
+    EXPECT_GE(u, 2.5);
+    EXPECT_LT(u, 7.5);
+  }
+}
+
+TEST(Rng, UniformIntBoundsInclusive) {
+  RngStream r(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = r.uniform_int(3, 6);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 6);
+    saw_lo |= (v == 3);
+    saw_hi |= (v == 6);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ExponentialMeanMatches) {
+  RngStream r(11);
+  double sum = 0.0;
+  const int n = 200'000;
+  for (int i = 0; i < n; ++i) sum += r.exponential(3.0);
+  EXPECT_NEAR(sum / n, 3.0, 0.05);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  RngStream r(13);
+  Welford w;
+  for (int i = 0; i < 200'000; ++i) w.add(r.normal(1.5, 2.0));
+  EXPECT_NEAR(w.mean(), 1.5, 0.03);
+  EXPECT_NEAR(w.stddev(), 2.0, 0.03);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  RngStream r(17);
+  int hits = 0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) hits += r.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, ParetoAboveScale) {
+  RngStream r(19);
+  for (int i = 0; i < 1000; ++i) EXPECT_GE(r.pareto(2.0, 1.5), 1.5);
+}
+
+// Chi-squared sanity: 64 bins of uniform() should be flat.
+TEST(Rng, UniformChiSquared) {
+  RngStream r(23);
+  constexpr int kBins = 64, kN = 64'000;
+  int counts[kBins] = {};
+  for (int i = 0; i < kN; ++i)
+    ++counts[static_cast<int>(r.uniform() * kBins)];
+  double chi2 = 0.0;
+  const double expect = static_cast<double>(kN) / kBins;
+  for (const int c : counts) chi2 += (c - expect) * (c - expect) / expect;
+  // 63 dof: mean 63, stddev ~11.2.  5-sigma guard band.
+  EXPECT_LT(chi2, 63 + 5 * 11.3);
+}
+
+// ---- Welford ---------------------------------------------------------------
+
+TEST(Welford, MatchesDirectComputation) {
+  const std::vector<double> xs = {1.0, 2.5, -3.0, 7.0, 0.0, 4.5};
+  Welford w;
+  for (const double x : xs) w.add(x);
+  double mean = 0.0;
+  for (const double x : xs) mean += x;
+  mean /= static_cast<double>(xs.size());
+  double var = 0.0;
+  for (const double x : xs) var += (x - mean) * (x - mean);
+  var /= static_cast<double>(xs.size());
+  EXPECT_NEAR(w.mean(), mean, 1e-12);
+  EXPECT_NEAR(w.variance(), var, 1e-12);
+  EXPECT_EQ(w.count(), xs.size());
+  EXPECT_EQ(w.min(), -3.0);
+  EXPECT_EQ(w.max(), 7.0);
+}
+
+TEST(Welford, EmptyIsZero) {
+  const Welford w;
+  EXPECT_EQ(w.count(), 0u);
+  EXPECT_EQ(w.mean(), 0.0);
+  EXPECT_EQ(w.variance(), 0.0);
+}
+
+TEST(Welford, SampleVarianceBesselCorrected) {
+  Welford w;
+  w.add(1.0);
+  w.add(3.0);
+  EXPECT_NEAR(w.variance(), 1.0, 1e-12);         // population
+  EXPECT_NEAR(w.sample_variance(), 2.0, 1e-12);  // Bessel
+}
+
+TEST(Welford, MergeEqualsSequential) {
+  RngStream r(29);
+  Welford a, b, all;
+  for (int i = 0; i < 500; ++i) {
+    const double x = r.normal();
+    if (i % 2) a.add(x); else b.add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-10);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-10);
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(Welford, MergeWithEmpty) {
+  Welford a;
+  a.add(2.0);
+  Welford b;
+  a.merge(b);
+  EXPECT_EQ(a.count(), 1u);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_EQ(b.mean(), 2.0);
+}
+
+// ---- percentile / Cdf ------------------------------------------------------
+
+TEST(Percentile, EndpointsAndMidpoint) {
+  const std::vector<double> xs = {5.0, 1.0, 3.0};
+  EXPECT_EQ(rnx::util::percentile(xs, 0), 1.0);
+  EXPECT_EQ(rnx::util::percentile(xs, 100), 5.0);
+  EXPECT_EQ(rnx::util::percentile(xs, 50), 3.0);
+}
+
+TEST(Percentile, LinearInterpolation) {
+  const std::vector<double> xs = {0.0, 10.0};
+  EXPECT_NEAR(rnx::util::percentile(xs, 25), 2.5, 1e-12);
+  EXPECT_NEAR(rnx::util::percentile(xs, 75), 7.5, 1e-12);
+}
+
+TEST(Percentile, EmptyThrows) {
+  EXPECT_THROW((void)rnx::util::percentile({}, 50), std::invalid_argument);
+}
+
+TEST(Cdf, AtMatchesDefinition) {
+  Cdf cdf({1.0, 2.0, 2.0, 4.0});
+  EXPECT_DOUBLE_EQ(cdf.at(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.at(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(cdf.at(2.0), 0.75);
+  EXPECT_DOUBLE_EQ(cdf.at(100.0), 1.0);
+}
+
+TEST(Cdf, SeriesIsMonotonic) {
+  RngStream r(31);
+  std::vector<double> xs;
+  for (int i = 0; i < 300; ++i) xs.push_back(r.normal());
+  Cdf cdf(std::move(xs));
+  const auto series = cdf.series(50);
+  ASSERT_EQ(series.size(), 50u);
+  for (std::size_t i = 1; i < series.size(); ++i) {
+    EXPECT_LE(series[i - 1].first, series[i].first);
+    EXPECT_LE(series[i - 1].second, series[i].second);
+  }
+  EXPECT_DOUBLE_EQ(series.back().second, 1.0);
+}
+
+TEST(Cdf, PercentileAgreesWithFreeFunction) {
+  RngStream r(37);
+  std::vector<double> xs;
+  for (int i = 0; i < 101; ++i) xs.push_back(r.uniform());
+  const Cdf cdf(xs);
+  for (const double q : {1.0, 10.0, 50.0, 90.0, 99.0})
+    EXPECT_NEAR(cdf.percentile(q), rnx::util::percentile(xs, q), 1e-12);
+}
+
+// ---- Histogram -------------------------------------------------------------
+
+TEST(Histogram, BinsAndClamping) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);    // bin 0
+  h.add(9.99);   // bin 9
+  h.add(-5.0);   // clamps to 0
+  h.add(15.0);   // clamps to 9
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(9), 2u);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_DOUBLE_EQ(h.bin_lo(3), 3.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(3), 4.0);
+}
+
+TEST(Histogram, BadConstruction) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+// ---- Table / CSV -----------------------------------------------------------
+
+TEST(Table, AlignedOutput) {
+  rnx::util::Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22"});
+  std::ostringstream ss;
+  t.print(ss);
+  const std::string out = ss.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  rnx::util::Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, CellFormatting) {
+  EXPECT_EQ(rnx::util::Table::cell(1.23456, 2), "1.23");
+  EXPECT_EQ(rnx::util::Table::cell(static_cast<std::size_t>(42)), "42");
+}
+
+TEST(Csv, WritesQuotedCells) {
+  const std::string path = "/tmp/rnx_util_test.csv";
+  {
+    rnx::util::CsvWriter csv(path, {"a", "b"});
+    csv.add_row({"plain", "has,comma"});
+    csv.add_row({"has\"quote", "x"});
+  }
+  std::ifstream f(path);
+  std::string line;
+  std::getline(f, line);
+  EXPECT_EQ(line, "a,b");
+  std::getline(f, line);
+  EXPECT_EQ(line, "plain,\"has,comma\"");
+  std::getline(f, line);
+  EXPECT_EQ(line, "\"has\"\"quote\",x");
+  std::filesystem::remove(path);
+}
+
+TEST(Csv, RowWidthMismatchThrows) {
+  rnx::util::CsvWriter csv("/tmp/rnx_util_test2.csv", {"a"});
+  EXPECT_THROW(csv.add_row({"x", "y"}), std::invalid_argument);
+  std::filesystem::remove("/tmp/rnx_util_test2.csv");
+}
+
+}  // namespace

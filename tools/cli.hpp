@@ -1,0 +1,67 @@
+// Minimal --flag=value / --flag value command-line parsing shared by the
+// CLI tools.  Unknown flags abort with the tool's usage text so typos
+// never silently fall back to defaults.
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace rnx::cli {
+
+class Args {
+ public:
+  Args(int argc, char** argv, std::set<std::string> known,
+       std::string usage)
+      : usage_(std::move(usage)) {
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) fail("unexpected positional: " + arg);
+      arg = arg.substr(2);
+      std::string value = "1";  // bare flags act as booleans
+      if (const auto eq = arg.find('='); eq != std::string::npos) {
+        value = arg.substr(eq + 1);
+        arg = arg.substr(0, eq);
+      } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        value = argv[++i];
+      }
+      if (arg == "help") fail("");
+      if (!known.contains(arg)) fail("unknown flag: --" + arg);
+      values_[arg] = value;
+    }
+  }
+
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  [[nodiscard]] double get(const std::string& key, double fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::atof(it->second.c_str());
+  }
+  [[nodiscard]] std::size_t get(const std::string& key,
+                                std::size_t fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end()
+               ? fallback
+               : static_cast<std::size_t>(std::atoll(it->second.c_str()));
+  }
+  [[nodiscard]] bool has(const std::string& key) const {
+    return values_.contains(key);
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& msg) const {
+    if (!msg.empty()) std::cerr << "error: " << msg << "\n\n";
+    std::cerr << usage_ << "\n";
+    std::exit(msg.empty() ? 0 : 2);
+  }
+  std::map<std::string, std::string> values_;
+  std::string usage_;
+};
+
+}  // namespace rnx::cli

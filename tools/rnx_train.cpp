@@ -1,0 +1,119 @@
+// rnx_train — train / evaluate RouteNet models on saved datasets.
+//
+//   rnx_train --train train.rnxd --eval test.rnxd --model ext
+//             --epochs 40 --save weights.rnxw
+//   rnx_train --eval test.rnxd --model ext --load weights.rnxw
+//             --scaler-from train.rnxd
+//
+// The scaler is always fitted on the --train set (or --scaler-from when
+// only evaluating), never on evaluation data.
+#include <iostream>
+#include <memory>
+
+#include "cli.hpp"
+#include "core/routenet.hpp"
+#include "core/routenet_ext.hpp"
+#include "core/trainer.hpp"
+#include "eval/metrics.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rnx;
+  const cli::Args args(
+      argc, argv,
+      {"train", "eval", "model", "epochs", "lr", "batch", "state-dim",
+       "iterations", "save", "load", "scaler-from", "seed", "quiet"},
+      "usage: rnx_train --train ds.rnxd [--eval test.rnxd] [options]\n"
+      "  --train FILE      training dataset (.rnxd)\n"
+      "  --eval FILE       evaluation dataset (.rnxd)\n"
+      "  --model M         ext (default) | orig\n"
+      "  --epochs N        default 30\n"
+      "  --lr X            default 2e-3\n"
+      "  --batch N         samples per optimizer step, default 4\n"
+      "  --state-dim H     default 12\n"
+      "  --iterations T    message-passing rounds, default 4\n"
+      "  --save FILE       write trained weights (.rnxw)\n"
+      "  --load FILE       load weights instead of training\n"
+      "  --scaler-from F   dataset for scaler statistics (eval-only mode)\n"
+      "  --seed S          init/shuffle seed, default 42\n"
+      "  --quiet           suppress per-epoch logs");
+
+  const std::string model_kind = args.get("model", std::string("ext"));
+  core::ModelConfig mc;
+  mc.state_dim = args.get("state-dim", std::size_t{12});
+  mc.iterations = args.get("iterations", std::size_t{4});
+  mc.init_seed = static_cast<std::uint64_t>(args.get("seed", 42.0));
+
+  std::unique_ptr<core::Model> model;
+  if (model_kind == "ext")
+    model = std::make_unique<core::ExtendedRouteNet>(mc);
+  else if (model_kind == "orig")
+    model = std::make_unique<core::RouteNet>(mc);
+  else {
+    std::cerr << "error: --model must be ext or orig\n";
+    return 2;
+  }
+
+  // Resolve the dataset that defines the scaler.
+  const std::string train_path = args.get("train", std::string());
+  const std::string scaler_path =
+      args.get("scaler-from", train_path);
+  if (scaler_path.empty()) {
+    std::cerr << "error: need --train or --scaler-from\n";
+    return 2;
+  }
+  const data::Dataset scaler_ds = data::Dataset::load(scaler_path);
+  const data::Scaler scaler = data::Scaler::fit(scaler_ds.samples());
+
+  if (args.has("load")) {
+    model->load_weights(args.get("load", std::string()));
+    std::cout << "loaded weights from " << args.get("load", std::string())
+              << "\n";
+  } else {
+    if (train_path.empty()) {
+      std::cerr << "error: need --train (or --load)\n";
+      return 2;
+    }
+    const data::Dataset train =
+        train_path == scaler_path ? scaler_ds
+                                  : data::Dataset::load(train_path);
+    core::TrainConfig tc;
+    tc.epochs = args.get("epochs", std::size_t{30});
+    tc.lr = args.get("lr", 2e-3);
+    tc.batch_samples = args.get("batch", std::size_t{4});
+    tc.seed = static_cast<std::uint64_t>(args.get("seed", 42.0));
+    tc.verbose = !args.has("quiet");
+    core::Trainer trainer(*model, tc);
+    std::cout << "training " << model->name() << " on " << train.size()
+              << " samples...\n";
+    const auto history = trainer.fit(train, scaler);
+    std::cout << "train loss " << history.front().train_loss << " -> "
+              << history.back().train_loss << "\n";
+  }
+
+  if (args.has("save")) {
+    model->save_weights(args.get("save", std::string()));
+    std::cout << "weights written: " << args.get("save", std::string())
+              << "\n";
+  }
+
+  if (args.has("eval")) {
+    const data::Dataset test =
+        data::Dataset::load(args.get("eval", std::string()));
+    const auto pp = eval::predict_dataset(*model, test, scaler, 10);
+    const auto s = eval::summarize(pp);
+    util::Table table({"metric", "value"});
+    table.add_row({"paths", util::Table::cell(s.n)})
+        .add_row({"median |rel err|",
+                  util::Table::cell(s.median_ape * 100, 2) + " %"})
+        .add_row({"P90 |rel err|",
+                  util::Table::cell(s.p90_ape * 100, 2) + " %"})
+        .add_row({"MAPE", util::Table::cell(s.mape * 100, 2) + " %"})
+        .add_row({"MAE", util::Table::cell(s.mae * 1e3, 4) + " ms"})
+        .add_row({"RMSE", util::Table::cell(s.rmse * 1e3, 4) + " ms"})
+        .add_row({"Pearson r", util::Table::cell(s.pearson, 4)})
+        .add_row({"R^2", util::Table::cell(s.r2, 4)});
+    table.print(std::cout);
+  }
+  return 0;
+}
