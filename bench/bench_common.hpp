@@ -3,14 +3,23 @@
 // Every training-pipeline bench honours the RNX_BENCH_QUICK environment
 // variable (set to 1 for a fast smoke-scale run) and RNX_BENCH_SCALE
 // (a float multiplier on sample counts, for pushing towards paper scale).
+//
+// BenchResult emits a machine-readable BENCH_<name>.json next to the
+// binary (or under RNX_BENCH_OUT) so CI can track the perf trajectory
+// across PRs instead of scraping stdout tables.
 #pragma once
 
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "eval/experiment.hpp"
 #include "util/log.hpp"
+#include "util/timer.hpp"
 
 namespace rnx::benchcfg {
 
@@ -56,5 +65,60 @@ inline void print_banner(const std::string& title) {
   std::cout << "==== " << title << (quick_mode() ? "  [QUICK MODE]" : "")
             << " ====\n";
 }
+
+/// Collects (metric, value) pairs and writes BENCH_<name>.json on
+/// write().  Metrics are flat doubles (samples/sec, speedups, wall
+/// seconds); `config` is a free-form description of the run settings.
+class BenchResult {
+ public:
+  explicit BenchResult(std::string name) : name_(std::move(name)) {}
+
+  void set_config(std::string config) { config_ = std::move(config); }
+  void add(const std::string& metric, double value) {
+    metrics_.emplace_back(metric, value);
+  }
+
+  /// Total wall seconds since construction is stamped automatically.
+  void write() const {
+    const char* out_dir = std::getenv("RNX_BENCH_OUT");
+    const std::string path =
+        (out_dir != nullptr ? std::string(out_dir) + "/" : std::string()) +
+        "BENCH_" + name_ + ".json";
+    std::ofstream f(path);
+    if (!f) {
+      util::log_warn("BenchResult: cannot write ", path);
+      return;
+    }
+    f << "{\n  \"bench\": \"" << name_ << "\",\n  \"quick\": "
+      << (quick_mode() ? "true" : "false") << ",\n  \"config\": \""
+      << escaped(config_) << "\",\n  \"wall_seconds\": " << watch_.seconds()
+      << ",\n  \"metrics\": {";
+    for (std::size_t i = 0; i < metrics_.size(); ++i) {
+      f << (i ? "," : "") << "\n    \"" << escaped(metrics_[i].first)
+        << "\": " << metrics_[i].second;
+    }
+    f << "\n  }\n}\n";
+    std::cout << "wrote " << path << "\n";
+  }
+
+ private:
+  static std::string escaped(const std::string& s) {
+    std::string out;
+    for (const char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      if (c == '\n') {
+        out += "\\n";
+        continue;
+      }
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  std::string name_;
+  std::string config_;
+  std::vector<std::pair<std::string, double>> metrics_;
+  util::Stopwatch watch_;
+};
 
 }  // namespace rnx::benchcfg

@@ -31,6 +31,10 @@ struct ModelConfig {
   /// transfer to unseen topologies; the mean is scale-free.  Ablated by
   /// bench_ablation_node_update.
   bool node_mean_aggregation = true;
+  /// Use the fused single-tape-node GRU kernel (nn/gru.hpp).  Off routes
+  /// every RNN step through the op-by-op composition — the serial
+  /// baseline of bench_parallel_speedup and the gradcheck reference.
+  bool fused_gru = true;
   std::uint64_t init_seed = 42;     ///< weight initialization stream
 };
 

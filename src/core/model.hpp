@@ -6,14 +6,24 @@
 // weights; all stochasticity lives in initialization and training.
 #pragma once
 
+#include <memory>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "core/config.hpp"
 #include "data/normalize.hpp"
 #include "data/sample.hpp"
 #include "nn/serialize.hpp"
 
+namespace rnx::util {
+class ThreadPool;
+}
+
 namespace rnx::core {
+
+struct MpPlan;
+class PlanCache;
 
 /// Intermediate and final products of one forward pass, exposed for
 /// diagnostics (bench_fig1 audits the message-passing structure).
@@ -41,9 +51,45 @@ class Model {
   [[nodiscard]] virtual nn::NamedParams named_params() const = 0;
   [[nodiscard]] virtual const ModelConfig& config() const = 0;
 
+  /// Deep copy: same architecture and current weight values, independent
+  /// tape nodes.  The data-parallel trainer clones one replica per lane
+  /// so concurrent backward sweeps never share tape state (DESIGN.md §T).
+  [[nodiscard]] virtual std::unique_ptr<Model> clone() const = 0;
+
+  /// Attach a message-passing plan memo (nullptr detaches).  The cache is
+  /// not owned; it must outlive every forward() issued while attached.
+  void set_plan_cache(PlanCache* cache) noexcept { plan_cache_ = cache; }
+  [[nodiscard]] PlanCache* plan_cache() const noexcept { return plan_cache_; }
+
+  /// Batched inference: predictions (value tensors, one P x 1 per sample)
+  /// for a span of samples, in order.  Runs under NoGradGuard; with a
+  /// pool, samples are evaluated concurrently (forward() only reads the
+  /// weights, so lanes can share this model).  A non-null `skip` mask
+  /// (one entry per sample) leaves the marked slots as empty tensors
+  /// without paying their forward pass — eval uses it for samples with
+  /// no label-valid paths.
+  [[nodiscard]] std::vector<nn::Tensor> forward_batch(
+      std::span<const data::Sample> samples, const data::Scaler& scaler,
+      util::ThreadPool* pool = nullptr,
+      const std::vector<char>* skip = nullptr) const;
+
   /// Weight persistence via nn::serialize (strict name/shape matching).
   void save_weights(const std::string& path) const;
   void load_weights(const std::string& path);
+
+  /// Copy every parameter value of `src` into this model (shapes/names
+  /// must match — same architecture).  Used for replica weight sync.
+  void copy_params_from(const Model& src);
+
+ protected:
+  /// The plan for (sample, use_nodes): served from the attached cache
+  /// when present, else built into `local` (which owns it either way).
+  [[nodiscard]] const MpPlan& plan_for(const data::Sample& sample,
+                                       bool use_nodes,
+                                       std::shared_ptr<const MpPlan>& local) const;
+
+ private:
+  PlanCache* plan_cache_ = nullptr;
 };
 
 // -- shared state builders (implemented in plan.cpp's TU neighbour) ------

@@ -1,0 +1,52 @@
+#include "core/plan_cache.hpp"
+
+namespace rnx::core {
+
+std::shared_ptr<const MpPlan> PlanCache::get(const data::Sample& sample,
+                                             bool use_nodes) {
+  const Key key{&sample, use_nodes};
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    const auto it = map_.find(key);
+    if (it != map_.end()) {
+      ++hits_;
+      return it->second;
+    }
+    ++misses_;
+  }
+  // Build outside the lock: plans for large samples are expensive and
+  // build_plan is deterministic, so a duplicate concurrent build is
+  // wasted work at worst, never an inconsistency.
+  auto plan = std::make_shared<const MpPlan>(build_plan(sample, use_nodes));
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = map_.try_emplace(key, plan);
+  return inserted ? plan : it->second;
+}
+
+void PlanCache::invalidate(const data::Sample& sample) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  map_.erase(Key{&sample, false});
+  map_.erase(Key{&sample, true});
+}
+
+void PlanCache::clear() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  map_.clear();
+}
+
+std::size_t PlanCache::size() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return map_.size();
+}
+
+std::uint64_t PlanCache::hits() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+std::uint64_t PlanCache::misses() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+}  // namespace rnx::core

@@ -1,0 +1,70 @@
+// Memoized message-passing plans.
+//
+// build_plan() is pure in the sample's topology/routing, yet the seed
+// trainer rebuilt it on every forward() — once per epoch per sample.  The
+// cache keys plans by sample *identity* (object address) and the
+// use_nodes flag, so a full training run builds each plan exactly once.
+//
+// Identity keying makes the cache O(1) with zero hashing of sample
+// contents, but ties an entry's validity to the sample object's lifetime:
+// callers must invalidate() (or clear()) before a keyed sample is
+// destroyed or mutated.  The intended scope is one Trainer::fit() /
+// evaluation pass over a Dataset that outlives the cache — exactly how
+// core::Trainer uses it.
+//
+// Thread-safe: lookups and inserts take an internal mutex; on a miss the
+// plan is built outside the lock, so concurrent misses may build the same
+// plan twice but only one copy is kept (first writer wins; the plans are
+// identical because build_plan is deterministic).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "core/plan.hpp"
+
+namespace rnx::core {
+
+class PlanCache {
+ public:
+  PlanCache() = default;
+  PlanCache(const PlanCache&) = delete;
+  PlanCache& operator=(const PlanCache&) = delete;
+
+  /// The plan for (sample, use_nodes), building and caching it on a miss.
+  /// The returned pointer stays valid independently of later invalidation
+  /// (shared ownership).
+  [[nodiscard]] std::shared_ptr<const MpPlan> get(const data::Sample& sample,
+                                                  bool use_nodes);
+
+  /// Drop both variants (use_nodes true/false) cached for this sample.
+  void invalidate(const data::Sample& sample);
+  /// Drop everything.
+  void clear();
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::uint64_t hits() const;
+  [[nodiscard]] std::uint64_t misses() const;
+
+ private:
+  struct Key {
+    const data::Sample* sample;
+    bool use_nodes;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const noexcept {
+      return std::hash<const void*>{}(k.sample) ^
+             (k.use_nodes ? 0x9e3779b97f4a7c15ULL : 0);
+    }
+  };
+
+  mutable std::mutex mu_;
+  std::unordered_map<Key, std::shared_ptr<const MpPlan>, KeyHash> map_;
+  std::uint64_t hits_ = 0;    // under mu_
+  std::uint64_t misses_ = 0;  // under mu_
+};
+
+}  // namespace rnx::core

@@ -1,7 +1,11 @@
 #include "core/routenet.hpp"
 
+#include <stdexcept>
+
 #include "core/plan.hpp"
+#include "core/plan_cache.hpp"
 #include "nn/ops.hpp"
+#include "util/thread_pool.hpp"
 
 namespace rnx::core {
 
@@ -15,6 +19,49 @@ void Model::save_weights(const std::string& path) const {
 void Model::load_weights(const std::string& path) {
   nn::NamedParams params = named_params();
   nn::load_params(path, params);
+}
+
+void Model::copy_params_from(const Model& src) {
+  const nn::NamedParams from = src.named_params();
+  nn::NamedParams to = named_params();
+  if (from.size() != to.size())
+    throw std::invalid_argument("copy_params_from: parameter count mismatch");
+  for (std::size_t i = 0; i < from.size(); ++i) {
+    if (from[i].first != to[i].first ||
+        !from[i].second.value().same_shape(to[i].second.value()))
+      throw std::invalid_argument("copy_params_from: parameter mismatch at " +
+                                  from[i].first);
+    to[i].second.mutable_value() = from[i].second.value();
+  }
+}
+
+const MpPlan& Model::plan_for(const data::Sample& sample, bool use_nodes,
+                              std::shared_ptr<const MpPlan>& local) const {
+  if (plan_cache_ != nullptr) {
+    local = plan_cache_->get(sample, use_nodes);
+  } else {
+    local = std::make_shared<const MpPlan>(build_plan(sample, use_nodes));
+  }
+  return *local;
+}
+
+std::vector<nn::Tensor> Model::forward_batch(
+    std::span<const data::Sample> samples, const data::Scaler& scaler,
+    util::ThreadPool* pool, const std::vector<char>* skip) const {
+  if (skip != nullptr && skip->size() != samples.size())
+    throw std::invalid_argument("forward_batch: skip mask size mismatch");
+  std::vector<nn::Tensor> out(samples.size());
+  const auto eval_one = [&](std::size_t i) {
+    if (skip != nullptr && (*skip)[i]) return;
+    const nn::NoGradGuard guard;  // thread-local: set per lane
+    out[i] = forward(samples[i], scaler).value();
+  };
+  if (pool != nullptr && pool->size() > 1 && samples.size() > 1) {
+    pool->parallel_for(samples.size(), eval_one);
+  } else {
+    for (std::size_t i = 0; i < samples.size(); ++i) eval_one(i);
+  }
+  return out;
 }
 
 nn::Var initial_path_states(const data::Sample& s, const data::Scaler& sc,
@@ -57,11 +104,15 @@ RouteNet::RouteNet(ModelConfig cfg)
         util::RngStream rng(cfg.init_seed + 2);
         return nn::Mlp({cfg.state_dim, cfg.readout_hidden, 1},
                        nn::Activation::kRelu, rng, "readout");
-      }()) {}
+      }()) {
+  rnn_path_.set_fused(cfg_.fused_gru);
+  rnn_link_.set_fused(cfg_.fused_gru);
+}
 
 ForwardTrace RouteNet::forward_traced(const data::Sample& sample,
                                       const data::Scaler& scaler) const {
-  const MpPlan plan = build_plan(sample, /*use_nodes=*/false);
+  std::shared_ptr<const MpPlan> plan_holder;
+  const MpPlan& plan = plan_for(sample, /*use_nodes=*/false, plan_holder);
   nn::Var h_path = initial_path_states(sample, scaler, cfg_.state_dim);
   nn::Var h_link = initial_link_states(sample, scaler, cfg_.state_dim);
 
@@ -90,6 +141,12 @@ ForwardTrace RouteNet::forward_traced(const data::Sample& sample,
 nn::Var RouteNet::forward(const data::Sample& sample,
                           const data::Scaler& scaler) const {
   return forward_traced(sample, scaler).predictions;
+}
+
+std::unique_ptr<Model> RouteNet::clone() const {
+  auto copy = std::make_unique<RouteNet>(cfg_);
+  copy->copy_params_from(*this);
+  return copy;
 }
 
 nn::NamedParams RouteNet::named_params() const {

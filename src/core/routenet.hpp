@@ -29,6 +29,7 @@ class RouteNet final : public Model {
   [[nodiscard]] std::string name() const override { return "routenet"; }
   [[nodiscard]] nn::NamedParams named_params() const override;
   [[nodiscard]] const ModelConfig& config() const override { return cfg_; }
+  [[nodiscard]] std::unique_ptr<Model> clone() const override;
 
  private:
   ModelConfig cfg_;

@@ -1,6 +1,7 @@
 #include "core/routenet_ext.hpp"
 
 #include "core/plan.hpp"
+#include "core/plan_cache.hpp"
 #include "nn/ops.hpp"
 
 namespace rnx::core {
@@ -23,11 +24,16 @@ ExtendedRouteNet::ExtendedRouteNet(ModelConfig cfg)
         util::RngStream rng(cfg.init_seed + 2);
         return nn::Mlp({cfg.state_dim, cfg.readout_hidden, 1},
                        nn::Activation::kRelu, rng, "readout");
-      }()) {}
+      }()) {
+  rnn_path_.set_fused(cfg_.fused_gru);
+  rnn_link_.set_fused(cfg_.fused_gru);
+  rnn_node_.set_fused(cfg_.fused_gru);
+}
 
 ForwardTrace ExtendedRouteNet::forward_traced(
     const data::Sample& sample, const data::Scaler& scaler) const {
-  const MpPlan plan = build_plan(sample, /*use_nodes=*/true);
+  std::shared_ptr<const MpPlan> plan_holder;
+  const MpPlan& plan = plan_for(sample, /*use_nodes=*/true, plan_holder);
   nn::Var h_path = initial_path_states(sample, scaler, cfg_.state_dim);
   nn::Var h_link = initial_link_states(sample, scaler, cfg_.state_dim);
   nn::Var h_node = initial_node_states(sample, scaler, cfg_.state_dim);
@@ -93,6 +99,12 @@ ForwardTrace ExtendedRouteNet::forward_traced(
 nn::Var ExtendedRouteNet::forward(const data::Sample& sample,
                                   const data::Scaler& scaler) const {
   return forward_traced(sample, scaler).predictions;
+}
+
+std::unique_ptr<Model> ExtendedRouteNet::clone() const {
+  auto copy = std::make_unique<ExtendedRouteNet>(cfg_);
+  copy->copy_params_from(*this);
+  return copy;
 }
 
 nn::NamedParams ExtendedRouteNet::named_params() const {

@@ -33,6 +33,7 @@ class ExtendedRouteNet final : public Model {
   [[nodiscard]] std::string name() const override { return "routenet-ext"; }
   [[nodiscard]] nn::NamedParams named_params() const override;
   [[nodiscard]] const ModelConfig& config() const override { return cfg_; }
+  [[nodiscard]] std::unique_ptr<Model> clone() const override;
 
  private:
   ModelConfig cfg_;

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <limits>
+#include <memory>
 #include <numeric>
 
 #include "core/plan.hpp"
@@ -20,7 +21,9 @@ std::vector<nn::Var> trainable(const Model& model) {
 }  // namespace
 
 Trainer::Trainer(Model& model, TrainConfig cfg)
-    : model_(model), cfg_(cfg), opt_(trainable(model), cfg.lr) {}
+    : model_(model), cfg_(cfg), opt_(trainable(model), cfg.lr) {
+  if (cfg_.threads > 1) pool_.emplace(cfg_.threads);
+}
 
 nn::Var Trainer::sample_loss(const Model& model, const data::Sample& sample,
                              const data::Scaler& scaler,
@@ -47,6 +50,43 @@ std::vector<EpochRecord> Trainer::fit(const data::Dataset& train,
   std::vector<std::size_t> order(train.size());
   std::iota(order.begin(), order.end(), 0);
 
+  const std::size_t lanes = pool_ ? pool_->size() : 1;
+  const std::size_t batch = std::max<std::size_t>(cfg_.batch_samples, 1);
+
+  // Plan memo: one build per (sample, variant) for the whole run.  Keyed
+  // by sample address — `train`/`val` outlive this call, which is the
+  // cache's validity requirement.
+  PlanCache plan_cache;
+  // Restore the previous cache on every exit path — a lane exception
+  // propagating out of fit must not leave the model pointing at this
+  // stack frame's cache.
+  struct CacheScope {
+    Model& model;
+    PlanCache* prev;
+    ~CacheScope() { model.set_plan_cache(prev); }
+  } cache_scope{model_, model_.plan_cache()};
+  if (cfg_.use_plan_cache) model_.set_plan_cache(&plan_cache);
+
+  // Lane replicas: lane 0 drives the primary model; lanes 1.. get deep
+  // copies whose weights are re-synced after every optimizer step.
+  std::vector<std::unique_ptr<Model>> replicas;
+  std::vector<Model*> lane_models{&model_};
+  for (std::size_t l = 1; l < lanes; ++l) {
+    replicas.push_back(model_.clone());
+    if (cfg_.use_plan_cache) replicas.back()->set_plan_cache(&plan_cache);
+    lane_models.push_back(replicas.back().get());
+  }
+  std::vector<std::vector<nn::Var>> lane_params;
+  for (Model* m : lane_models) lane_params.push_back(trainable(*m));
+
+  // Per-sample gradient slots for one batch (reused across batches).
+  struct SampleSlot {
+    bool valid = false;
+    double loss = 0.0;
+    std::vector<nn::Tensor> grads;  ///< one per parameter, lane order
+  };
+  std::vector<SampleSlot> slots(batch);
+
   std::vector<EpochRecord> history;
   double best_val = std::numeric_limits<double>::infinity();
   std::size_t since_best = 0;
@@ -61,28 +101,62 @@ std::vector<EpochRecord> Trainer::fit(const data::Dataset& train,
 
     double loss_sum = 0.0;
     std::size_t loss_count = 0;
-    std::size_t in_batch = 0;
     opt_.zero_grad();
-    for (const std::size_t si : order) {
-      nn::Var loss =
-          sample_loss(model_, train[si], scaler, cfg_.min_delivered, cfg_.target);
-      if (!loss.defined()) continue;
-      loss_sum += loss.value().item();
-      ++loss_count;
-      // Average gradients over the accumulation batch.
-      nn::scale(loss, 1.0 / static_cast<double>(cfg_.batch_samples))
-          .backward();
-      if (++in_batch == cfg_.batch_samples) {
-        opt_.clip_global_norm(cfg_.clip_norm);
-        opt_.step();
-        opt_.zero_grad();
-        in_batch = 0;
+    for (std::size_t start = 0; start < order.size(); start += batch) {
+      const std::size_t fill = std::min(batch, order.size() - start);
+
+      // Lane task: forward+backward each owned sample, then park the
+      // gradients in the sample's slot and clear the lane's accumulators.
+      // Every lane reads identical weights, so a slot's contents do not
+      // depend on which lane filled it.
+      const auto lane_task = [&](std::size_t lane) {
+        const Model& m = *lane_models[lane];
+        std::vector<nn::Var>& params = lane_params[lane];
+        for (std::size_t i = lane; i < fill; i += lanes) {
+          SampleSlot& slot = slots[i];
+          slot.valid = false;
+          slot.grads.clear();
+          const nn::Var loss =
+              sample_loss(m, train[order[start + i]], scaler,
+                          cfg_.min_delivered, cfg_.target);
+          if (!loss.defined()) continue;
+          loss.backward();
+          slot.valid = true;
+          slot.loss = loss.value().item();
+          slot.grads.reserve(params.size());
+          for (nn::Var& p : params) {
+            slot.grads.push_back(p.grad());
+            p.zero_grad();
+          }
+        }
+      };
+      if (lanes > 1 && fill > 1) {
+        pool_->parallel_for(lanes, lane_task);
+      } else {
+        lane_task(0);
       }
-    }
-    if (in_batch > 0) {  // trailing partial batch
+
+      // Merge in sample order (deterministic for any lane count), scale
+      // by the actual batch fill — a trailing partial batch must not see
+      // a silently shrunken step (the seed scaled by batch_samples).
+      std::size_t valid_count = 0;
+      for (std::size_t i = 0; i < fill; ++i)
+        if (slots[i].valid) ++valid_count;
+      if (valid_count == 0) continue;
+      std::vector<nn::Var>& primary = lane_params[0];
+      for (std::size_t i = 0; i < fill; ++i) {
+        if (!slots[i].valid) continue;
+        loss_sum += slots[i].loss;
+        ++loss_count;
+        for (std::size_t k = 0; k < primary.size(); ++k)
+          primary[k].grad_ref().add_inplace(slots[i].grads[k]);
+      }
+      const double inv = 1.0 / static_cast<double>(valid_count);
+      for (nn::Var& p : primary) p.grad_ref().scale_inplace(inv);
       opt_.clip_global_norm(cfg_.clip_norm);
       opt_.step();
       opt_.zero_grad();
+      for (auto& replica : replicas) replica->copy_params_from(model_);
     }
     opt_.set_lr(opt_.lr() * cfg_.lr_decay);
 
@@ -116,13 +190,29 @@ std::vector<EpochRecord> Trainer::fit(const data::Dataset& train,
 
 double Trainer::evaluate_loss(const data::Dataset& ds,
                               const data::Scaler& scaler) const {
-  const nn::NoGradGuard guard;
+  // Inference is read-only on the weights, so the lanes can share the
+  // primary model.  Per-sample losses land in slots and are summed in
+  // sample order — same result for any lane count.
+  std::vector<double> losses(ds.size(), 0.0);
+  std::vector<char> defined(ds.size(), 0);
+  const auto eval_one = [&](std::size_t i) {
+    const nn::NoGradGuard guard;
+    const nn::Var loss =
+        sample_loss(model_, ds[i], scaler, cfg_.min_delivered, cfg_.target);
+    if (!loss.defined()) return;
+    losses[i] = loss.value().item();
+    defined[i] = 1;
+  };
+  if (pool_ && ds.size() > 1) {
+    pool_->parallel_for(ds.size(), eval_one);
+  } else {
+    for (std::size_t i = 0; i < ds.size(); ++i) eval_one(i);
+  }
   double sum = 0.0;
   std::size_t count = 0;
-  for (const auto& s : ds.samples()) {
-    const nn::Var loss = sample_loss(model_, s, scaler, cfg_.min_delivered, cfg_.target);
-    if (!loss.defined()) continue;
-    sum += loss.value().item();
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    if (!defined[i]) continue;
+    sum += losses[i];
     ++count;
   }
   return count ? sum / static_cast<double>(count)

@@ -1,7 +1,19 @@
-// Training loop: Adam over per-sample MSE on z-scored log delay, with
+// Training engine: Adam over per-sample MSE on z-scored log delay, with
 // gradient accumulation across a small batch of samples, global-norm
 // clipping and multiplicative learning-rate decay — the recipe used by
 // the RouteNet reference implementation, scaled to CPU.
+//
+// The engine is data-parallel over the accumulation batch (DESIGN.md §T):
+// each lane owns a full model replica (weights synced after every
+// optimizer step), computes forward+backward for its samples, and parks
+// the per-sample gradients in per-sample slots.  At the batch boundary
+// the slots are merged into the primary model's gradients in sample
+// order, scaled by the number of samples that actually contributed (so a
+// trailing partial batch gets the same effective learning rate as a full
+// one), clipped, and stepped.  Because every per-sample gradient is
+// computed from identical weights and the merge order is fixed, the
+// trained weights are bitwise-identical for ANY thread count, including
+// the serial path.
 #pragma once
 
 #include <cstdint>
@@ -9,8 +21,10 @@
 #include <vector>
 
 #include "core/model.hpp"
+#include "core/plan_cache.hpp"
 #include "data/dataset.hpp"
 #include "nn/optimizer.hpp"
+#include "util/thread_pool.hpp"
 
 namespace rnx::core {
 
@@ -25,6 +39,8 @@ struct TrainConfig {
   std::uint64_t seed = 7;          ///< shuffling stream
   std::size_t patience = 0;        ///< early stop after this many epochs
                                    ///< without val improvement (0 = off)
+  std::size_t threads = 1;         ///< data-parallel lanes (0 or 1 = serial)
+  bool use_plan_cache = true;      ///< memoize build_plan across epochs
   bool verbose = true;
 };
 
@@ -45,7 +61,8 @@ class Trainer {
                                const data::Scaler& scaler,
                                const data::Dataset* val = nullptr);
 
-  /// Mean per-sample loss without building the tape (inference mode).
+  /// Mean per-sample loss without building the tape (inference mode);
+  /// parallel over the trainer's lanes.
   [[nodiscard]] double evaluate_loss(const data::Dataset& ds,
                                      const data::Scaler& scaler) const;
 
@@ -62,6 +79,7 @@ class Trainer {
   Model& model_;
   TrainConfig cfg_;
   nn::Adam opt_;
+  mutable std::optional<util::ThreadPool> pool_;  ///< lanes > 1 only
 };
 
 }  // namespace rnx::core

@@ -12,20 +12,29 @@ PairedPredictions predict_dataset(const core::Model& model,
                                   const data::Dataset& ds,
                                   const data::Scaler& scaler,
                                   std::uint64_t min_delivered,
-                                  core::PredictionTarget target) {
-  const nn::NoGradGuard guard;
+                                  core::PredictionTarget target,
+                                  util::ThreadPool* pool) {
   const bool delay = target == core::PredictionTarget::kDelay;
+  // Samples with no label-valid paths contribute nothing — mask them out
+  // so they do not pay a discarded forward pass.
+  std::vector<std::vector<nn::Index>> valid_rows(ds.size());
+  std::vector<char> skip(ds.size(), 0);
+  for (std::size_t si = 0; si < ds.size(); ++si) {
+    valid_rows[si] = core::valid_label_rows(ds[si], min_delivered, target);
+    skip[si] = valid_rows[si].empty() ? 1 : 0;
+  }
+  const std::vector<nn::Tensor> preds =
+      model.forward_batch(ds.samples(), scaler, pool, &skip);
   PairedPredictions pp;
-  for (const auto& s : ds.samples()) {
-    const auto valid = core::valid_label_rows(s, min_delivered, target);
-    if (valid.empty()) continue;
-    const nn::Var pred = model.forward(s, scaler);
+  for (std::size_t si = 0; si < ds.size(); ++si) {
+    const auto& s = ds[si];
+    const auto& valid = valid_rows[si];
+    const nn::Tensor& pred = preds[si];
     for (const auto row : valid) {
       pp.truth.push_back(delay ? s.paths[row].mean_delay_s
                                : s.paths[row].jitter_s2);
-      pp.pred.push_back(delay
-                            ? scaler.target_to_delay(pred.value()(row, 0))
-                            : scaler.target_to_jitter(pred.value()(row, 0)));
+      pp.pred.push_back(delay ? scaler.target_to_delay(pred(row, 0))
+                              : scaler.target_to_jitter(pred(row, 0)));
     }
   }
   return pp;

@@ -23,13 +23,15 @@ struct PairedPredictions {
   [[nodiscard]] std::size_t size() const noexcept { return truth.size(); }
 };
 
-/// Run the model over every sample (inference mode) and pool the
-/// label-valid paths.  Predictions are de-normalized back to seconds
-/// (delay) or seconds^2 (jitter), matching `target`.
+/// Run the model over every sample (inference mode, batched through
+/// Model::forward_batch) and pool the label-valid paths.  Predictions are
+/// de-normalized back to seconds (delay) or seconds^2 (jitter), matching
+/// `target`.  A pool parallelizes the per-sample forwards.
 [[nodiscard]] PairedPredictions predict_dataset(
     const core::Model& model, const data::Dataset& ds,
     const data::Scaler& scaler, std::uint64_t min_delivered,
-    core::PredictionTarget target = core::PredictionTarget::kDelay);
+    core::PredictionTarget target = core::PredictionTarget::kDelay,
+    util::ThreadPool* pool = nullptr);
 
 /// Signed relative errors (pred - truth) / truth.
 [[nodiscard]] std::vector<double> relative_errors(

@@ -5,7 +5,9 @@
 namespace rnx::nn {
 
 namespace {
-bool g_no_grad = false;
+// Thread-local so concurrent workers (trainer lanes, forward_batch) can
+// toggle inference mode independently.
+thread_local bool g_no_grad = false;
 }
 
 namespace detail {
@@ -71,8 +73,11 @@ void Var::backward() const {
   if (node_->value.rows() != 1 || node_->value.cols() != 1)
     throw std::logic_error("Var::backward: loss must be 1x1");
 
-  // Iterative post-order DFS to produce a topological order.
-  static int epoch = 0;
+  // Iterative post-order DFS to produce a topological order.  The visit
+  // epoch is thread-local: concurrent backward() sweeps are allowed as
+  // long as their tapes share no nodes (each trainer lane runs over its
+  // own model replica; see DESIGN.md §T).
+  thread_local int epoch = 0;
   ++epoch;
   std::vector<detail::Node*> order;
   std::vector<std::pair<detail::Node*, std::size_t>> stack;

@@ -1,9 +1,11 @@
 #include "nn/gru.hpp"
 
+#include <cmath>
 #include <stdexcept>
 
 #include "nn/init.hpp"
 #include "nn/ops.hpp"
+#include "nn/pool.hpp"
 
 namespace rnx::nn {
 
@@ -26,6 +28,12 @@ GRUCell::GRUCell(std::size_t input_dim, std::size_t hidden_dim,
 Var GRUCell::step(const Var& x, const Var& h) const {
   if (x.cols() != in_ || h.cols() != hid_ || x.rows() != h.rows())
     throw std::invalid_argument("GRUCell::step: shape mismatch");
+  return fused_ ? step_fused(x, h) : step_composed(x, h);
+}
+
+Var GRUCell::step_composed(const Var& x, const Var& h) const {
+  if (x.cols() != in_ || h.cols() != hid_ || x.rows() != h.rows())
+    throw std::invalid_argument("GRUCell::step_composed: shape mismatch");
   const Var z =
       sigmoid(add_bias(add(matmul(x, wxz_), matmul(h, whz_)), bz_));
   const Var r =
@@ -34,6 +42,265 @@ Var GRUCell::step(const Var& x, const Var& h) const {
       add_bias(add(matmul(x, wxn_), matmul(mul(r, h), whn_)), bn_));
   // h' = (1 - z) .* n + z .* h
   return add(mul(affine(z, -1.0, 1.0), n), mul(z, h));
+}
+
+namespace {
+
+/// dst (R x H) initialized to the bias row broadcast over R rows.
+void broadcast_bias(Tensor& dst, const Tensor& bias) {
+  const double* bv = bias.row(0).data();
+  for (std::size_t r = 0; r < dst.rows(); ++r) {
+    double* row = dst.row(r).data();
+    for (std::size_t c = 0; c < dst.cols(); ++c) row[c] = bv[c];
+  }
+}
+
+/// dst (R x 2H) initialized to [bias_a | bias_b] broadcast over R rows.
+void broadcast_bias2(Tensor& dst, const Tensor& bias_a,
+                     const Tensor& bias_b) {
+  const std::size_t h = bias_a.cols();
+  const double* av = bias_a.row(0).data();
+  const double* bv = bias_b.row(0).data();
+  for (std::size_t r = 0; r < dst.rows(); ++r) {
+    double* row = dst.row(r).data();
+    for (std::size_t c = 0; c < h; ++c) row[c] = av[c];
+    for (std::size_t c = 0; c < h; ++c) row[h + c] = bv[c];
+  }
+}
+
+/// dst (R x (Ca+Cb)) = [a | b] column concatenation.
+void concat2(Tensor& dst, const Tensor& a, const Tensor& b) {
+  const std::size_t ca = a.cols(), cb = b.cols();
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    double* row = dst.row(r).data();
+    const double* ar = a.row(r).data();
+    const double* br = b.row(r).data();
+    for (std::size_t c = 0; c < ca; ++c) row[c] = ar[c];
+    for (std::size_t c = 0; c < cb; ++c) row[ca + c] = br[c];
+  }
+}
+
+/// dst ((in+hid) x 2H) = [[wxa|wxb]; [wha|whb]] — the stacked
+/// concatenated z/r gate weight panel multiplying [x|h].
+void build_zr_panel(Tensor& dst, const Tensor& wxa, const Tensor& wxb,
+                    const Tensor& wha, const Tensor& whb) {
+  const std::size_t h = wxa.cols();
+  for (std::size_t r = 0; r < wxa.rows(); ++r) {
+    double* d = dst.row(r).data();
+    const double* a = wxa.row(r).data();
+    const double* b = wxb.row(r).data();
+    for (std::size_t c = 0; c < h; ++c) d[c] = a[c];
+    for (std::size_t c = 0; c < h; ++c) d[h + c] = b[c];
+  }
+  for (std::size_t r = 0; r < wha.rows(); ++r) {
+    double* d = dst.row(wxa.rows() + r).data();
+    const double* a = wha.row(r).data();
+    const double* b = whb.row(r).data();
+    for (std::size_t c = 0; c < h; ++c) d[c] = a[c];
+    for (std::size_t c = 0; c < h; ++c) d[h + c] = b[c];
+  }
+}
+
+/// dst += the dst-shaped sub-block of src anchored at (row_off, col_off).
+void add_block(Tensor& dst, const Tensor& src, std::size_t row_off,
+               std::size_t col_off) {
+  const std::size_t h = dst.cols();
+  for (std::size_t r = 0; r < dst.rows(); ++r) {
+    double* d = dst.row(r).data();
+    const double* s = src.row(row_off + r).data() + col_off;
+    for (std::size_t c = 0; c < h; ++c) d[c] += s[c];
+  }
+}
+
+/// bias_grad (1 x H) += column sums of g's columns [off, off+H).
+void colsum_block_acc(Tensor& bias_grad, const Tensor& g, std::size_t off) {
+  const std::size_t h = bias_grad.cols();
+  double* bg = bias_grad.row(0).data();
+  for (std::size_t r = 0; r < g.rows(); ++r) {
+    const double* row = g.row(r).data() + off;
+    for (std::size_t c = 0; c < h; ++c) bg[c] += row[c];
+  }
+}
+
+/// bias_grad (1 x H) += column sums of g (R x H).
+void colsum_acc(Tensor& bias_grad, const Tensor& g) {
+  colsum_block_acc(bias_grad, g, 0);
+}
+
+}  // namespace
+
+Var GRUCell::step_fused(const Var& x, const Var& h) const {
+  const Tensor& xv = x.value();
+  const Tensor& hv = h.value();
+  const std::size_t rows = xv.rows();
+
+  // z/r gate pre-activations in one (R x 2H) panel and one kernel call:
+  // [x|h] times the stacked concatenated weights [[Wxz|Wxr];[Whz|Whr]].
+  // One quarter the kernel launches of the per-gate formulation, and the
+  // panel is written in a single pass.
+  Tensor xh = TensorPool::acquire_uninit(rows, in_ + hid_);
+  concat2(xh, xv, hv);
+  Tensor w_zr = TensorPool::acquire_uninit(in_ + hid_, 2 * hid_);
+  build_zr_panel(w_zr, wxz_.value(), wxr_.value(), whz_.value(),
+                 whr_.value());
+  Tensor a_zr = TensorPool::acquire_uninit(rows, 2 * hid_);
+  broadcast_bias2(a_zr, bz_.value(), br_.value());
+  matmul_acc(a_zr, xh, w_zr);
+  TensorPool::release(std::move(xh));
+  TensorPool::release(std::move(w_zr));
+  Tensor an = TensorPool::acquire_uninit(rows, hid_);
+  broadcast_bias(an, bn_.value());
+  matmul_acc(an, xv, wxn_.value());
+
+  // z and r gates, then the reset-scaled hidden state feeding the
+  // candidate matmul — one elementwise pass.
+  Tensor z = TensorPool::acquire_uninit(rows, hid_);
+  Tensor r = TensorPool::acquire_uninit(rows, hid_);
+  Tensor rh = TensorPool::acquire_uninit(rows, hid_);
+  for (std::size_t row = 0; row < rows; ++row) {
+    const double* azr = a_zr.row(row).data();
+    const double* hrow = hv.row(row).data();
+    double* zrow = z.row(row).data();
+    double* rrow = r.row(row).data();
+    double* rhrow = rh.row(row).data();
+    for (std::size_t c = 0; c < hid_; ++c) {
+      zrow[c] = 1.0 / (1.0 + std::exp(-azr[c]));
+      rrow[c] = 1.0 / (1.0 + std::exp(-azr[hid_ + c]));
+      rhrow[c] = rrow[c] * hrow[c];
+    }
+  }
+  matmul_acc(an, rh, whn_.value());
+
+  // Candidate + state blend fused: n = tanh(an), y = (1-z) n + z h.
+  Tensor n = TensorPool::acquire_uninit(rows, hid_);
+  Tensor y(rows, hid_);
+  {
+    const auto anv = an.flat();
+    const auto hvv = hv.flat();
+    const auto zf = z.flat();
+    auto nf = n.flat();
+    auto yf = y.flat();
+    for (std::size_t i = 0; i < yf.size(); ++i) {
+      nf[i] = std::tanh(anv[i]);
+      yf[i] = (1.0 - zf[i]) * nf[i] + zf[i] * hvv[i];
+    }
+  }
+  TensorPool::release(std::move(a_zr));
+  TensorPool::release(std::move(an));
+  TensorPool::release(std::move(rh));
+
+  if (grad_disabled()) {
+    TensorPool::release(std::move(z));
+    TensorPool::release(std::move(r));
+    TensorPool::release(std::move(n));
+    return Var(std::move(y));
+  }
+
+  // One tape node for the whole step.  Saved activations: z, r, n.
+  return Var::make(
+      std::move(y),
+      {x, h, wxz_, whz_, bz_, wxr_, whr_, br_, wxn_, whn_, bn_},
+      [x = Var(x), h = Var(h), wxz = wxz_, whz = whz_, bz = bz_,
+       wxr = wxr_, whr = whr_, br = br_, wxn = wxn_, whn = whn_, bn = bn_,
+       z = std::move(z), r = std::move(r),
+       n = std::move(n)](const Tensor& g) mutable {
+        const Tensor& xv = x.value();
+        const Tensor& hv = h.value();
+        const std::size_t rows = g.rows(), hid = g.cols();
+
+        // dan = g (1-z) (1-n^2);  daz = g (h-n) z (1-z);
+        // rh  = r h (recomputed — cheaper than storing a 4th tensor).
+        // daz lands in the left block of the (R x 2H) d_zr panel so the
+        // z/r gate grads flow through concatenated matmuls.
+        Tensor dan = TensorPool::acquire_uninit(rows, hid);
+        Tensor d_zr = TensorPool::acquire_uninit(rows, 2 * hid);
+        Tensor rh = TensorPool::acquire_uninit(rows, hid);
+        for (std::size_t row = 0; row < rows; ++row) {
+          const double* grow = g.row(row).data();
+          const double* zrow = z.row(row).data();
+          const double* rrow = r.row(row).data();
+          const double* nrow = n.row(row).data();
+          const double* hrow = hv.row(row).data();
+          double* danrow = dan.row(row).data();
+          double* dzr = d_zr.row(row).data();
+          double* rhrow = rh.row(row).data();
+          for (std::size_t c = 0; c < hid; ++c) {
+            danrow[c] = grow[c] * (1.0 - zrow[c]) * (1.0 - nrow[c] * nrow[c]);
+            dzr[c] = grow[c] * (hrow[c] - nrow[c]) * zrow[c] * (1.0 - zrow[c]);
+            rhrow[c] = rrow[c] * hrow[c];
+          }
+        }
+
+        // Candidate-gate parameter grads.
+        if (bn.requires_grad()) colsum_acc(bn.grad_ref(), dan);
+        if (wxn.requires_grad()) matmul_tn_acc(wxn.grad_ref(), xv, dan);
+        if (whn.requires_grad()) matmul_tn_acc(whn.grad_ref(), rh, dan);
+
+        // drh = dan Whn^T routes the candidate grad into r and h;
+        // dar = (drh h) r (1-r) fills the right block of d_zr.
+        Tensor drh = TensorPool::acquire(rows, hid);
+        matmul_nt_acc(drh, dan, whn.value());
+        for (std::size_t row = 0; row < rows; ++row) {
+          const double* drhrow = drh.row(row).data();
+          const double* rrow = r.row(row).data();
+          const double* hrow = hv.row(row).data();
+          double* dzr = d_zr.row(row).data() + hid;
+          for (std::size_t c = 0; c < hid; ++c)
+            dzr[c] = drhrow[c] * hrow[c] * rrow[c] * (1.0 - rrow[c]);
+        }
+
+        if (bz.requires_grad()) colsum_block_acc(bz.grad_ref(), d_zr, 0);
+        if (br.requires_grad()) colsum_block_acc(br.grad_ref(), d_zr, hid);
+
+        // Stacked z/r weight grads: [x|h]^T d_zr is one ((in+hid) x 2H)
+        // panel holding all four gate-weight gradients as sub-blocks.
+        const std::size_t in_dim = xv.cols();
+        {
+          Tensor xh = TensorPool::acquire_uninit(rows, in_dim + hid);
+          concat2(xh, xv, hv);
+          Tensor dw = TensorPool::acquire(in_dim + hid, 2 * hid);
+          matmul_tn_acc(dw, xh, d_zr);
+          if (wxz.requires_grad()) add_block(wxz.grad_ref(), dw, 0, 0);
+          if (wxr.requires_grad()) add_block(wxr.grad_ref(), dw, 0, hid);
+          if (whz.requires_grad()) add_block(whz.grad_ref(), dw, in_dim, 0);
+          if (whr.requires_grad()) add_block(whr.grad_ref(), dw, in_dim, hid);
+          TensorPool::release(std::move(xh));
+          TensorPool::release(std::move(dw));
+        }
+
+        if (x.requires_grad() || h.requires_grad()) {
+          // d[x|h] = d_zr [[Wxz|Wxr];[Whz|Whr]]^T in one call, split back
+          // into the input gradients.
+          Tensor w_zr = TensorPool::acquire_uninit(in_dim + hid, 2 * hid);
+          build_zr_panel(w_zr, wxz.value(), wxr.value(), whz.value(),
+                         whr.value());
+          Tensor dxh = TensorPool::acquire(rows, in_dim + hid);
+          matmul_nt_acc(dxh, d_zr, w_zr);
+          if (x.requires_grad()) {
+            Tensor& xg = x.grad_ref();
+            add_block(xg, dxh, 0, 0);
+            matmul_nt_acc(xg, dan, wxn.value());
+          }
+          if (h.requires_grad()) {
+            Tensor& hg = h.grad_ref();
+            add_block(hg, dxh, 0, in_dim);
+            const auto gf = g.flat();
+            const auto zf = z.flat(), rf = r.flat();
+            const auto drhf = drh.flat();
+            auto hgf = hg.flat();
+            // dh += g z (direct blend term) + drh r (through the reset).
+            for (std::size_t i = 0; i < hgf.size(); ++i)
+              hgf[i] += gf[i] * zf[i] + drhf[i] * rf[i];
+          }
+          TensorPool::release(std::move(w_zr));
+          TensorPool::release(std::move(dxh));
+        }
+
+        TensorPool::release(std::move(dan));
+        TensorPool::release(std::move(d_zr));
+        TensorPool::release(std::move(rh));
+        TensorPool::release(std::move(drh));
+      });
 }
 
 std::vector<std::pair<std::string, Var>> GRUCell::named_params() const {

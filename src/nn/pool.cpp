@@ -1,0 +1,51 @@
+#include "nn/pool.hpp"
+
+#include <utility>
+#include <vector>
+
+namespace rnx::nn {
+
+namespace {
+// A tiny LIFO of raw buffers.  Capacity is bounded so a one-off huge
+// matrix does not pin memory forever; typical training shapes (<= ~1000
+// x 64 doubles) recycle perfectly within the cap.
+constexpr std::size_t kMaxPooled = 32;
+
+std::vector<std::vector<double>>& free_list() noexcept {
+  thread_local std::vector<std::vector<double>> list;
+  return list;
+}
+}  // namespace
+
+Tensor TensorPool::acquire(std::size_t rows, std::size_t cols) {
+  auto& list = free_list();
+  const std::size_t n = rows * cols;
+  if (n == 0 || list.empty()) return Tensor(rows, cols);
+  std::vector<double> buf = std::move(list.back());
+  list.pop_back();
+  buf.assign(n, 0.0);  // resize + zero, keeping capacity
+  return Tensor(rows, cols, std::move(buf));
+}
+
+Tensor TensorPool::acquire_uninit(std::size_t rows, std::size_t cols) {
+  auto& list = free_list();
+  const std::size_t n = rows * cols;
+  if (n == 0 || list.empty()) return Tensor(rows, cols);
+  std::vector<double> buf = std::move(list.back());
+  list.pop_back();
+  buf.resize(n);  // no fill: caller overwrites every element
+  return Tensor(rows, cols, std::move(buf));
+}
+
+void TensorPool::release(Tensor&& t) {
+  if (t.empty()) return;
+  auto& list = free_list();
+  if (list.size() >= kMaxPooled) return;  // let it deallocate
+  list.push_back(std::move(t).take_buffer());
+}
+
+std::size_t TensorPool::pooled_count() noexcept { return free_list().size(); }
+
+void TensorPool::drain() noexcept { free_list().clear(); }
+
+}  // namespace rnx::nn

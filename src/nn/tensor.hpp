@@ -57,6 +57,13 @@ class Tensor {
   /// Value of a 1x1 tensor; throws otherwise.
   [[nodiscard]] double item() const;
 
+  /// Move the underlying row-major buffer out, leaving this tensor empty
+  /// (0 x 0).  Used by TensorPool to recycle allocations.
+  [[nodiscard]] std::vector<double> take_buffer() && noexcept {
+    rows_ = cols_ = 0;
+    return std::move(data_);
+  }
+
   // -- in-place helpers used by ops/optimizers -------------------------
   void fill(double v) noexcept;
   void add_inplace(const Tensor& o);          ///< this += o

@@ -9,8 +9,9 @@ namespace rnx::util {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
-/// Global minimum level; messages below it are dropped.  Not thread-safe by
-/// design — the library is single-threaded (see DESIGN.md).
+/// Global minimum level; messages below it are dropped.  Thread-safe: the
+/// level is atomic and emitted lines are serialized, so trainer lanes and
+/// forward_batch workers may log concurrently (see DESIGN.md §T).
 void set_log_level(LogLevel level) noexcept;
 [[nodiscard]] LogLevel log_level() noexcept;
 

@@ -1,0 +1,89 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace rnx::util {
+
+ThreadPool::ThreadPool(std::size_t threads) : lanes_(std::max<std::size_t>(threads, 1)) {
+  workers_.reserve(lanes_ - 1);
+  for (std::size_t i = 0; i + 1 < lanes_; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_start_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+std::size_t ThreadPool::hardware_threads() noexcept {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<std::size_t>(n);
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen = 0;
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    cv_start_.wait(lock, [&] {
+      return shutdown_ || (generation_ != seen && next_ < count_);
+    });
+    if (shutdown_) return;
+    seen = generation_;
+    while (generation_ == seen && next_ < count_) {
+      const std::size_t i = next_++;
+      lock.unlock();
+      std::exception_ptr err;
+      try {
+        (*fn_)(i);
+      } catch (...) {
+        err = std::current_exception();
+      }
+      lock.lock();
+      if (err && !first_error_) first_error_ = err;
+      if (++done_ == count_) cv_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t count,
+                              const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  std::unique_lock<std::mutex> lock(mu_);
+  fn_ = &fn;
+  count_ = count;
+  next_ = 0;
+  done_ = 0;
+  first_error_ = nullptr;
+  ++generation_;
+  if (lanes_ > 1 && count > 1) cv_start_.notify_all();
+
+  // The calling thread is a full lane.
+  while (next_ < count_) {
+    const std::size_t i = next_++;
+    lock.unlock();
+    std::exception_ptr err;
+    try {
+      fn(i);
+    } catch (...) {
+      err = std::current_exception();
+    }
+    lock.lock();
+    if (err && !first_error_) first_error_ = err;
+    if (++done_ == count_) cv_done_.notify_all();
+  }
+  cv_done_.wait(lock, [&] { return done_ == count_; });
+
+  count_ = 0;  // idle: late-waking workers fall back to sleep
+  fn_ = nullptr;
+  if (first_error_) {
+    const std::exception_ptr err = first_error_;
+    first_error_ = nullptr;
+    std::rethrow_exception(err);
+  }
+}
+
+}  // namespace rnx::util

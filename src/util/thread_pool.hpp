@@ -1,0 +1,71 @@
+// Shared-queue thread pool for data-parallel loops.
+//
+// The pool exposes one primitive, parallel_for: run fn(i) for every i in
+// [0, count), distributing indices over the workers with an atomic
+// counter (dynamic scheduling — per-sample work in training is very
+// uneven, so static chunking would idle workers).  The calling thread
+// participates, so a pool of size 1 degenerates to an inline loop with no
+// synchronization traffic beyond one atomic.
+//
+// Determinism contract (DESIGN.md §T): the pool itself makes no ordering
+// promises — which worker runs which index is scheduling-dependent.
+// Callers that need reproducible results write into pre-sized per-index
+// slots and reduce the slots in index order afterwards; the trainer's
+// gradient merge does exactly that, which is why training results are
+// bitwise-identical for *any* thread count.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rnx::util {
+
+class ThreadPool {
+ public:
+  /// A pool that runs parallel_for on `threads` lanes total (the caller
+  /// counts as one lane, so `threads - 1` workers are spawned).
+  /// threads == 0 is normalized to 1.
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total lanes (workers + the calling thread).
+  [[nodiscard]] std::size_t size() const noexcept { return lanes_; }
+
+  /// Run fn(i) for i in [0, count); blocks until every index finished.
+  /// fn runs concurrently on up to size() lanes (including the caller).
+  /// If any invocation throws, the first exception (in completion order)
+  /// is rethrown here after all indices were dispatched.
+  /// Not reentrant: fn must not call parallel_for on the same pool.
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t)>& fn);
+
+  /// Best-effort hardware concurrency, never 0.
+  [[nodiscard]] static std::size_t hardware_threads() noexcept;
+
+ private:
+  void worker_loop();
+
+  std::size_t lanes_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  std::uint64_t generation_ = 0;   ///< bumped per parallel_for call
+  bool shutdown_ = false;
+  // Current job; count_ == 0 between jobs, so late-waking workers skip.
+  const std::function<void(std::size_t)>* fn_ = nullptr;
+  std::size_t count_ = 0;
+  std::size_t next_ = 0;           ///< next index to claim (under mu_)
+  std::size_t done_ = 0;           ///< indices finished (under mu_)
+  std::exception_ptr first_error_;
+};
+
+}  // namespace rnx::util

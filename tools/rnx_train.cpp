@@ -9,6 +9,7 @@
 // only evaluating), never on evaluation data.
 #include <iostream>
 #include <memory>
+#include <optional>
 
 #include "cli.hpp"
 #include "core/routenet.hpp"
@@ -22,7 +23,8 @@ int main(int argc, char** argv) {
   const cli::Args args(
       argc, argv,
       {"train", "eval", "model", "epochs", "lr", "batch", "state-dim",
-       "iterations", "save", "load", "scaler-from", "seed", "quiet"},
+       "iterations", "save", "load", "scaler-from", "seed", "threads",
+       "quiet"},
       "usage: rnx_train --train ds.rnxd [--eval test.rnxd] [options]\n"
       "  --train FILE      training dataset (.rnxd)\n"
       "  --eval FILE       evaluation dataset (.rnxd)\n"
@@ -36,7 +38,15 @@ int main(int argc, char** argv) {
       "  --load FILE       load weights instead of training\n"
       "  --scaler-from F   dataset for scaler statistics (eval-only mode)\n"
       "  --seed S          init/shuffle seed, default 42\n"
+      "  --threads N       data-parallel lanes (0 = all cores), default 1;\n"
+      "                    results are identical for any thread count\n"
       "  --quiet           suppress per-epoch logs");
+
+  // Data-parallel lanes, shared by training and evaluation.
+  std::size_t threads = args.get("threads", std::size_t{1});
+  if (threads == 0) threads = util::ThreadPool::hardware_threads();
+  std::optional<util::ThreadPool> pool;
+  if (threads > 1) pool.emplace(threads);
 
   const std::string model_kind = args.get("model", std::string("ext"));
   core::ModelConfig mc;
@@ -82,6 +92,7 @@ int main(int argc, char** argv) {
     tc.lr = args.get("lr", 2e-3);
     tc.batch_samples = args.get("batch", std::size_t{4});
     tc.seed = static_cast<std::uint64_t>(args.get("seed", 42.0));
+    tc.threads = threads;
     tc.verbose = !args.has("quiet");
     core::Trainer trainer(*model, tc);
     std::cout << "training " << model->name() << " on " << train.size()
@@ -100,7 +111,10 @@ int main(int argc, char** argv) {
   if (args.has("eval")) {
     const data::Dataset test =
         data::Dataset::load(args.get("eval", std::string()));
-    const auto pp = eval::predict_dataset(*model, test, scaler, 10);
+    const auto pp =
+        eval::predict_dataset(*model, test, scaler, 10,
+                              core::PredictionTarget::kDelay,
+                              pool ? &*pool : nullptr);
     const auto s = eval::summarize(pp);
     util::Table table({"metric", "value"});
     table.add_row({"paths", util::Table::cell(s.n)})
