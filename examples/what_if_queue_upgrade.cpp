@@ -9,7 +9,10 @@
 // upgrade against the simulator.
 //
 // Run: ./what_if_queue_upgrade
-//      (trains a small model inline if routenet_ext_geant2.rnxw is absent)
+//      (first run trains a small model and writes
+//      routenet_ext_geant2.rnxb; later runs serve straight from the
+//      bundle — no retraining, no dataset regeneration, no scaler
+//      re-fit)
 #include <algorithm>
 #include <filesystem>
 #include <iostream>
@@ -17,6 +20,7 @@
 #include "core/routenet_ext.hpp"
 #include "core/trainer.hpp"
 #include "data/generator.hpp"
+#include "serve/inference.hpp"
 #include "sim/simulator.hpp"
 #include "topo/zoo.hpp"
 #include "util/log.hpp"
@@ -27,15 +31,32 @@ namespace {
 
 using namespace rnx;
 
-// Mean delay (over paths) predicted by the model for a scenario.
-double predicted_mean_delay(const core::Model& model, const data::Sample& s,
-                            const data::Scaler& sc) {
-  const nn::NoGradGuard guard;
-  const nn::Var pred = model.forward(s, sc);
-  double sum = 0.0;
-  for (std::size_t i = 0; i < pred.rows(); ++i)
-    sum += sc.target_to_delay(pred.value()(i, 0));
-  return sum / static_cast<double>(pred.rows());
+constexpr const char* kBundlePath = "routenet_ext_geant2.rnxb";
+
+// Train a small extended model on queue-varied GEANT2 and persist it as
+// a self-contained bundle (weights + scaler moments + config).
+void train_and_save_bundle() {
+  data::GeneratorConfig gen;
+  gen.target_packets = 150'000;
+  gen.util_lo = 0.7;
+  gen.util_hi = 0.95;
+  std::cout << "no saved bundle; training inline (30 epochs)...\n";
+  data::Dataset train(data::generate_dataset(topo::geant2(), 40, gen, 99));
+  const data::Scaler scaler = data::Scaler::fit(train.samples());
+
+  core::ModelConfig mc;
+  mc.state_dim = 12;
+  mc.iterations = 4;
+  core::ExtendedRouteNet model(mc);
+  core::TrainConfig tc;
+  tc.epochs = 30;
+  tc.batch_samples = 4;
+  tc.lr = 2e-3;
+  tc.verbose = false;
+  core::Trainer(model, tc).fit(train, scaler);
+  serve::save_bundle(kBundlePath, model, scaler,
+                     core::PredictionTarget::kDelay, tc.min_delivered);
+  std::cout << "bundle written: " << kBundlePath << "\n";
 }
 
 // Ground-truth mean delay via packet simulation of the same scenario.
@@ -70,33 +91,19 @@ double simulated_mean_delay(const data::Sample& s) {
 int main() {
   util::set_log_level(util::LogLevel::kWarn);
 
-  // Training data: queue-varied GEANT2 (the regime the model must know).
+  std::cout << "preparing model...\n";
+  if (!std::filesystem::exists(kBundlePath)) train_and_save_bundle();
+  // Serve every what-if query from the bundle: the deployed model's
+  // scaler moments come from the bundle, never from a re-fit.
+  serve::InferenceEngine engine(kBundlePath);
+  std::cout << "serving from " << kBundlePath << " ("
+            << engine.model().name() << ")\n";
+
+  // The scenario under study: one fresh queue-varied sample.
   data::GeneratorConfig gen;
   gen.target_packets = 150'000;
   gen.util_lo = 0.7;
   gen.util_hi = 0.95;
-  std::cout << "preparing model...\n";
-  data::Dataset train(data::generate_dataset(topo::geant2(), 40, gen, 99));
-  const data::Scaler scaler = data::Scaler::fit(train.samples());
-
-  core::ModelConfig mc;
-  mc.state_dim = 12;
-  mc.iterations = 4;
-  core::ExtendedRouteNet model(mc);
-  if (std::filesystem::exists("routenet_ext_geant2.rnxw")) {
-    std::cout << "loading weights from routenet_ext_geant2.rnxw\n";
-    model.load_weights("routenet_ext_geant2.rnxw");
-  } else {
-    std::cout << "no saved weights; training inline (30 epochs)...\n";
-    core::TrainConfig tc;
-    tc.epochs = 30;
-    tc.batch_samples = 4;
-    tc.lr = 2e-3;
-    tc.verbose = false;
-    core::Trainer(model, tc).fit(train, scaler);
-  }
-
-  // The scenario under study: one fresh queue-varied sample.
   util::RngStream rng(12345);
   const data::Sample base = data::generate_sample(topo::geant2(), gen, rng);
   std::vector<topo::NodeId> tiny_nodes;
@@ -106,15 +113,25 @@ int main() {
   std::cout << "\nscenario: GEANT2 with " << tiny_nodes.size()
             << " tiny-queue routers; which single upgrade helps most?\n\n";
 
-  // GNN what-if sweep: flip each tiny queue to standard, predict.
+  // GNN what-if sweep: flip each tiny queue to standard, predict the
+  // whole candidate set as one batched request to the engine.
   util::Stopwatch gnn_watch;
-  const double base_pred = predicted_mean_delay(model, base, scaler);
-  std::vector<std::pair<topo::NodeId, double>> gains;
+  const double base_pred = engine.predict_mean(base);
+  std::vector<data::Sample> variants;
+  variants.reserve(tiny_nodes.size());
   for (const topo::NodeId n : tiny_nodes) {
-    data::Sample upgraded = base;
-    upgraded.queue_pkts[n] = topo::kStandardQueuePackets;
-    gains.emplace_back(n, predicted_mean_delay(model, upgraded, scaler) -
-                              base_pred);
+    variants.push_back(base);
+    variants.back().queue_pkts[n] = topo::kStandardQueuePackets;
+  }
+  const std::vector<std::vector<double>> preds =
+      engine.predict_batch(variants);
+  std::vector<std::pair<topo::NodeId, double>> gains;
+  for (std::size_t i = 0; i < tiny_nodes.size(); ++i) {
+    double sum = 0.0;
+    for (const double p : preds[i]) sum += p;
+    gains.emplace_back(tiny_nodes[i],
+                       sum / static_cast<double>(preds[i].size()) -
+                           base_pred);
   }
   const double gnn_seconds = gnn_watch.seconds();
   std::sort(gains.begin(), gains.end(),

@@ -3,12 +3,38 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <optional>
+#include <string_view>
 
 namespace rnx::core {
 
 /// Which per-path metric the readout regresses.  RouteNet supports both
 /// (paper abstract: "delay or jitter"); the Fig. 2 evaluation uses delay.
 enum class PredictionTarget : std::uint8_t { kDelay, kJitter };
+
+/// The two architectures; the stable on-disk / CLI vocabulary is
+/// "orig" / "ext" (model bundles persist this as one byte).
+enum class ModelKind : std::uint8_t { kOriginal = 0, kExtended = 1 };
+
+[[nodiscard]] constexpr std::string_view to_string(ModelKind k) noexcept {
+  return k == ModelKind::kOriginal ? "orig" : "ext";
+}
+[[nodiscard]] constexpr std::string_view to_string(
+    PredictionTarget t) noexcept {
+  return t == PredictionTarget::kDelay ? "delay" : "jitter";
+}
+[[nodiscard]] inline std::optional<ModelKind> model_kind_from_string(
+    std::string_view s) noexcept {
+  if (s == "orig") return ModelKind::kOriginal;
+  if (s == "ext") return ModelKind::kExtended;
+  return std::nullopt;
+}
+[[nodiscard]] inline std::optional<PredictionTarget> target_from_string(
+    std::string_view s) noexcept {
+  if (s == "delay") return PredictionTarget::kDelay;
+  if (s == "jitter") return PredictionTarget::kJitter;
+  return std::nullopt;
+}
 
 /// How the node states are updated in the extended architecture.
 enum class NodeUpdateRule : std::uint8_t {

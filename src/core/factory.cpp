@@ -1,0 +1,20 @@
+#include "core/model.hpp"
+
+#include <stdexcept>
+
+#include "core/routenet.hpp"
+#include "core/routenet_ext.hpp"
+
+namespace rnx::core {
+
+std::unique_ptr<Model> make_model(ModelKind kind, const ModelConfig& cfg) {
+  switch (kind) {
+    case ModelKind::kOriginal:
+      return std::make_unique<RouteNet>(cfg);
+    case ModelKind::kExtended:
+      return std::make_unique<ExtendedRouteNet>(cfg);
+  }
+  throw std::invalid_argument("make_model: invalid model kind");
+}
+
+}  // namespace rnx::core

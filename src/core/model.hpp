@@ -48,6 +48,9 @@ class Model {
       const data::Sample& sample, const data::Scaler& scaler) const = 0;
 
   [[nodiscard]] virtual std::string name() const = 0;
+  /// Stable architecture tag ("orig"/"ext" on disk and CLI); what a
+  /// model bundle persists so load can reconstruct the right class.
+  [[nodiscard]] virtual ModelKind kind() const noexcept = 0;
   [[nodiscard]] virtual nn::NamedParams named_params() const = 0;
   [[nodiscard]] virtual const ModelConfig& config() const = 0;
 
@@ -91,6 +94,13 @@ class Model {
  private:
   PlanCache* plan_cache_ = nullptr;
 };
+
+/// Construct-from-config factory: the freshly initialized model of the
+/// given kind (weights from cfg.init_seed, ready for load_weights).
+/// Deserialization and the CLI tools route through this so every
+/// consumer agrees on the kind -> class mapping.
+[[nodiscard]] std::unique_ptr<Model> make_model(ModelKind kind,
+                                                const ModelConfig& cfg);
 
 // -- shared state builders (implemented in plan.cpp's TU neighbour) ------
 

@@ -27,6 +27,9 @@ class RouteNet final : public Model {
   [[nodiscard]] ForwardTrace forward_traced(
       const data::Sample& sample, const data::Scaler& scaler) const override;
   [[nodiscard]] std::string name() const override { return "routenet"; }
+  [[nodiscard]] ModelKind kind() const noexcept override {
+    return ModelKind::kOriginal;
+  }
   [[nodiscard]] nn::NamedParams named_params() const override;
   [[nodiscard]] const ModelConfig& config() const override { return cfg_; }
   [[nodiscard]] std::unique_ptr<Model> clone() const override;

@@ -31,6 +31,9 @@ class ExtendedRouteNet final : public Model {
   [[nodiscard]] ForwardTrace forward_traced(
       const data::Sample& sample, const data::Scaler& scaler) const override;
   [[nodiscard]] std::string name() const override { return "routenet-ext"; }
+  [[nodiscard]] ModelKind kind() const noexcept override {
+    return ModelKind::kExtended;
+  }
   [[nodiscard]] nn::NamedParams named_params() const override;
   [[nodiscard]] const ModelConfig& config() const override { return cfg_; }
   [[nodiscard]] std::unique_ptr<Model> clone() const override;

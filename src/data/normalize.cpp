@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <string>
 
 #include "util/stats.hpp"
 
@@ -41,6 +42,30 @@ Scaler Scaler::fit(std::span<const Sample> train, std::uint64_t min_delivered) {
   // Jitter labels can legitimately be absent (e.g. deterministic packet
   // sizes at trivial load); leave unit moments in that case.
   if (log_jitter.count() > 0) sc.log_jitter_ = from_welford(log_jitter);
+  return sc;
+}
+
+Scaler Scaler::from_moments(const Moments& traffic, const Moments& capacity,
+                            const Moments& queue, const Moments& log_delay,
+                            const Moments& log_jitter) {
+  const auto check = [](const Moments& m, const char* channel) {
+    if (!std::isfinite(m.mean) || !std::isfinite(m.stddev) ||
+        m.stddev <= 0.0)
+      throw std::invalid_argument(
+          std::string("Scaler::from_moments: invalid moments for ") +
+          channel);
+  };
+  check(traffic, "traffic");
+  check(capacity, "capacity");
+  check(queue, "queue");
+  check(log_delay, "log_delay");
+  check(log_jitter, "log_jitter");
+  Scaler sc;
+  sc.traffic_ = traffic;
+  sc.capacity_ = capacity;
+  sc.queue_ = queue;
+  sc.log_delay_ = log_delay;
+  sc.log_jitter_ = log_jitter;
   return sc;
 }
 

@@ -36,6 +36,15 @@ class Scaler {
   static Scaler fit(std::span<const Sample> train,
                     std::uint64_t min_delivered = 10);
 
+  /// Rebuild a scaler from previously fitted statistics — how a model
+  /// bundle restores the exact training-set moments at deployment time
+  /// instead of re-fitting on whatever dataset happens to be at hand
+  /// (re-fitting on a different set silently shifts every prediction).
+  /// Throws std::invalid_argument on non-finite or non-positive stddev.
+  static Scaler from_moments(const Moments& traffic, const Moments& capacity,
+                             const Moments& queue, const Moments& log_delay,
+                             const Moments& log_jitter);
+
   [[nodiscard]] double traffic(double bps) const {
     return traffic_.normalize(bps);
   }

@@ -1,10 +1,12 @@
 #include "eval/metrics.hpp"
 
 #include <cmath>
+#include <ostream>
 #include <stdexcept>
 
 #include "core/plan.hpp"
 #include "util/stats.hpp"
+#include "util/table.hpp"
 
 namespace rnx::eval {
 
@@ -104,6 +106,25 @@ RegressionSummary summarize(const PairedPredictions& pp) {
   }
   s.pearson = (vt > 0.0 && vp > 0.0) ? cov / std::sqrt(vt * vp) : 0.0;
   return s;
+}
+
+void print_summary(std::ostream& os, const RegressionSummary& s,
+                   core::PredictionTarget target) {
+  const bool delay = target == core::PredictionTarget::kDelay;
+  const std::string unit = delay ? " ms" : " ms^2";
+  const double to_unit = delay ? 1e3 : 1e6;
+  util::Table table({"metric", "value"});
+  table.add_row({"paths", util::Table::cell(s.n)})
+      .add_row({"median |rel err|",
+                util::Table::cell(s.median_ape * 100, 2) + " %"})
+      .add_row({"P90 |rel err|",
+                util::Table::cell(s.p90_ape * 100, 2) + " %"})
+      .add_row({"MAPE", util::Table::cell(s.mape * 100, 2) + " %"})
+      .add_row({"MAE", util::Table::cell(s.mae * to_unit, 4) + unit})
+      .add_row({"RMSE", util::Table::cell(s.rmse * to_unit, 4) + unit})
+      .add_row({"Pearson r", util::Table::cell(s.pearson, 4)})
+      .add_row({"R^2", util::Table::cell(s.r2, 4)});
+  table.print(os);
 }
 
 }  // namespace rnx::eval

@@ -53,4 +53,11 @@ struct RegressionSummary {
 
 [[nodiscard]] RegressionSummary summarize(const PairedPredictions& pp);
 
+/// Render the summary as the CLI metric table (ms for delay, ms^2 for
+/// jitter).  Shared by rnx_train and rnx_predict: the CI train->serve
+/// smoke diffs their outputs line for line, so there must be exactly
+/// one formatting implementation.
+void print_summary(std::ostream& os, const RegressionSummary& s,
+                   core::PredictionTarget target);
+
 }  // namespace rnx::eval

@@ -2,7 +2,9 @@
 
 #include <cstdint>
 #include <fstream>
+#include <istream>
 #include <map>
+#include <ostream>
 #include <stdexcept>
 
 namespace rnx::nn {
@@ -12,19 +14,17 @@ constexpr char kMagic[4] = {'R', 'N', 'X', 'W'};
 constexpr std::uint32_t kVersion = 1;
 
 template <typename T>
-void write_pod(std::ofstream& f, const T& v) {
+void write_pod(std::ostream& f, const T& v) {
   f.write(reinterpret_cast<const char*>(&v), sizeof(T));
 }
 template <typename T>
-void read_pod(std::ifstream& f, T& v) {
+void read_pod(std::istream& f, T& v) {
   f.read(reinterpret_cast<char*>(&v), sizeof(T));
   if (!f) throw std::runtime_error("load_params: truncated file");
 }
 }  // namespace
 
-void save_params(const std::string& path, const NamedParams& params) {
-  std::ofstream f(path, std::ios::binary);
-  if (!f) throw std::runtime_error("save_params: cannot open " + path);
+void save_params(std::ostream& f, const NamedParams& params) {
   f.write(kMagic, sizeof(kMagic));
   write_pod(f, kVersion);
   write_pod(f, static_cast<std::uint64_t>(params.size()));
@@ -37,16 +37,21 @@ void save_params(const std::string& path, const NamedParams& params) {
     f.write(reinterpret_cast<const char*>(t.flat().data()),
             static_cast<std::streamsize>(t.size() * sizeof(double)));
   }
+  if (!f) throw std::runtime_error("save_params: write failed");
+}
+
+void save_params(const std::string& path, const NamedParams& params) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("save_params: cannot open " + path);
+  save_params(f, params);
   if (!f) throw std::runtime_error("save_params: write failed on " + path);
 }
 
-void load_params(const std::string& path, NamedParams& params) {
-  std::ifstream f(path, std::ios::binary);
-  if (!f) throw std::runtime_error("load_params: cannot open " + path);
+void load_params(std::istream& f, NamedParams& params) {
   char magic[4];
   f.read(magic, sizeof(magic));
   if (!f || std::string_view(magic, 4) != std::string_view(kMagic, 4))
-    throw std::runtime_error("load_params: bad magic in " + path);
+    throw std::runtime_error("load_params: bad magic");
   std::uint32_t version = 0;
   read_pod(f, version);
   if (version != kVersion)
@@ -65,8 +70,18 @@ void load_params(const std::string& path, NamedParams& params) {
   for (std::uint64_t i = 0; i < count; ++i) {
     std::uint32_t name_len = 0;
     read_pod(f, name_len);
+    // A corrupt header must fail loudly here, not surface later as a
+    // multi-gigabyte allocation or a misleading "unknown parameter".
+    if (name_len == 0 || name_len > kMaxParamNameLen)
+      throw std::runtime_error(
+          "load_params: corrupt file (parameter name length " +
+          std::to_string(name_len) + " exceeds " +
+          std::to_string(kMaxParamNameLen) + ")");
     std::string name(name_len, '\0');
     f.read(name.data(), name_len);
+    if (!f)
+      throw std::runtime_error(
+          "load_params: truncated file inside a parameter name");
     std::uint64_t rows = 0, cols = 0;
     read_pod(f, rows);
     read_pod(f, cols);
@@ -79,6 +94,16 @@ void load_params(const std::string& path, NamedParams& params) {
     f.read(reinterpret_cast<char*>(dst.flat().data()),
            static_cast<std::streamsize>(rows * cols * sizeof(double)));
     if (!f) throw std::runtime_error("load_params: truncated tensor " + name);
+  }
+}
+
+void load_params(const std::string& path, NamedParams& params) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("load_params: cannot open " + path);
+  try {
+    load_params(f, params);
+  } catch (const std::runtime_error& e) {
+    throw std::runtime_error(std::string(e.what()) + " in " + path);
   }
 }
 

@@ -5,8 +5,13 @@
 // (little-endian, as written by the host).  load_params matches strictly
 // by name and shape so a weight file can never be silently misapplied to
 // a different architecture.
+//
+// The stream overloads exist so the weight section can be embedded in
+// larger containers (serve::ModelBundle stores one verbatim inside a
+// .rnxb file); the path overloads are thin wrappers.
 #pragma once
 
+#include <iosfwd>
 #include <string>
 #include <utility>
 #include <vector>
@@ -17,12 +22,22 @@ namespace rnx::nn {
 
 using NamedParams = std::vector<std::pair<std::string, Var>>;
 
+/// Parameter names longer than this are rejected on load: no real
+/// parameter name comes close, so a bigger length can only be file
+/// corruption — reject it instead of attempting the allocation.
+inline constexpr std::uint32_t kMaxParamNameLen = 4096;
+
 /// Write all parameters to path; throws std::runtime_error on I/O failure.
 void save_params(const std::string& path, const NamedParams& params);
+/// As above, appending the weight section to an open binary stream.
+void save_params(std::ostream& f, const NamedParams& params);
 
 /// Read parameters from path into the given set.  Every stored name must
 /// exist in `params` with an identical shape and vice versa; throws
-/// std::runtime_error otherwise.
+/// std::runtime_error otherwise (including on truncated or corrupt
+/// input — a bad header can never trigger an unbounded allocation).
 void load_params(const std::string& path, NamedParams& params);
+/// As above, consuming one weight section from an open binary stream.
+void load_params(std::istream& f, NamedParams& params);
 
 }  // namespace rnx::nn

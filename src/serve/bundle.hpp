@@ -1,0 +1,62 @@
+// Self-contained model bundles (.rnxb): everything inference needs in
+// one integrity-checked file.
+//
+// save_params (.rnxw) persists weights only, so a deployed model used to
+// re-fit its data::Scaler from whatever dataset --scaler-from pointed at
+// — point it at anything but the original training set and every
+// prediction silently drifts (wrong z-score moments).  A bundle closes
+// that hole by persisting the full inference contract:
+//
+//   magic "RNXB", u32 version, u64 body size, u64 FNV-1a checksum, body:
+//     u8  model kind (core::ModelKind: 0 = orig, 1 = ext)
+//     u8  prediction target (core::PredictionTarget)
+//     u64 min_delivered        (label-quality threshold used in training)
+//     u64 state_dim, u64 readout_hidden, u64 iterations
+//     u8  node_rule, u8 node_mean_aggregation, u8 fused_gru
+//     u64 init_seed
+//     5 x (f64 mean, f64 stddev)  Scaler moments: traffic, capacity,
+//                                 queue, log_delay, log_jitter
+//     embedded "RNXW" weight section (nn::save_params verbatim)
+//
+// The checksum covers the whole body, so truncation or bit rot fails
+// loudly at load instead of surfacing as subtly wrong predictions.
+// Versioning rule: any layout change bumps kBundleVersion; readers
+// reject unknown versions rather than guessing (see DESIGN.md §B).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/config.hpp"
+#include "core/model.hpp"
+#include "data/normalize.hpp"
+
+namespace rnx::serve {
+
+inline constexpr std::uint32_t kBundleVersion = 1;
+
+/// A deserialized bundle: the reconstructed model (weights loaded) plus
+/// the inference-time context it was trained with.
+struct ModelBundle {
+  std::unique_ptr<core::Model> model;
+  data::Scaler scaler;
+  core::PredictionTarget target = core::PredictionTarget::kDelay;
+  std::uint64_t min_delivered = 10;
+
+  [[nodiscard]] core::ModelKind kind() const { return model->kind(); }
+};
+
+/// Write model weights + config + scaler moments + target as one .rnxb
+/// file.  Throws std::runtime_error on I/O failure.
+void save_bundle(const std::string& path, const core::Model& model,
+                 const data::Scaler& scaler, core::PredictionTarget target,
+                 std::uint64_t min_delivered);
+
+/// Load a bundle, reconstructing the model via core::make_model.  Throws
+/// std::runtime_error with a descriptive message on missing file, bad
+/// magic, unsupported version, checksum mismatch, invalid model kind /
+/// target byte, or truncation — never a huge allocation.
+[[nodiscard]] ModelBundle load_bundle(const std::string& path);
+
+}  // namespace rnx::serve

@@ -1,0 +1,81 @@
+#include "serve/inference.hpp"
+
+#include <stdexcept>
+
+#include "nn/autograd.hpp"
+
+namespace rnx::serve {
+
+InferenceEngine::InferenceEngine(const std::string& path, std::size_t threads)
+    : InferenceEngine(load_bundle(path), threads) {}
+
+InferenceEngine::InferenceEngine(ModelBundle bundle, std::size_t threads)
+    : model_(std::move(bundle.model)),
+      scaler_(bundle.scaler),
+      target_(bundle.target),
+      min_delivered_(bundle.min_delivered) {
+  if (!model_)
+    throw std::invalid_argument("InferenceEngine: bundle holds no model");
+  if (threads == 0) threads = util::ThreadPool::hardware_threads();
+  if (threads > 1) pool_.emplace(threads);
+  model_->set_plan_cache(&plan_cache_);
+}
+
+InferenceEngine::~InferenceEngine() { model_->set_plan_cache(nullptr); }
+
+std::size_t InferenceEngine::threads() const noexcept {
+  return pool_ ? pool_->size() : 1;
+}
+
+double InferenceEngine::denormalize(double target_value) const {
+  return target_ == core::PredictionTarget::kDelay
+             ? scaler_.target_to_delay(target_value)
+             : scaler_.target_to_jitter(target_value);
+}
+
+std::vector<double> InferenceEngine::predict(
+    const data::Sample& sample) const {
+  const nn::NoGradGuard guard;
+  const nn::Tensor pred = model_->forward(sample, scaler_).value();
+  std::vector<double> out(pred.rows());
+  for (std::size_t i = 0; i < out.size(); ++i)
+    out[i] = denormalize(pred(i, 0));
+  return out;
+}
+
+std::vector<std::vector<double>> InferenceEngine::predict_batch(
+    std::span<const data::Sample> samples) const {
+  std::vector<nn::Tensor> preds;
+  {
+    // forward_batch owns the pool for the duration of the request; the
+    // pool runs one parallel_for at a time, so concurrent batch calls
+    // queue here instead of interleaving.
+    const std::scoped_lock lock(batch_mu_);
+    preds = model_->forward_batch(samples, scaler_,
+                                  pool_ ? &*pool_ : nullptr);
+  }
+  std::vector<std::vector<double>> out(samples.size());
+  for (std::size_t si = 0; si < samples.size(); ++si) {
+    out[si].resize(preds[si].rows());
+    for (std::size_t i = 0; i < out[si].size(); ++i)
+      out[si][i] = denormalize(preds[si](i, 0));
+  }
+  return out;
+}
+
+double InferenceEngine::predict_mean(const data::Sample& sample) const {
+  const std::vector<double> preds = predict(sample);
+  if (preds.empty())
+    throw std::invalid_argument("predict_mean: sample has no paths");
+  double sum = 0.0;
+  for (const double p : preds) sum += p;
+  return sum / static_cast<double>(preds.size());
+}
+
+void InferenceEngine::invalidate(const data::Sample& sample) const {
+  plan_cache_.invalidate(sample);
+}
+
+void InferenceEngine::clear_plan_cache() const { plan_cache_.clear(); }
+
+}  // namespace rnx::serve

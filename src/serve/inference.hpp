@@ -1,0 +1,100 @@
+// Serving layer: load a model bundle once, answer prediction requests.
+//
+// The engine owns the reconstructed model, the training-set scaler, a
+// core::PlanCache shared across requests (repeated what-if queries over
+// the same scenario pay build_plan once), and an optional ThreadPool for
+// batch fan-out.  Predictions come back in physical units — seconds for
+// delay, seconds^2 for jitter — ready for an operator-facing API.
+//
+// Thread-safety (DESIGN.md §B): predict() may be called concurrently
+// from any number of threads — forward() only reads the weights, the
+// plan cache takes its own lock, and autograd's no-grad mode is
+// thread-local.  predict_batch() fans one request out over the pool and
+// serializes concurrent batch calls on an internal mutex (the pool runs
+// one job at a time).  Plan-cache entries are keyed by sample identity
+// (address): a caller that destroys or mutates request samples and then
+// recycles their addresses must invalidate()/clear_plan_cache() first,
+// same contract as core::PlanCache.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/model.hpp"
+#include "core/plan_cache.hpp"
+#include "serve/bundle.hpp"
+#include "util/thread_pool.hpp"
+
+namespace rnx::serve {
+
+class InferenceEngine {
+ public:
+  /// Load the bundle at `path`.  `threads` sizes the batch fan-out pool
+  /// (1 = serial batches, 0 = all hardware threads).
+  explicit InferenceEngine(const std::string& path, std::size_t threads = 1);
+  /// Adopt an already-loaded bundle (must hold a model).
+  explicit InferenceEngine(ModelBundle bundle, std::size_t threads = 1);
+
+  InferenceEngine(const InferenceEngine&) = delete;
+  InferenceEngine& operator=(const InferenceEngine&) = delete;
+  ~InferenceEngine();
+
+  /// Per-path predictions for one scenario, in the sample's path order,
+  /// in physical units (seconds or seconds^2 per the bundle's target).
+  /// Safe to call concurrently.
+  [[nodiscard]] std::vector<double> predict(const data::Sample& sample) const;
+
+  /// Batched request: one prediction vector per sample, fanned out over
+  /// the engine's pool.  Concurrent batch calls are serialized.
+  [[nodiscard]] std::vector<std::vector<double>> predict_batch(
+      std::span<const data::Sample> samples) const;
+
+  /// Mean predicted value over a scenario's paths — the what-if loop's
+  /// scalar objective (examples/what_if_queue_upgrade.cpp).
+  [[nodiscard]] double predict_mean(const data::Sample& sample) const;
+
+  // -- bundle context (for eval tooling; model/scaler are read-only) ----
+  [[nodiscard]] const core::Model& model() const noexcept { return *model_; }
+  [[nodiscard]] const data::Scaler& scaler() const noexcept {
+    return scaler_;
+  }
+  [[nodiscard]] core::PredictionTarget target() const noexcept {
+    return target_;
+  }
+  [[nodiscard]] std::uint64_t min_delivered() const noexcept {
+    return min_delivered_;
+  }
+  [[nodiscard]] std::size_t threads() const noexcept;
+  /// The batch fan-out pool (nullptr when the engine is serial).
+  /// Exposed so eval tooling can drive Model::forward_batch on the
+  /// engine's lanes; borrow only while no predict_batch call is in
+  /// flight — the pool runs one job at a time.
+  [[nodiscard]] util::ThreadPool* batch_pool() const noexcept {
+    return pool_ ? &*pool_ : nullptr;
+  }
+
+  // -- plan-cache lifetime hooks (see header comment) -------------------
+  void invalidate(const data::Sample& sample) const;
+  void clear_plan_cache() const;
+  [[nodiscard]] const core::PlanCache& plan_cache() const noexcept {
+    return plan_cache_;
+  }
+
+ private:
+  [[nodiscard]] double denormalize(double target_value) const;
+
+  std::unique_ptr<core::Model> model_;
+  data::Scaler scaler_;
+  core::PredictionTarget target_;
+  std::uint64_t min_delivered_;
+  mutable core::PlanCache plan_cache_;
+  mutable std::optional<util::ThreadPool> pool_;  ///< threads > 1 only
+  mutable std::mutex batch_mu_;  ///< one pool job at a time
+};
+
+}  // namespace rnx::serve

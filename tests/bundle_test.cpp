@@ -1,0 +1,270 @@
+// Model bundles (.rnxb) and the serving layer: a bundle must carry the
+// complete inference contract (weights, scaler moments, config, kind,
+// target), reject corruption loudly, and — the deployment bug this
+// subsystem fixes — reproduce in-memory predictions bit for bit without
+// ever re-fitting a scaler from a dataset.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/routenet_ext.hpp"
+#include "data/dataset.hpp"
+#include "data/generator.hpp"
+#include "serve/inference.hpp"
+#include "topo/zoo.hpp"
+#include "util/log.hpp"
+
+namespace {
+
+using namespace rnx;
+
+// Small queue-varied dataset: enough simulated packets for stable labels,
+// small enough to keep the suite fast.
+const data::Dataset& test_dataset() {
+  static const data::Dataset ds = [] {
+    util::set_log_level(util::LogLevel::kWarn);
+    data::GeneratorConfig gen;
+    gen.target_packets = 20'000;
+    return data::Dataset(data::generate_dataset(topo::nsfnet(), 4, gen, 11));
+  }();
+  return ds;
+}
+
+core::ModelConfig small_config() {
+  core::ModelConfig mc;
+  mc.state_dim = 8;
+  mc.readout_hidden = 12;
+  mc.iterations = 2;
+  mc.init_seed = 5;
+  return mc;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(f), {}};
+}
+void spit(const std::string& path, const std::string& bytes) {
+  std::ofstream f(path, std::ios::binary);
+  f.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+// Mirror of the bundle checksum so tests can corrupt a body byte and
+// re-seal the header (offsets: magic 4, version 4, size 8, checksum 8).
+constexpr std::size_t kBodyOffset = 24;
+constexpr std::size_t kChecksumOffset = 16;
+std::uint64_t fnv1a64(std::string_view bytes) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+void reseal(std::string& file) {
+  const std::uint64_t sum = fnv1a64(std::string_view(file).substr(kBodyOffset));
+  for (std::size_t i = 0; i < 8; ++i)
+    file[kChecksumOffset + i] = static_cast<char>((sum >> (8 * i)) & 0xFF);
+}
+
+struct SavedBundle {
+  std::string path;
+  core::ExtendedRouteNet model;
+  data::Scaler scaler;
+};
+
+SavedBundle make_saved_bundle(const std::string& path) {
+  const data::Dataset& ds = test_dataset();
+  SavedBundle out{path, core::ExtendedRouteNet(small_config()),
+                  data::Scaler::fit(ds.samples(), 5)};
+  serve::save_bundle(path, out.model, out.scaler,
+                     core::PredictionTarget::kDelay, 5);
+  return out;
+}
+
+TEST(Bundle, RoundTripPreservesEverything) {
+  const std::string path = "/tmp/rnx_bundle_roundtrip.rnxb";
+  const SavedBundle saved = make_saved_bundle(path);
+
+  const serve::ModelBundle loaded = serve::load_bundle(path);
+  ASSERT_TRUE(loaded.model != nullptr);
+  EXPECT_EQ(loaded.kind(), core::ModelKind::kExtended);
+  EXPECT_EQ(loaded.target, core::PredictionTarget::kDelay);
+  EXPECT_EQ(loaded.min_delivered, 5u);
+
+  const core::ModelConfig& mc = loaded.model->config();
+  EXPECT_EQ(mc.state_dim, 8u);
+  EXPECT_EQ(mc.readout_hidden, 12u);
+  EXPECT_EQ(mc.iterations, 2u);
+  EXPECT_EQ(mc.init_seed, 5u);
+
+  // Scaler moments: bitwise.
+  const auto expect_same = [](const data::Moments& a, const data::Moments& b) {
+    EXPECT_EQ(a.mean, b.mean);
+    EXPECT_EQ(a.stddev, b.stddev);
+  };
+  expect_same(loaded.scaler.traffic_moments(),
+              saved.scaler.traffic_moments());
+  expect_same(loaded.scaler.capacity_moments(),
+              saved.scaler.capacity_moments());
+  expect_same(loaded.scaler.queue_moments(), saved.scaler.queue_moments());
+  expect_same(loaded.scaler.log_delay_moments(),
+              saved.scaler.log_delay_moments());
+  expect_same(loaded.scaler.log_jitter_moments(),
+              saved.scaler.log_jitter_moments());
+
+  // Weights: bitwise.
+  const nn::NamedParams pa = saved.model.named_params();
+  const nn::NamedParams pb = loaded.model->named_params();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_EQ(pa[i].first, pb[i].first);
+    const auto& ta = pa[i].second.value();
+    const auto& tb = pb[i].second.value();
+    ASSERT_EQ(ta.size(), tb.size());
+    for (std::size_t j = 0; j < ta.size(); ++j)
+      EXPECT_EQ(ta.flat()[j], tb.flat()[j]);
+  }
+  std::filesystem::remove(path);
+}
+
+// The regression the bundle subsystem exists for: deployment must not
+// depend on re-fitting the scaler — bundle-loaded inference equals
+// fresh in-memory inference on the training set bit for bit.
+TEST(Bundle, LoadedInferenceBitwiseIdenticalToInMemory) {
+  const std::string path = "/tmp/rnx_bundle_bitwise.rnxb";
+  const SavedBundle saved = make_saved_bundle(path);
+  const data::Dataset& ds = test_dataset();
+
+  const serve::InferenceEngine engine(path);
+  for (const auto& sample : ds.samples()) {
+    const nn::NoGradGuard guard;
+    const nn::Tensor direct = saved.model.forward(sample, saved.scaler).value();
+    const std::vector<double> served = engine.predict(sample);
+    ASSERT_EQ(served.size(), static_cast<std::size_t>(direct.rows()));
+    for (std::size_t i = 0; i < served.size(); ++i)
+      EXPECT_EQ(served[i], saved.scaler.target_to_delay(direct(i, 0)));
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(Bundle, MissingFileRejected) {
+  EXPECT_THROW((void)serve::load_bundle("/tmp/rnx_no_such_bundle.rnxb"),
+               std::runtime_error);
+}
+
+TEST(Bundle, BadMagicRejected) {
+  const std::string path = "/tmp/rnx_bundle_badmagic.rnxb";
+  spit(path, "definitely not a bundle file, long enough to have a header");
+  try {
+    (void)serve::load_bundle(path);
+    FAIL() << "bad magic accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("magic"), std::string::npos)
+        << e.what();
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(Bundle, TruncatedFileRejected) {
+  const std::string path = "/tmp/rnx_bundle_truncated.rnxb";
+  make_saved_bundle(path);
+  std::string bytes = slurp(path);
+  bytes.resize(bytes.size() / 2);
+  spit(path, bytes);
+  EXPECT_THROW((void)serve::load_bundle(path), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+TEST(Bundle, ChecksumMismatchRejected) {
+  const std::string path = "/tmp/rnx_bundle_bitrot.rnxb";
+  make_saved_bundle(path);
+  std::string bytes = slurp(path);
+  bytes[bytes.size() - 9] ^= 0x40;  // flip one weight bit, keep the header
+  spit(path, bytes);
+  try {
+    (void)serve::load_bundle(path);
+    FAIL() << "corrupt body accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("checksum"), std::string::npos)
+        << e.what();
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(Bundle, OversizedBodyRejected) {
+  const std::string path = "/tmp/rnx_bundle_hugebody.rnxb";
+  make_saved_bundle(path);
+  std::string bytes = slurp(path);
+  // Claim a ~2^60-byte body: must fail on the bound, not allocate.
+  bytes[8] = bytes[9] = bytes[10] = bytes[11] = '\0';
+  bytes[12] = bytes[13] = bytes[14] = '\0';
+  bytes[15] = 0x10;
+  spit(path, bytes);
+  EXPECT_THROW((void)serve::load_bundle(path), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+TEST(Bundle, WrongModelKindRejected) {
+  const std::string path = "/tmp/rnx_bundle_badkind.rnxb";
+  make_saved_bundle(path);
+  std::string bytes = slurp(path);
+  bytes[kBodyOffset] = 7;  // neither orig (0) nor ext (1)
+  reseal(bytes);           // keep the checksum valid: kind check must fire
+  spit(path, bytes);
+  try {
+    (void)serve::load_bundle(path);
+    FAIL() << "invalid model kind accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("model kind"), std::string::npos)
+        << e.what();
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(Engine, BatchMatchesSingleAndReusesPlans) {
+  const std::string path = "/tmp/rnx_bundle_engine_batch.rnxb";
+  make_saved_bundle(path);
+  const data::Dataset& ds = test_dataset();
+
+  const serve::InferenceEngine engine(path, 2);
+  EXPECT_EQ(engine.threads(), 2u);
+  const std::vector<std::vector<double>> batch =
+      engine.predict_batch(ds.samples());
+  ASSERT_EQ(batch.size(), ds.size());
+  for (std::size_t si = 0; si < ds.size(); ++si)
+    EXPECT_EQ(batch[si], engine.predict(ds[si]));
+
+  // The second pass over the same samples is served from the plan cache.
+  EXPECT_GT(engine.plan_cache().hits(), 0u);
+  std::filesystem::remove(path);
+}
+
+TEST(Engine, ConcurrentPredictIsDeterministic) {
+  const std::string path = "/tmp/rnx_bundle_engine_mt.rnxb";
+  make_saved_bundle(path);
+  const data::Dataset& ds = test_dataset();
+
+  const serve::InferenceEngine engine(path);
+  std::vector<std::vector<double>> expected;
+  expected.reserve(ds.size());
+  for (const auto& s : ds.samples()) expected.push_back(engine.predict(s));
+
+  std::vector<std::thread> threads;
+  std::vector<int> failures(4, 0);
+  for (int t = 0; t < 4; ++t)
+    threads.emplace_back([&, t] {
+      for (int rep = 0; rep < 3; ++rep)
+        for (std::size_t si = 0; si < ds.size(); ++si)
+          if (engine.predict(ds[si]) != expected[si]) ++failures[t];
+    });
+  for (auto& th : threads) th.join();
+  for (const int f : failures) EXPECT_EQ(f, 0);
+  std::filesystem::remove(path);
+}
+
+}  // namespace

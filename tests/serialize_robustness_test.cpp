@@ -1,0 +1,134 @@
+// Corrupt-input robustness of the weight serializer: a damaged .rnxw
+// must fail with a descriptive error — never a multi-gigabyte
+// allocation from an unchecked name length, and never the misleading
+// "unknown parameter" that an unchecked partial name read used to
+// produce.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "nn/layers.hpp"
+#include "nn/serialize.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace rnx::nn;
+using rnx::util::RngStream;
+
+template <typename T>
+void put(std::ostream& f, const T& v) {
+  f.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+// A syntactically valid header claiming `count` parameters, then the
+// first parameter's `name_len` and (optionally) some name bytes.
+std::string file_with_name_len(std::uint64_t count, std::uint32_t name_len,
+                               const std::string& name_bytes) {
+  std::ostringstream f(std::ios::binary);
+  f.write("RNXW", 4);
+  put(f, std::uint32_t{1});  // version
+  put(f, count);
+  put(f, name_len);
+  f.write(name_bytes.data(),
+          static_cast<std::streamsize>(name_bytes.size()));
+  return f.str();
+}
+
+TEST(SerializeRobustness, OversizedNameLengthRejectedFast) {
+  RngStream rng(1);
+  Mlp m({2, 2}, Activation::kNone, rng, "m");
+  NamedParams params = m.named_params();
+
+  // 4 GiB name length: must be rejected on the length check, not
+  // attempted as an allocation + read.
+  std::istringstream f(
+      file_with_name_len(params.size(), 0xFFFFFFFFu, ""),
+      std::ios::binary);
+  try {
+    load_params(f, params);
+    FAIL() << "corrupt name length accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("name length"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(SerializeRobustness, ZeroNameLengthRejected) {
+  RngStream rng(2);
+  Mlp m({2, 2}, Activation::kNone, rng, "m");
+  NamedParams params = m.named_params();
+  std::istringstream f(file_with_name_len(params.size(), 0, ""),
+                       std::ios::binary);
+  EXPECT_THROW(load_params(f, params), std::runtime_error);
+}
+
+TEST(SerializeRobustness, TruncationInsideNameIsDescriptive) {
+  RngStream rng(3);
+  Mlp m({2, 2}, Activation::kNone, rng, "m");
+  NamedParams params = m.named_params();
+
+  // Claims an 8-byte name but the file ends after 3 bytes: the old code
+  // read a half-garbage name and reported "unknown parameter".
+  std::istringstream f(file_with_name_len(params.size(), 8, "m.l"),
+                       std::ios::binary);
+  try {
+    load_params(f, params);
+    FAIL() << "truncated name accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("truncated"), std::string::npos)
+        << e.what();
+    EXPECT_EQ(std::string(e.what()).find("unknown parameter"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(SerializeRobustness, PathOverloadNamesTheFile) {
+  RngStream rng(4);
+  Mlp m({2, 2}, Activation::kNone, rng, "m");
+  NamedParams params = m.named_params();
+  const std::string path = "/tmp/rnx_serialize_robustness.rnxw";
+  {
+    std::ofstream f(path, std::ios::binary);
+    const std::string bytes =
+        file_with_name_len(params.size(), 0xFFFFFFFFu, "");
+    f.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  try {
+    load_params(path, params);
+    FAIL() << "corrupt file accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find(path), std::string::npos)
+        << e.what();
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(SerializeRobustness, StreamRoundTripIsBitwise) {
+  RngStream rng(5);
+  Mlp a({3, 4, 2}, Activation::kRelu, rng, "m");
+  std::ostringstream out(std::ios::binary);
+  save_params(out, a.named_params());
+
+  RngStream rng2(77);
+  Mlp b({3, 4, 2}, Activation::kRelu, rng2, "m");
+  NamedParams pb = b.named_params();
+  std::istringstream in(out.str(), std::ios::binary);
+  load_params(in, pb);
+
+  const NamedParams pa = a.named_params();
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    const auto& ta = pa[i].second.value();
+    const auto& tb = pb[i].second.value();
+    ASSERT_EQ(ta.size(), tb.size());
+    for (std::size_t j = 0; j < ta.size(); ++j)
+      EXPECT_EQ(ta.flat()[j], tb.flat()[j]);
+  }
+}
+
+}  // namespace

@@ -1,16 +1,51 @@
 // Minimal --flag=value / --flag value command-line parsing shared by the
 // CLI tools.  Unknown flags abort with the tool's usage text so typos
-// never silently fall back to defaults.
+// never silently fall back to defaults, and numeric values are parsed
+// strictly (full consumption, range checks): "--epochs ten" or
+// "--epochs -3" is a fatal usage error (exit 2), not 0 epochs or a
+// wrapped-around huge count as std::atof/std::atoll would give.
 #pragma once
 
+#include <cerrno>
+#include <cmath>
 #include <cstdlib>
 #include <iostream>
+#include <limits>
 #include <map>
+#include <optional>
 #include <set>
 #include <string>
 #include <vector>
 
 namespace rnx::cli {
+
+/// Parse the whole string as a finite double.  Rejects empty input,
+/// trailing garbage ("1.5x"), bare words ("ten"), inf/nan, and values
+/// outside double range.
+[[nodiscard]] inline std::optional<double> parse_double(
+    const std::string& s) {
+  if (s.empty()) return std::nullopt;
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end != s.c_str() + s.size() || errno == ERANGE || !std::isfinite(v))
+    return std::nullopt;
+  return v;
+}
+
+/// Parse the whole string as a non-negative integer count.  Rejects
+/// everything parse_double rejects plus signs ("-3" must not wrap to a
+/// huge std::size_t; "+3" is noise), fractions, and overflow.
+[[nodiscard]] inline std::optional<std::size_t> parse_size(
+    const std::string& s) {
+  if (s.empty() || s[0] == '-' || s[0] == '+') return std::nullopt;
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(s.c_str(), &end, 10);
+  if (end != s.c_str() + s.size() || errno == ERANGE || v < 0)
+    return std::nullopt;
+  return static_cast<std::size_t>(v);
+}
 
 class Args {
  public:
@@ -41,14 +76,22 @@ class Args {
   }
   [[nodiscard]] double get(const std::string& key, double fallback) const {
     const auto it = values_.find(key);
-    return it == values_.end() ? fallback : std::atof(it->second.c_str());
+    if (it == values_.end()) return fallback;
+    const auto v = parse_double(it->second);
+    if (!v)
+      fail("invalid value for --" + key + ": '" + it->second +
+           "' (expected a number)");
+    return *v;
   }
   [[nodiscard]] std::size_t get(const std::string& key,
                                 std::size_t fallback) const {
     const auto it = values_.find(key);
-    return it == values_.end()
-               ? fallback
-               : static_cast<std::size_t>(std::atoll(it->second.c_str()));
+    if (it == values_.end()) return fallback;
+    const auto v = parse_size(it->second);
+    if (!v)
+      fail("invalid value for --" + key + ": '" + it->second +
+           "' (expected a non-negative integer)");
+    return *v;
   }
   [[nodiscard]] bool has(const std::string& key) const {
     return values_.contains(key);

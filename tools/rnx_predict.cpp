@@ -1,0 +1,99 @@
+// rnx_predict — serve predictions from a self-contained model bundle.
+//
+//   rnx_predict --bundle model.rnxb --data test.rnxd
+//   rnx_predict --bundle model.rnxb --data scenarios.rnxd --csv preds.csv
+//
+// The bundle carries weights, scaler moments, model config and target,
+// so no training dataset (and no scaler re-fit) is needed: metrics here
+// reproduce `rnx_train --load --eval --scaler-from <train-set>` exactly.
+// Labeled datasets additionally get the regression metric table; --csv
+// dumps one row per path for external tooling.
+#include <fstream>
+#include <iostream>
+
+#include "cli.hpp"
+#include "eval/metrics.hpp"
+#include "serve/inference.hpp"
+
+namespace {
+
+int run(int argc, char** argv) {
+  using namespace rnx;
+  const cli::Args args(
+      argc, argv, {"bundle", "data", "csv", "threads", "no-metrics"},
+      "usage: rnx_predict --bundle model.rnxb --data ds.rnxd [options]\n"
+      "  --bundle FILE   model bundle (.rnxb) from rnx_train --save-bundle\n"
+      "  --data FILE     scenarios to predict (.rnxd)\n"
+      "  --csv FILE      write per-path predictions as CSV\n"
+      "  --threads N     batch fan-out lanes (0 = all cores), default 1\n"
+      "  --no-metrics    skip the label-based metric table");
+
+  const std::string bundle_path = args.get("bundle", std::string());
+  const std::string data_path = args.get("data", std::string());
+  if (bundle_path.empty() || data_path.empty()) {
+    std::cerr << "error: need --bundle and --data\n";
+    return 2;
+  }
+
+  serve::InferenceEngine engine(bundle_path,
+                                args.get("threads", std::size_t{1}));
+  std::cout << "bundle: " << bundle_path << " (" << engine.model().name()
+            << ", target " << core::to_string(engine.target())
+            << ", state_dim " << engine.model().config().state_dim
+            << ", iterations " << engine.model().config().iterations
+            << ")\n";
+
+  const data::Dataset ds = data::Dataset::load(data_path);
+  std::cout << "predicting " << ds.total_paths() << " paths across "
+            << ds.size() << " samples...\n";
+
+  if (const auto csv = args.get("csv", std::string()); !csv.empty()) {
+    const std::vector<std::vector<double>> preds =
+        engine.predict_batch(ds.samples());
+    std::ofstream f(csv);
+    if (!f) {
+      std::cerr << "error: cannot open " << csv << "\n";
+      return 1;
+    }
+    const bool delay = engine.target() == core::PredictionTarget::kDelay;
+    f << "sample,src,dst,prediction," << (delay ? "mean_delay_s" : "jitter_s2")
+      << ",delivered\n";
+    for (std::size_t si = 0; si < ds.size(); ++si)
+      for (std::size_t pi = 0; pi < ds[si].paths.size(); ++pi) {
+        const auto& p = ds[si].paths[pi];
+        f << si << ',' << p.src << ',' << p.dst << ',' << preds[si][pi]
+          << ',' << (delay ? p.mean_delay_s : p.jitter_s2) << ','
+          << p.delivered << "\n";
+      }
+    std::cout << "csv written: " << csv << "\n";
+  }
+
+  if (!args.has("no-metrics")) {
+    // Metric computation goes through the same eval path as rnx_train so
+    // the bundle reproduces training-time numbers bit for bit.  The
+    // engine's pool is idle here (no predict_batch in flight), so borrow
+    // it for the fan-out; a --csv run before this warmed the plan cache.
+    const auto pp = eval::predict_dataset(
+        engine.model(), ds, engine.scaler(), engine.min_delivered(),
+        engine.target(), engine.batch_pool());
+    if (pp.size() == 0) {
+      std::cout << "(no label-valid paths: skipping metrics)\n";
+      return 0;
+    }
+    eval::print_summary(std::cout, eval::summarize(pp), engine.target());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    // Corrupt bundles/datasets and I/O failures surface here as clean
+    // diagnostics instead of std::terminate.
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

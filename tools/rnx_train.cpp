@@ -1,12 +1,15 @@
 // rnx_train — train / evaluate RouteNet models on saved datasets.
 //
 //   rnx_train --train train.rnxd --eval test.rnxd --model ext
-//             --epochs 40 --save weights.rnxw
+//             --epochs 40 --save-bundle model.rnxb
 //   rnx_train --eval test.rnxd --model ext --load weights.rnxw
 //             --scaler-from train.rnxd
 //
 // The scaler is always fitted on the --train set (or --scaler-from when
-// only evaluating), never on evaluation data.
+// only evaluating), never on evaluation data.  --save-bundle persists
+// weights AND the fitted scaler moments (plus config/target) as one
+// .rnxb artifact, so deployment (rnx_predict, serve::InferenceEngine)
+// never re-fits statistics; bare --save writes weights only.
 #include <iostream>
 #include <memory>
 #include <optional>
@@ -16,25 +19,32 @@
 #include "core/routenet_ext.hpp"
 #include "core/trainer.hpp"
 #include "eval/metrics.hpp"
-#include "util/table.hpp"
+#include "serve/bundle.hpp"
 
-int main(int argc, char** argv) {
+namespace {
+
+int run(int argc, char** argv) {
   using namespace rnx;
   const cli::Args args(
       argc, argv,
-      {"train", "eval", "model", "epochs", "lr", "batch", "state-dim",
-       "iterations", "save", "load", "scaler-from", "seed", "threads",
-       "quiet"},
+      {"train", "eval", "model", "target", "epochs", "lr", "batch",
+       "state-dim", "iterations", "min-delivered", "save", "save-bundle",
+       "load", "scaler-from", "seed", "threads", "quiet"},
       "usage: rnx_train --train ds.rnxd [--eval test.rnxd] [options]\n"
       "  --train FILE      training dataset (.rnxd)\n"
       "  --eval FILE       evaluation dataset (.rnxd)\n"
       "  --model M         ext (default) | orig\n"
+      "  --target T        regression target: delay (default) | jitter\n"
       "  --epochs N        default 30\n"
       "  --lr X            default 2e-3\n"
       "  --batch N         samples per optimizer step, default 4\n"
       "  --state-dim H     default 12\n"
       "  --iterations T    message-passing rounds, default 4\n"
-      "  --save FILE       write trained weights (.rnxw)\n"
+      "  --min-delivered N label-quality threshold for scaler fitting,\n"
+      "                    training loss and eval, default 10\n"
+      "  --save FILE       write trained weights only (.rnxw)\n"
+      "  --save-bundle F   write self-contained model bundle (.rnxb):\n"
+      "                    weights + scaler moments + config + target\n"
       "  --load FILE       load weights instead of training\n"
       "  --scaler-from F   dataset for scaler statistics (eval-only mode)\n"
       "  --seed S          init/shuffle seed, default 42\n"
@@ -52,17 +62,22 @@ int main(int argc, char** argv) {
   core::ModelConfig mc;
   mc.state_dim = args.get("state-dim", std::size_t{12});
   mc.iterations = args.get("iterations", std::size_t{4});
-  mc.init_seed = static_cast<std::uint64_t>(args.get("seed", 42.0));
+  mc.init_seed = args.get("seed", std::size_t{42});
 
-  std::unique_ptr<core::Model> model;
-  if (model_kind == "ext")
-    model = std::make_unique<core::ExtendedRouteNet>(mc);
-  else if (model_kind == "orig")
-    model = std::make_unique<core::RouteNet>(mc);
-  else {
+  const auto kind = core::model_kind_from_string(model_kind);
+  if (!kind) {
     std::cerr << "error: --model must be ext or orig\n";
     return 2;
   }
+  const std::unique_ptr<core::Model> model = core::make_model(*kind, mc);
+
+  const auto target =
+      core::target_from_string(args.get("target", std::string("delay")));
+  if (!target) {
+    std::cerr << "error: --target must be delay or jitter\n";
+    return 2;
+  }
+  const std::size_t min_delivered = args.get("min-delivered", std::size_t{10});
 
   // Resolve the dataset that defines the scaler.
   const std::string train_path = args.get("train", std::string());
@@ -73,7 +88,8 @@ int main(int argc, char** argv) {
     return 2;
   }
   const data::Dataset scaler_ds = data::Dataset::load(scaler_path);
-  const data::Scaler scaler = data::Scaler::fit(scaler_ds.samples());
+  const data::Scaler scaler =
+      data::Scaler::fit(scaler_ds.samples(), min_delivered);
 
   if (args.has("load")) {
     model->load_weights(args.get("load", std::string()));
@@ -91,12 +107,15 @@ int main(int argc, char** argv) {
     tc.epochs = args.get("epochs", std::size_t{30});
     tc.lr = args.get("lr", 2e-3);
     tc.batch_samples = args.get("batch", std::size_t{4});
-    tc.seed = static_cast<std::uint64_t>(args.get("seed", 42.0));
+    tc.min_delivered = min_delivered;
+    tc.target = *target;
+    tc.seed = args.get("seed", std::size_t{42});
     tc.threads = threads;
     tc.verbose = !args.has("quiet");
     core::Trainer trainer(*model, tc);
     std::cout << "training " << model->name() << " on " << train.size()
-              << " samples...\n";
+              << " samples (target: " << core::to_string(*target)
+              << ")...\n";
     const auto history = trainer.fit(train, scaler);
     std::cout << "train loss " << history.front().train_loss << " -> "
               << history.back().train_loss << "\n";
@@ -107,27 +126,32 @@ int main(int argc, char** argv) {
     std::cout << "weights written: " << args.get("save", std::string())
               << "\n";
   }
+  if (args.has("save-bundle")) {
+    const std::string path = args.get("save-bundle", std::string());
+    serve::save_bundle(path, *model, scaler, *target, min_delivered);
+    std::cout << "model bundle written: " << path << "\n";
+  }
 
   if (args.has("eval")) {
     const data::Dataset test =
         data::Dataset::load(args.get("eval", std::string()));
     const auto pp =
-        eval::predict_dataset(*model, test, scaler, 10,
-                              core::PredictionTarget::kDelay,
+        eval::predict_dataset(*model, test, scaler, min_delivered, *target,
                               pool ? &*pool : nullptr);
-    const auto s = eval::summarize(pp);
-    util::Table table({"metric", "value"});
-    table.add_row({"paths", util::Table::cell(s.n)})
-        .add_row({"median |rel err|",
-                  util::Table::cell(s.median_ape * 100, 2) + " %"})
-        .add_row({"P90 |rel err|",
-                  util::Table::cell(s.p90_ape * 100, 2) + " %"})
-        .add_row({"MAPE", util::Table::cell(s.mape * 100, 2) + " %"})
-        .add_row({"MAE", util::Table::cell(s.mae * 1e3, 4) + " ms"})
-        .add_row({"RMSE", util::Table::cell(s.rmse * 1e3, 4) + " ms"})
-        .add_row({"Pearson r", util::Table::cell(s.pearson, 4)})
-        .add_row({"R^2", util::Table::cell(s.r2, 4)});
-    table.print(std::cout);
+    eval::print_summary(std::cout, eval::summarize(pp), *target);
   }
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    // Corrupt weight/dataset files and I/O failures surface here as
+    // clean diagnostics instead of std::terminate.
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
 }
