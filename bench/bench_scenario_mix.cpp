@@ -1,0 +1,111 @@
+// §S — simulator throughput across the scenario engine's scheduling
+// policies and traffic processes.
+//
+// The DES is the data-generation bottleneck, so the cost of the new
+// schedulers (strict priority, DRR) and arrival processes (CBR, on-off)
+// directly bounds how fast mixed-scenario datasets can be produced.
+// Measures events/s and packets/s per (policy, traffic) combination on a
+// queue-varied NSFNET at high load, plus a mixed-scenario dataset
+// generation rate, and emits BENCH_scenario_mix.json via bench_common.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "data/generator.hpp"
+#include "sim/simulator.hpp"
+#include "topo/traffic.hpp"
+#include "topo/zoo.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace rnx;
+
+struct Throughput {
+  double events_per_s = 0.0;
+  double packets_per_s = 0.0;
+};
+
+Throughput measure(sim::SchedulerPolicy policy, sim::TrafficProcess traffic,
+                   std::uint64_t packets_per_run, int runs) {
+  topo::Topology topo = topo::nsfnet();
+  util::RngStream rng(11);
+  topo::randomize_queue_sizes(topo, 0.5, rng);
+  const topo::RoutingScheme rs = topo::hop_count_routing(topo);
+  topo::TrafficMatrix tm =
+      topo::uniform_traffic(topo.num_nodes(), 0.5, 1.0, rng);
+  topo::scale_to_max_utilization(tm, topo, rs, 0.9);
+  const double total_pps = tm.total() / 8000.0;
+
+  sim::SimConfig cfg;
+  cfg.window_s = static_cast<double>(packets_per_run) / total_pps;
+  cfg.warmup_s = 0.0;
+  cfg.scenario.policy = policy;
+  cfg.scenario.traffic = traffic;
+  cfg.scenario.priority_classes = 2;
+  cfg.flow_class = [](topo::NodeId s, topo::NodeId d) -> std::uint32_t {
+    return (s + d) % 2;
+  };
+
+  std::uint64_t events = 0, packets = 0;
+  util::Stopwatch watch;
+  for (int r = 0; r < runs; ++r) {
+    cfg.seed = static_cast<std::uint64_t>(r + 1);
+    sim::Simulator sim(topo, rs, tm, cfg);
+    const sim::SimResult res = sim.run();
+    events += res.total_events;
+    for (const auto& p : res.paths) packets += p.generated;
+  }
+  const double secs = watch.seconds();
+  return {static_cast<double>(events) / secs,
+          static_cast<double>(packets) / secs};
+}
+
+}  // namespace
+
+int main() {
+  benchcfg::print_banner("scenario mix: simulator throughput per policy");
+  const bool quick = benchcfg::quick_mode();
+  const std::uint64_t packets = quick ? 20'000 : 200'000;
+  const int runs = quick ? 2 : 5;
+
+  benchcfg::BenchResult result("scenario_mix");
+  result.set_config("nsfnet, util 0.9, 2 classes, " +
+                    std::to_string(packets) + " pkts x " +
+                    std::to_string(runs) + " runs per combination");
+
+  util::Table table({"policy", "traffic", "events/s", "pkts/s"});
+  for (const auto policy :
+       {sim::SchedulerPolicy::kFifo, sim::SchedulerPolicy::kStrictPriority,
+        sim::SchedulerPolicy::kDrr}) {
+    for (const auto traffic :
+         {sim::TrafficProcess::kPoisson, sim::TrafficProcess::kCbr,
+          sim::TrafficProcess::kOnOff}) {
+      const Throughput t = measure(policy, traffic, packets, runs);
+      const std::string key = std::string(sim::to_string(policy)) + "_" +
+                              std::string(sim::to_string(traffic));
+      result.add(key + "_events_per_s", t.events_per_s);
+      result.add(key + "_pkts_per_s", t.packets_per_s);
+      table.add_row({std::string(sim::to_string(policy)),
+                     std::string(sim::to_string(traffic)),
+                     util::Table::cell(t.events_per_s, 0),
+                     util::Table::cell(t.packets_per_s, 0)});
+    }
+  }
+  table.print(std::cout);
+
+  // Mixed-scenario dataset generation rate (samples/s end to end).
+  data::GeneratorConfig gen;
+  gen.mixed_scenarios = true;
+  gen.scenario.priority_classes = 2;
+  gen.target_packets = quick ? 5'000 : 20'000;
+  const std::size_t count = benchcfg::scaled(quick ? 4 : 12);
+  util::Stopwatch watch;
+  const auto ds = data::generate_dataset(topo::nsfnet(), count, gen, 31);
+  const double gen_rate = static_cast<double>(ds.size()) / watch.seconds();
+  std::cout << "mixed-scenario datagen: " << gen_rate << " samples/s\n";
+  result.add("mixed_datagen_samples_per_s", gen_rate);
+
+  result.write();
+  return 0;
+}

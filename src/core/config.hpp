@@ -61,7 +61,18 @@ struct ModelConfig {
   /// every RNN step through the op-by-op composition — the serial
   /// baseline of bench_parallel_speedup and the gradcheck reference.
   bool fused_gru = true;
+  /// Feed the scenario-engine features (DESIGN.md §S): per-link
+  /// scheduling-policy one-hot, per-path scheduling class and
+  /// traffic-process one-hot.  Requires state_dim >=
+  /// kScenarioFeatureMinDim and samples that record a scenario; models
+  /// trained with this on refuse pre-scenario (v1) datasets with a
+  /// descriptive error instead of silently reading zeros.
+  bool scenario_features = false;
   std::uint64_t init_seed = 42;     ///< weight initialization stream
 };
+
+/// Smallest state width that fits the scenario feature block: column 0
+/// carries the base feature, columns 1..4 the scenario channels.
+inline constexpr std::size_t kScenarioFeatureMinDim = 5;
 
 }  // namespace rnx::core

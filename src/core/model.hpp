@@ -105,14 +105,23 @@ class Model {
 // -- shared state builders (implemented in plan.cpp's TU neighbour) ------
 
 /// (P x H) initial path states: column 0 carries the z-scored offered
-/// traffic, the rest zero-padding — RouteNet's feature encoding.
+/// traffic, the rest zero-padding — RouteNet's feature encoding.  With
+/// `scenario_features` (DESIGN.md §S), column 1 carries the path's
+/// scheduling class scaled to [0, 1] and columns 2..4 a one-hot of the
+/// scenario's traffic process; requires kScenarioFeatureMinDim state
+/// width and a sample that records its scenario (throws
+/// std::runtime_error otherwise — the bundle feature-gating contract).
 [[nodiscard]] nn::Var initial_path_states(const data::Sample& s,
                                           const data::Scaler& sc,
-                                          std::size_t state_dim);
-/// (L x H): column 0 carries the z-scored link capacity.
+                                          std::size_t state_dim,
+                                          bool scenario_features = false);
+/// (L x H): column 0 carries the z-scored link capacity; with
+/// `scenario_features`, columns 1..3 a one-hot of the port's scheduling
+/// policy (same gating contract as initial_path_states).
 [[nodiscard]] nn::Var initial_link_states(const data::Sample& s,
                                           const data::Scaler& sc,
-                                          std::size_t state_dim);
+                                          std::size_t state_dim,
+                                          bool scenario_features = false);
 /// (N x H): column 0 carries the z-scored queue size — the node feature
 /// this paper introduces.
 [[nodiscard]] nn::Var initial_node_states(const data::Sample& s,

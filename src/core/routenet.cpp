@@ -1,6 +1,7 @@
 #include "core/routenet.hpp"
 
 #include <stdexcept>
+#include <string>
 
 #include "core/plan.hpp"
 #include "core/plan_cache.hpp"
@@ -64,19 +65,58 @@ std::vector<nn::Tensor> Model::forward_batch(
   return out;
 }
 
+namespace {
+
+// The bundle feature-gating contract (DESIGN.md §S): a model trained
+// with scenario features must not silently read zeros off a
+// pre-scenario-engine dataset.
+void require_scenario(const data::Sample& s, std::size_t state_dim) {
+  if (state_dim < kScenarioFeatureMinDim)
+    throw std::runtime_error(
+        "scenario features need state_dim >= " +
+        std::to_string(kScenarioFeatureMinDim) + ", got " +
+        std::to_string(state_dim));
+  if (!s.scenario_recorded)
+    throw std::runtime_error(
+        "model expects scenario features, but this sample records no "
+        "scenario (dataset predates the scenario engine — regenerate it "
+        "with rnx_datagen, or use a model without scenario features)");
+}
+
+}  // namespace
+
 nn::Var initial_path_states(const data::Sample& s, const data::Scaler& sc,
-                            std::size_t state_dim) {
+                            std::size_t state_dim, bool scenario_features) {
   nn::Tensor t(s.paths.size(), state_dim);
   for (std::size_t i = 0; i < s.paths.size(); ++i)
     t(i, 0) = sc.traffic(s.paths[i].traffic_bps);
+  if (scenario_features) {
+    require_scenario(s, state_dim);
+    const double class_span =
+        s.scenario.priority_classes > 1
+            ? static_cast<double>(s.scenario.priority_classes - 1)
+            : 1.0;
+    const std::size_t traffic_col =
+        2 + static_cast<std::size_t>(s.scenario.traffic);
+    for (std::size_t i = 0; i < s.paths.size(); ++i) {
+      t(i, 1) = static_cast<double>(s.paths[i].priority_class) / class_span;
+      t(i, traffic_col) = 1.0;
+    }
+  }
   return nn::constant(std::move(t));
 }
 
 nn::Var initial_link_states(const data::Sample& s, const data::Scaler& sc,
-                            std::size_t state_dim) {
+                            std::size_t state_dim, bool scenario_features) {
   nn::Tensor t(s.num_links(), state_dim);
   for (std::size_t l = 0; l < s.num_links(); ++l)
     t(l, 0) = sc.capacity(s.link_capacity_bps[l]);
+  if (scenario_features) {
+    require_scenario(s, state_dim);
+    const std::size_t policy_col =
+        1 + static_cast<std::size_t>(s.scenario.policy);
+    for (std::size_t l = 0; l < s.num_links(); ++l) t(l, policy_col) = 1.0;
+  }
   return nn::constant(std::move(t));
 }
 
@@ -105,6 +145,10 @@ RouteNet::RouteNet(ModelConfig cfg)
         return nn::Mlp({cfg.state_dim, cfg.readout_hidden, 1},
                        nn::Activation::kRelu, rng, "readout");
       }()) {
+  if (cfg_.scenario_features && cfg_.state_dim < kScenarioFeatureMinDim)
+    throw std::invalid_argument(
+        "RouteNet: scenario features need state_dim >= " +
+        std::to_string(kScenarioFeatureMinDim));
   rnn_path_.set_fused(cfg_.fused_gru);
   rnn_link_.set_fused(cfg_.fused_gru);
 }
@@ -113,8 +157,10 @@ ForwardTrace RouteNet::forward_traced(const data::Sample& sample,
                                       const data::Scaler& scaler) const {
   std::shared_ptr<const MpPlan> plan_holder;
   const MpPlan& plan = plan_for(sample, /*use_nodes=*/false, plan_holder);
-  nn::Var h_path = initial_path_states(sample, scaler, cfg_.state_dim);
-  nn::Var h_link = initial_link_states(sample, scaler, cfg_.state_dim);
+  nn::Var h_path = initial_path_states(sample, scaler, cfg_.state_dim,
+                                       cfg_.scenario_features);
+  nn::Var h_link = initial_link_states(sample, scaler, cfg_.state_dim,
+                                       cfg_.scenario_features);
 
   for (std::size_t iter = 0; iter < cfg_.iterations; ++iter) {
     nn::Var hidden = h_path;

@@ -1,5 +1,8 @@
 #include "core/routenet_ext.hpp"
 
+#include <stdexcept>
+#include <string>
+
 #include "core/plan.hpp"
 #include "core/plan_cache.hpp"
 #include "nn/ops.hpp"
@@ -25,6 +28,10 @@ ExtendedRouteNet::ExtendedRouteNet(ModelConfig cfg)
         return nn::Mlp({cfg.state_dim, cfg.readout_hidden, 1},
                        nn::Activation::kRelu, rng, "readout");
       }()) {
+  if (cfg_.scenario_features && cfg_.state_dim < kScenarioFeatureMinDim)
+    throw std::invalid_argument(
+        "ExtendedRouteNet: scenario features need state_dim >= " +
+        std::to_string(kScenarioFeatureMinDim));
   rnn_path_.set_fused(cfg_.fused_gru);
   rnn_link_.set_fused(cfg_.fused_gru);
   rnn_node_.set_fused(cfg_.fused_gru);
@@ -34,8 +41,10 @@ ForwardTrace ExtendedRouteNet::forward_traced(
     const data::Sample& sample, const data::Scaler& scaler) const {
   std::shared_ptr<const MpPlan> plan_holder;
   const MpPlan& plan = plan_for(sample, /*use_nodes=*/true, plan_holder);
-  nn::Var h_path = initial_path_states(sample, scaler, cfg_.state_dim);
-  nn::Var h_link = initial_link_states(sample, scaler, cfg_.state_dim);
+  nn::Var h_path = initial_path_states(sample, scaler, cfg_.state_dim,
+                                       cfg_.scenario_features);
+  nn::Var h_link = initial_link_states(sample, scaler, cfg_.state_dim,
+                                       cfg_.scenario_features);
   nn::Var h_node = initial_node_states(sample, scaler, cfg_.state_dim);
 
   // Optional mean normalization of the node aggregation (see ModelConfig):

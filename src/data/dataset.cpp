@@ -39,7 +39,12 @@ std::size_t Dataset::total_paths() const noexcept {
 
 namespace {
 constexpr char kMagic[4] = {'R', 'N', 'X', 'D'};
-constexpr std::uint32_t kVersion = 1;
+// v2 appends the scenario block (policy / traffic process / classes /
+// on-off shape / DRR quantum) per sample and a priority class per path;
+// v1 files (pre-scenario-engine) still load with the default scenario
+// and scenario_recorded = false.
+constexpr std::uint32_t kVersion = 2;
+constexpr std::uint32_t kMinVersion = 1;
 
 template <typename T>
 void put(std::ofstream& f, const T& v) {
@@ -96,6 +101,13 @@ void Dataset::save(const std::string& path) const {
     put_vec(f, s.link_capacity_bps);
     put_vec(f, s.queue_pkts);
     put(f, s.max_utilization);
+    put(f, static_cast<std::uint8_t>(s.scenario_recorded ? 1 : 0));
+    put(f, static_cast<std::uint8_t>(s.scenario.policy));
+    put(f, static_cast<std::uint8_t>(s.scenario.traffic));
+    put(f, s.scenario.priority_classes);
+    put(f, s.scenario.onoff_burst_pkts);
+    put(f, s.scenario.onoff_duty);
+    put(f, s.scenario.drr_quantum_bits);
     put(f, static_cast<std::uint64_t>(s.paths.size()));
     for (const auto& p : s.paths) {
       put(f, p.src);
@@ -103,6 +115,7 @@ void Dataset::save(const std::string& path) const {
       put_vec(f, p.nodes);
       put_vec(f, p.links);
       put(f, p.traffic_bps);
+      put(f, p.priority_class);
       put(f, p.mean_delay_s);
       put(f, p.jitter_s2);
       put(f, p.loss_rate);
@@ -121,8 +134,9 @@ Dataset Dataset::load(const std::string& path) {
     throw std::runtime_error("Dataset::load: bad magic");
   std::uint32_t version = 0;
   get(f, version);
-  if (version != kVersion)
-    throw std::runtime_error("Dataset::load: unsupported version");
+  if (version < kMinVersion || version > kVersion)
+    throw std::runtime_error("Dataset::load: unsupported version " +
+                             std::to_string(version));
   std::uint64_t count = 0;
   get(f, count);
   std::vector<Sample> samples;
@@ -135,6 +149,25 @@ Dataset Dataset::load(const std::string& path) {
     get_vec(f, s.link_capacity_bps);
     get_vec(f, s.queue_pkts);
     get(f, s.max_utilization);
+    if (version >= 2) {
+      std::uint8_t recorded = 0, policy = 0, traffic = 0;
+      get(f, recorded);
+      get(f, policy);
+      get(f, traffic);
+      if (policy >= sim::kNumSchedulerPolicies)
+        throw std::runtime_error("Dataset::load: invalid scheduler policy " +
+                                 std::to_string(policy));
+      if (traffic >= sim::kNumTrafficProcesses)
+        throw std::runtime_error("Dataset::load: invalid traffic process " +
+                                 std::to_string(traffic));
+      s.scenario_recorded = recorded != 0;
+      s.scenario.policy = static_cast<sim::SchedulerPolicy>(policy);
+      s.scenario.traffic = static_cast<sim::TrafficProcess>(traffic);
+      get(f, s.scenario.priority_classes);
+      get(f, s.scenario.onoff_burst_pkts);
+      get(f, s.scenario.onoff_duty);
+      get(f, s.scenario.drr_quantum_bits);
+    }
     std::uint64_t np = 0;
     get(f, np);
     s.paths.resize(np);
@@ -144,6 +177,7 @@ Dataset Dataset::load(const std::string& path) {
       get_vec(f, p.nodes);
       get_vec(f, p.links);
       get(f, p.traffic_bps);
+      if (version >= 2) get(f, p.priority_class);
       get(f, p.mean_delay_s);
       get(f, p.jitter_s2);
       get(f, p.loss_rate);
@@ -157,7 +191,8 @@ Dataset Dataset::load(const std::string& path) {
 
 void Dataset::export_csv(const std::string& path) const {
   util::CsvWriter csv(path, {"sample", "topo", "src", "dst", "hops",
-                             "traffic_bps", "max_util", "mean_delay_s",
+                             "traffic_bps", "policy", "traffic_model",
+                             "class", "max_util", "mean_delay_s",
                              "jitter_s2", "loss_rate", "delivered"});
   for (std::size_t i = 0; i < samples_.size(); ++i) {
     const auto& s = samples_[i];
@@ -165,6 +200,9 @@ void Dataset::export_csv(const std::string& path) const {
       csv.add_row({std::to_string(i), s.topo_name, std::to_string(p.src),
                    std::to_string(p.dst), std::to_string(p.links.size()),
                    util::Table::cell(p.traffic_bps, 1),
+                   std::string(sim::to_string(s.scenario.policy)),
+                   std::string(sim::to_string(s.scenario.traffic)),
+                   std::to_string(p.priority_class),
                    util::Table::cell(s.max_utilization, 3),
                    util::Table::cell(p.mean_delay_s, 9),
                    util::Table::cell(p.jitter_s2, 12),

@@ -37,8 +37,29 @@ topo::TrafficMatrix draw_traffic(std::size_t n, TrafficModel model,
 
 }  // namespace
 
+void GeneratorConfig::validate() const {
+  if (!(p_tiny_queue >= 0.0) || p_tiny_queue > 1.0)
+    throw std::invalid_argument(
+        "GeneratorConfig: p_tiny_queue must be in [0, 1], got " +
+        std::to_string(p_tiny_queue));
+  if (!(mean_packet_bits > 0.0))
+    throw std::invalid_argument(
+        "GeneratorConfig: mean_packet_bits must be > 0, got " +
+        std::to_string(mean_packet_bits));
+  if (target_packets == 0)
+    throw std::invalid_argument(
+        "GeneratorConfig: target_packets must be > 0 (a zero-packet window "
+        "yields an empty, degenerate dataset)");
+  if (!(util_lo > 0.0) || util_hi < util_lo)
+    throw std::invalid_argument(
+        "GeneratorConfig: need 0 < util_lo <= util_hi, got [" +
+        std::to_string(util_lo) + ", " + std::to_string(util_hi) + "]");
+  scenario.validate();
+}
+
 Sample generate_sample(const topo::Topology& base, const GeneratorConfig& cfg,
                        util::RngStream& rng) {
+  cfg.validate();
   topo::Topology topo = base;  // scenario copy with randomized attributes
   if (cfg.randomize_capacities && !cfg.capacity_choices.empty())
     topo::randomize_capacities(topo, cfg.capacity_choices, rng);
@@ -55,6 +76,29 @@ Sample generate_sample(const topo::Topology& base, const GeneratorConfig& cfg,
   const double target_util = rng.uniform(cfg.util_lo, cfg.util_hi);
   topo::scale_to_max_utilization(tm, topo, routing, target_util);
 
+  // Resolve the sample's scenario.  Mixed mode draws the (policy,
+  // traffic) pair here — after every default draw, so non-mixed datasets
+  // keep the seed protocol's exact RNG sequence.
+  sim::ScenarioConfig scenario = cfg.scenario;
+  if (cfg.mixed_scenarios) {
+    scenario.policy = static_cast<sim::SchedulerPolicy>(
+        rng.uniform_int(0, sim::kNumSchedulerPolicies - 1));
+    scenario.traffic = static_cast<sim::TrafficProcess>(
+        rng.uniform_int(0, sim::kNumTrafficProcesses - 1));
+  }
+
+  // Per-flow scheduling classes from a derived stream (derivation does
+  // not advance `rng`, so single-class datasets are unaffected).
+  std::vector<std::uint8_t> flow_class(
+      topo.num_nodes() * topo.num_nodes(), 0);
+  if (scenario.priority_classes > 1) {
+    util::RngStream crng = rng.derive("class");
+    for (const auto& [ps, pd] : routing.pairs())
+      flow_class[static_cast<std::size_t>(ps) * topo.num_nodes() + pd] =
+          static_cast<std::uint8_t>(crng.uniform_int(
+              0, static_cast<std::int64_t>(scenario.priority_classes) - 1));
+  }
+
   // Size the measurement window for ~target_packets generated packets.
   const double total_pps = tm.total() / cfg.mean_packet_bits;
   sim::SimConfig sc;
@@ -62,6 +106,14 @@ Sample generate_sample(const topo::Topology& base, const GeneratorConfig& cfg,
   sc.window_s = static_cast<double>(cfg.target_packets) / total_pps;
   sc.warmup_s = 0.1 * sc.window_s;
   sc.seed = rng();  // one draw: the simulator derives its own streams
+  sc.scenario = scenario;
+  const std::size_t n = topo.num_nodes();
+  // By value: the config outlives this scope inside the Simulator.
+  sc.flow_class = [classes = flow_class, n](topo::NodeId fs,
+                                            topo::NodeId fd) {
+    return static_cast<std::uint32_t>(
+        classes[static_cast<std::size_t>(fs) * n + fd]);
+  };
 
   sim::Simulator simulator(topo, routing, tm, sc);
   const sim::SimResult res = simulator.run();
@@ -75,6 +127,8 @@ Sample generate_sample(const topo::Topology& base, const GeneratorConfig& cfg,
     s.link_capacity_bps.push_back(topo.link_capacity(l));
   s.queue_pkts = topo.queue_sizes();
   s.max_utilization = target_util;
+  s.scenario = scenario;
+  s.scenario_recorded = true;
 
   s.paths.reserve(res.paths.size());
   for (const auto& ps : res.paths) {
@@ -85,6 +139,8 @@ Sample generate_sample(const topo::Topology& base, const GeneratorConfig& cfg,
     rec.nodes = rp.nodes;
     rec.links = rp.links;
     rec.traffic_bps = tm.get(ps.src, ps.dst);
+    rec.priority_class =
+        flow_class[static_cast<std::size_t>(ps.src) * n + ps.dst];
     rec.mean_delay_s = ps.mean_delay_s;
     rec.jitter_s2 = ps.jitter_s2;
     rec.loss_rate = ps.loss_rate();

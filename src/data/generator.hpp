@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "data/sample.hpp"
+#include "sim/scenario.hpp"
 #include "topo/topology.hpp"
 #include "util/rng.hpp"
 
@@ -35,6 +36,20 @@ struct GeneratorConfig {
   /// Measurement window is sized so roughly this many packets are
   /// generated network-wide (plus 10% warm-up).
   std::uint64_t target_packets = 60'000;
+  /// Scheduling policy / traffic process / class count every sample is
+  /// simulated under (DESIGN.md §S).  The default reproduces the seed
+  /// protocol (FIFO + Poisson, one class) with unchanged RNG draws, so
+  /// pre-scenario datasets regenerate bitwise-identically.
+  sim::ScenarioConfig scenario;
+  /// Mixed-scenario mode: draw (policy, traffic process) uniformly per
+  /// sample instead of using scenario.policy/.traffic for every sample —
+  /// one dataset spanning all nine scenario combinations.
+  bool mixed_scenarios = false;
+
+  /// Throws std::invalid_argument on out-of-range parameters
+  /// (p_tiny_queue outside [0,1], non-positive mean_packet_bits, zero
+  /// target_packets, inverted utilization range, bad scenario).
+  void validate() const;
 };
 
 /// Generate one sample on (a scenario drawn from) the base topology.

@@ -28,6 +28,11 @@ void Sample::validate() const {
     if (c <= 0.0) throw std::runtime_error("Sample: non-positive capacity");
   for (const auto& q : queue_pkts)
     if (q == 0) throw std::runtime_error("Sample: zero queue");
+  try {
+    scenario.validate();
+  } catch (const std::invalid_argument& e) {
+    throw std::runtime_error(std::string("Sample: bad scenario: ") + e.what());
+  }
   for (const auto& p : paths) {
     if (p.nodes.size() < 2 || p.links.size() + 1 != p.nodes.size())
       throw std::runtime_error("Sample: malformed path");
@@ -41,6 +46,8 @@ void Sample::validate() const {
     }
     if (p.traffic_bps < 0.0 || p.loss_rate < 0.0 || p.loss_rate > 1.0)
       throw std::runtime_error("Sample: bad path attributes");
+    if (p.priority_class >= scenario.priority_classes)
+      throw std::runtime_error("Sample: path class out of scenario range");
   }
 }
 

@@ -64,6 +64,7 @@ void save_bundle(const std::string& path, const core::Model& model,
   write_pod(body, static_cast<std::uint8_t>(mc.node_rule));
   write_pod(body, static_cast<std::uint8_t>(mc.node_mean_aggregation));
   write_pod(body, static_cast<std::uint8_t>(mc.fused_gru));
+  write_pod(body, static_cast<std::uint8_t>(mc.scenario_features));
   write_pod(body, mc.init_seed);
   write_moments(body, scaler.traffic_moments());
   write_moments(body, scaler.capacity_moments());
@@ -94,7 +95,7 @@ ModelBundle load_bundle(const std::string& path) {
                              " (not a .rnxb bundle)");
   std::uint32_t version = 0;
   read_pod(f, version, "version");
-  if (version != kBundleVersion)
+  if (version < kMinBundleVersion || version > kBundleVersion)
     throw std::runtime_error("load_bundle: unsupported bundle version " +
                              std::to_string(version));
   std::uint64_t body_size = 0, checksum = 0;
@@ -146,6 +147,11 @@ ModelBundle load_bundle(const std::string& path) {
   mc.node_mean_aggregation = node_mean != 0;
   read_pod(body, fused, "fused_gru");
   mc.fused_gru = fused != 0;
+  if (version >= 2) {
+    std::uint8_t scenario = 0;
+    read_pod(body, scenario, "scenario_features");
+    mc.scenario_features = scenario != 0;
+  }
   read_pod(body, mc.init_seed, "init_seed");
 
   const data::Moments traffic = read_moments(body, "traffic moments");

@@ -13,6 +13,7 @@
 //     u64 min_delivered        (label-quality threshold used in training)
 //     u64 state_dim, u64 readout_hidden, u64 iterations
 //     u8  node_rule, u8 node_mean_aggregation, u8 fused_gru
+//     u8  scenario_features    (v2+ only; v1 bundles imply 0)
 //     u64 init_seed
 //     5 x (f64 mean, f64 stddev)  Scaler moments: traffic, capacity,
 //                                 queue, log_delay, log_jitter
@@ -21,7 +22,9 @@
 // The checksum covers the whole body, so truncation or bit rot fails
 // loudly at load instead of surfacing as subtly wrong predictions.
 // Versioning rule: any layout change bumps kBundleVersion; readers
-// reject unknown versions rather than guessing (see DESIGN.md §B).
+// reject unknown versions rather than guessing, but keep loading every
+// older version (v1 bundles predate the scenario engine and must keep
+// serving bitwise-identically; see DESIGN.md §B, §S).
 #pragma once
 
 #include <cstdint>
@@ -34,7 +37,8 @@
 
 namespace rnx::serve {
 
-inline constexpr std::uint32_t kBundleVersion = 1;
+inline constexpr std::uint32_t kBundleVersion = 2;
+inline constexpr std::uint32_t kMinBundleVersion = 1;
 
 /// A deserialized bundle: the reconstructed model (weights loaded) plus
 /// the inference-time context it was trained with.

@@ -1,0 +1,130 @@
+#include "sim/scenario.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace rnx::sim {
+
+std::optional<SchedulerPolicy> policy_from_string(
+    std::string_view s) noexcept {
+  if (s == "fifo") return SchedulerPolicy::kFifo;
+  if (s == "prio" || s == "priority") return SchedulerPolicy::kStrictPriority;
+  if (s == "drr") return SchedulerPolicy::kDrr;
+  return std::nullopt;
+}
+
+std::optional<TrafficProcess> traffic_from_string(
+    std::string_view s) noexcept {
+  if (s == "poisson") return TrafficProcess::kPoisson;
+  if (s == "cbr" || s == "deterministic") return TrafficProcess::kCbr;
+  if (s == "onoff") return TrafficProcess::kOnOff;
+  return std::nullopt;
+}
+
+void ScenarioConfig::validate() const {
+  if (priority_classes == 0)
+    throw std::invalid_argument("ScenarioConfig: priority_classes must be >= 1");
+  if (priority_classes > 64)
+    throw std::invalid_argument(
+        "ScenarioConfig: priority_classes implausibly large (" +
+        std::to_string(priority_classes) + " > 64)");
+  if (!(onoff_burst_pkts > 0.0))
+    throw std::invalid_argument(
+        "ScenarioConfig: onoff_burst_pkts must be > 0");
+  if (!(onoff_duty > 0.0) || onoff_duty > 1.0)
+    throw std::invalid_argument(
+        "ScenarioConfig: onoff_duty must be in (0, 1]");
+  if (drr_quantum_bits < 0.0)
+    throw std::invalid_argument(
+        "ScenarioConfig: drr_quantum_bits must be >= 0");
+}
+
+namespace {
+
+/// Exponential inter-arrivals: exactly the seed simulator's one
+/// exponential draw per arrival, so FIFO+Poisson stays bitwise-identical.
+class PoissonArrivals final : public ArrivalProcess {
+ public:
+  explicit PoissonArrivals(double rate_pps) : mean_gap_(1.0 / rate_pps) {}
+  double next(double now, util::RngStream& rng) override {
+    return now + rng.exponential(mean_gap_);
+  }
+
+ private:
+  double mean_gap_;
+};
+
+/// Deterministic inter-arrivals.  The first arrival is drawn uniformly
+/// inside one period so concurrent CBR flows do not phase-lock onto the
+/// same event times.
+class CbrArrivals final : public ArrivalProcess {
+ public:
+  explicit CbrArrivals(double rate_pps) : gap_(1.0 / rate_pps) {}
+  double next(double now, util::RngStream& rng) override {
+    if (!primed_) {
+      primed_ = true;
+      return now + rng.uniform() * gap_;
+    }
+    return now + gap_;
+  }
+
+ private:
+  double gap_;
+  bool primed_ = false;
+};
+
+/// Markov-modulated on-off: exponential ON/OFF sojourns; Poisson arrivals
+/// at peak rate rate/duty during ON, silence during OFF.  Mean ON length
+/// is sized so a burst emits ~burst_pkts packets; the long-run average
+/// rate equals rate_pps by construction.
+class OnOffArrivals final : public ArrivalProcess {
+ public:
+  OnOffArrivals(double rate_pps, double burst_pkts, double duty)
+      : peak_gap_(duty / rate_pps),
+        mean_on_(burst_pkts * peak_gap_),
+        mean_off_(mean_on_ * (1.0 - duty) / duty) {}
+
+  double next(double now, util::RngStream& rng) override {
+    if (!primed_) {
+      primed_ = true;
+      on_until_ = rng.exponential(mean_on_);  // every flow starts ON at t=0
+    }
+    double t = now;
+    for (;;) {
+      const double gap = rng.exponential(peak_gap_);
+      if (t + gap <= on_until_) return t + gap;
+      // Burst exhausted: sit out the OFF sojourn, start the next burst.
+      // duty == 1 has no OFF phase and degenerates to pure Poisson.
+      t = on_until_;
+      if (mean_off_ > 0.0) t += rng.exponential(mean_off_);
+      on_until_ = t + rng.exponential(mean_on_);
+    }
+  }
+
+ private:
+  double peak_gap_;
+  double mean_on_;
+  double mean_off_;
+  double on_until_ = 0.0;
+  bool primed_ = false;
+};
+
+}  // namespace
+
+std::unique_ptr<ArrivalProcess> make_arrival_process(
+    const ScenarioConfig& scenario, double rate_pps) {
+  if (!(rate_pps > 0.0))
+    throw std::invalid_argument("make_arrival_process: rate must be > 0");
+  switch (scenario.traffic) {
+    case TrafficProcess::kPoisson:
+      return std::make_unique<PoissonArrivals>(rate_pps);
+    case TrafficProcess::kCbr:
+      return std::make_unique<CbrArrivals>(rate_pps);
+    case TrafficProcess::kOnOff:
+      return std::make_unique<OnOffArrivals>(
+          rate_pps, scenario.onoff_burst_pkts, scenario.onoff_duty);
+  }
+  throw std::logic_error("make_arrival_process: unknown traffic process");
+}
+
+}  // namespace rnx::sim

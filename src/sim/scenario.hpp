@@ -1,0 +1,109 @@
+// Scenario vocabulary: output-port scheduling policies and flow arrival
+// processes (DESIGN.md §S).
+//
+// The paper's ground-truth datasets vary a single scenario knob (per-node
+// queue size over drop-tail FIFO with Poisson traffic).  The scenario
+// engine widens that axis in two directions, following RouteNet-Erlang
+// (Ferriol-Galmés et al., 2022):
+//
+//  * SchedulerPolicy — how an output port picks the next packet to serve:
+//    drop-tail FIFO (the original behavior, bitwise-preserved), strict
+//    non-preemptive priority over flow classes, or deficit round robin
+//    (a WFQ approximation) across the same classes;
+//  * TrafficProcess — how each flow generates packets: Poisson (the
+//    original, exponential inter-arrivals), CBR (deterministic
+//    inter-arrivals), or a Markov-modulated on-off process whose ON
+//    bursts emit Poisson traffic at a peak rate chosen so the long-run
+//    average matches the traffic-matrix rate.
+//
+// A ScenarioConfig travels with every dataset sample (data::Sample), so
+// datasets record the scenario they came from, and each non-default
+// combination is pinned against closed-form queueing theory in
+// tests/queueing_theory_test.cpp.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string_view>
+
+#include "util/rng.hpp"
+
+namespace rnx::sim {
+
+enum class SchedulerPolicy : std::uint8_t {
+  kFifo = 0,           ///< drop-tail FIFO — the paper's (and seed's) policy
+  kStrictPriority = 1, ///< non-preemptive; class 0 is the highest priority
+  kDrr = 2,            ///< deficit round robin over classes (WFQ approx.)
+};
+
+enum class TrafficProcess : std::uint8_t {
+  kPoisson = 0,  ///< exponential inter-arrivals (M/·/1-style; the default)
+  kCbr = 1,      ///< deterministic inter-arrivals (constant bit rate)
+  kOnOff = 2,    ///< Markov-modulated on-off bursts of Poisson traffic
+};
+
+[[nodiscard]] constexpr std::string_view to_string(
+    SchedulerPolicy p) noexcept {
+  switch (p) {
+    case SchedulerPolicy::kFifo: return "fifo";
+    case SchedulerPolicy::kStrictPriority: return "prio";
+    case SchedulerPolicy::kDrr: return "drr";
+  }
+  return "?";
+}
+[[nodiscard]] constexpr std::string_view to_string(TrafficProcess t) noexcept {
+  switch (t) {
+    case TrafficProcess::kPoisson: return "poisson";
+    case TrafficProcess::kCbr: return "cbr";
+    case TrafficProcess::kOnOff: return "onoff";
+  }
+  return "?";
+}
+[[nodiscard]] std::optional<SchedulerPolicy> policy_from_string(
+    std::string_view s) noexcept;
+[[nodiscard]] std::optional<TrafficProcess> traffic_from_string(
+    std::string_view s) noexcept;
+
+inline constexpr std::uint32_t kNumSchedulerPolicies = 3;
+inline constexpr std::uint32_t kNumTrafficProcesses = 3;
+
+/// One scenario: the (policy, traffic process, class structure) triple a
+/// sample was simulated under.  Defaults reproduce the seed simulator
+/// exactly (FIFO + Poisson, one class).
+struct ScenarioConfig {
+  SchedulerPolicy policy = SchedulerPolicy::kFifo;
+  TrafficProcess traffic = TrafficProcess::kPoisson;
+  /// Number of flow classes the scheduler distinguishes.  1 degenerates
+  /// strict priority and DRR to FIFO service order.
+  std::uint32_t priority_classes = 1;
+  /// On-off shape, scale-free per flow: mean packets emitted per ON burst
+  /// and the long-run fraction of time spent ON.  Peak rate during ON is
+  /// rate / duty, so the average rate always matches the traffic matrix.
+  double onoff_burst_pkts = 10.0;
+  double onoff_duty = 0.5;
+  /// DRR quantum in bits; 0 selects the simulator's mean packet size.
+  double drr_quantum_bits = 0.0;
+
+  /// Throws std::invalid_argument on out-of-range parameters.
+  void validate() const;
+
+  [[nodiscard]] bool operator==(const ScenarioConfig&) const = default;
+};
+
+/// Per-flow packet arrival process.  next() returns the absolute time of
+/// the next generation given the previous one; all stochasticity draws
+/// from the flow's own RngStream, so scenarios stay reproducible.
+class ArrivalProcess {
+ public:
+  virtual ~ArrivalProcess() = default;
+  [[nodiscard]] virtual double next(double now, util::RngStream& rng) = 0;
+};
+
+/// Build the arrival process for one flow of mean rate `rate_pps` under
+/// `scenario`.  The Poisson process reproduces the seed simulator's draw
+/// sequence exactly (one exponential draw per arrival).
+[[nodiscard]] std::unique_ptr<ArrivalProcess> make_arrival_process(
+    const ScenarioConfig& scenario, double rate_pps);
+
+}  // namespace rnx::sim

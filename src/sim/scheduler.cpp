@@ -1,0 +1,135 @@
+#include "sim/scheduler.hpp"
+
+#include <deque>
+#include <stdexcept>
+#include <vector>
+
+namespace rnx::sim {
+
+namespace {
+
+class FifoScheduler final : public Scheduler {
+ public:
+  void push(const SimPacket& pkt) override { q_.push_back(pkt); }
+  SimPacket pop_next() override {
+    SimPacket p = q_.front();
+    q_.pop_front();
+    return p;
+  }
+  std::size_t size() const noexcept override { return q_.size(); }
+
+ private:
+  std::deque<SimPacket> q_;
+};
+
+/// Per-class FIFO lanes served lowest-class-first.  Non-preemptive by
+/// construction: selection only happens at service-start instants.
+class StrictPriorityScheduler final : public Scheduler {
+ public:
+  explicit StrictPriorityScheduler(std::uint32_t classes)
+      : lanes_(classes) {}
+
+  void push(const SimPacket& pkt) override {
+    lanes_.at(pkt.cls).push_back(pkt);
+    ++total_;
+  }
+  SimPacket pop_next() override {
+    for (auto& lane : lanes_) {
+      if (lane.empty()) continue;
+      SimPacket p = lane.front();
+      lane.pop_front();
+      --total_;
+      return p;
+    }
+    throw std::logic_error("StrictPriorityScheduler: pop from empty port");
+  }
+  std::size_t size() const noexcept override { return total_; }
+
+ private:
+  std::vector<std::deque<SimPacket>> lanes_;
+  std::size_t total_ = 0;
+};
+
+/// Classic deficit round robin (Shreedhar & Varghese): on each visit to a
+/// non-empty class its deficit grows by one quantum; the class transmits
+/// head-of-line packets while the deficit covers them, then the rotation
+/// moves on.  Deficits reset when a class drains, so an idle class cannot
+/// bank credit.
+class DrrScheduler final : public Scheduler {
+ public:
+  DrrScheduler(std::uint32_t classes, double quantum_bits)
+      : lanes_(classes), deficit_(classes, 0.0), quantum_(quantum_bits) {
+    if (!(quantum_ > 0.0))
+      throw std::invalid_argument("DrrScheduler: quantum must be > 0");
+  }
+
+  void push(const SimPacket& pkt) override {
+    lanes_.at(pkt.cls).push_back(pkt);
+    ++total_;
+  }
+
+  SimPacket pop_next() override {
+    if (total_ == 0)
+      throw std::logic_error("DrrScheduler: pop from empty port");
+    for (;;) {
+      std::deque<SimPacket>& lane = lanes_[cur_];
+      if (lane.empty()) {
+        deficit_[cur_] = 0.0;
+        advance();
+        continue;
+      }
+      if (fresh_visit_) {
+        deficit_[cur_] += quantum_;
+        fresh_visit_ = false;
+      }
+      if (lane.front().size_bits <= deficit_[cur_]) {
+        deficit_[cur_] -= lane.front().size_bits;
+        SimPacket p = lane.front();
+        lane.pop_front();
+        --total_;
+        if (lane.empty()) {
+          deficit_[cur_] = 0.0;
+          advance();
+        }
+        return p;
+      }
+      advance();  // deficit exhausted: the class waits for its next visit
+    }
+  }
+
+  std::size_t size() const noexcept override { return total_; }
+
+ private:
+  void advance() noexcept {
+    cur_ = (cur_ + 1) % lanes_.size();
+    fresh_visit_ = true;
+  }
+
+  std::vector<std::deque<SimPacket>> lanes_;
+  std::vector<double> deficit_;
+  double quantum_;
+  std::size_t cur_ = 0;
+  std::size_t total_ = 0;
+  bool fresh_visit_ = true;
+};
+
+}  // namespace
+
+std::unique_ptr<Scheduler> make_scheduler(const ScenarioConfig& scenario,
+                                          double mean_packet_bits) {
+  switch (scenario.policy) {
+    case SchedulerPolicy::kFifo:
+      return std::make_unique<FifoScheduler>();
+    case SchedulerPolicy::kStrictPriority:
+      return std::make_unique<StrictPriorityScheduler>(
+          scenario.priority_classes);
+    case SchedulerPolicy::kDrr:
+      return std::make_unique<DrrScheduler>(
+          scenario.priority_classes, scenario.drr_quantum_bits > 0.0
+                                         ? scenario.drr_quantum_bits
+                                         : mean_packet_bits);
+  }
+  throw std::logic_error("make_scheduler: unknown policy");
+}
+
+}  // namespace rnx::sim

@@ -1,0 +1,60 @@
+// Output-port schedulers (DESIGN.md §S).
+//
+// A Scheduler owns the packets *waiting* at one output port (the packet
+// in service is held by the simulator's Port) and decides, at each
+// service-start instant, which waiting packet transmits next:
+//
+//  * FIFO            — arrival order; with the drop-tail admission rule in
+//                      Simulator::run this is exactly the seed behavior;
+//  * strict priority — lowest class index first (class 0 = highest),
+//                      FIFO within a class, non-preemptive: a packet in
+//                      service always finishes.  Validated against the
+//                      two-class M/M/1 non-preemptive closed forms;
+//  * DRR             — deficit round robin over classes with a per-visit
+//                      quantum (bits): the classic O(1) approximation of
+//                      weighted fair queueing.  Symmetric flows must
+//                      receive equal throughput shares.
+//
+// All policies share one drop-tail admission rule: the port buffer is
+// counted in packets across every class (the paper's per-node queue-size
+// knob), so admission stays policy-independent and the FIFO golden test
+// pins the refactor bitwise.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "sim/scenario.hpp"
+
+namespace rnx::sim {
+
+/// One in-flight packet.  `cls` is the flow's scheduling class
+/// (< ScenarioConfig::priority_classes).
+struct SimPacket {
+  double gen_time = 0.0;
+  double size_bits = 0.0;
+  std::uint32_t flow = 0;
+  std::uint16_t hop = 0;
+  std::uint8_t cls = 0;
+  bool measured = false;
+};
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+  /// Add a packet to the waiting set (admission is the caller's job).
+  virtual void push(const SimPacket& pkt) = 0;
+  /// Select and remove the next packet to serve.  Precondition: !empty().
+  [[nodiscard]] virtual SimPacket pop_next() = 0;
+  /// Packets currently waiting (excludes the one in service).
+  [[nodiscard]] virtual std::size_t size() const noexcept = 0;
+  [[nodiscard]] bool empty() const noexcept { return size() == 0; }
+};
+
+/// Scheduler factory for one port.  `num_classes` bounds SimPacket::cls;
+/// `mean_packet_bits` supplies the default DRR quantum when the scenario
+/// leaves drr_quantum_bits at 0.
+[[nodiscard]] std::unique_ptr<Scheduler> make_scheduler(
+    const ScenarioConfig& scenario, double mean_packet_bits);
+
+}  // namespace rnx::sim

@@ -1,11 +1,13 @@
 #include "sim/simulator.hpp"
 
 #include <algorithm>
-#include <deque>
+#include <memory>
+#include <optional>
 #include <queue>
 #include <stdexcept>
 #include <vector>
 
+#include "sim/scheduler.hpp"
 #include "util/log.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
@@ -14,14 +16,6 @@ namespace rnx::sim {
 
 namespace {
 
-struct Packet {
-  double gen_time;
-  double size_bits;
-  std::uint32_t flow;
-  std::uint16_t hop;
-  bool measured;
-};
-
 enum class EvType : std::uint8_t { kFlowGen, kHopArrival, kDeparture };
 
 struct Event {
@@ -29,7 +23,7 @@ struct Event {
   std::uint64_t seq;  // tie-breaker: FIFO among simultaneous events
   EvType type;
   std::uint32_t idx;  // flow id (kFlowGen) or link id (others)
-  Packet pkt{};       // payload for kHopArrival
+  SimPacket pkt{};    // payload for kHopArrival
 
   bool operator>(const Event& o) const noexcept {
     if (time != o.time) return time > o.time;
@@ -41,13 +35,16 @@ struct Flow {
   topo::NodeId src;
   topo::NodeId dst;
   double rate_pps;
+  std::uint8_t cls;
   const topo::Path* path;
   util::RngStream rng;
+  std::unique_ptr<ArrivalProcess> arrivals;
 };
 
 struct Port {
-  std::deque<Packet> q;      // front = in service
-  std::uint32_t capacity;    // max packets in system
+  std::unique_ptr<Scheduler> sched;     // waiting packets
+  std::optional<SimPacket> in_service;  // transmitting packet, if any
+  std::uint32_t capacity;    // max packets in system (service included)
   double service_start = 0;  // start time of current service
   // occupancy integration (measurement window only)
   double last_change = 0.0;
@@ -55,6 +52,10 @@ struct Port {
   double busy_s = 0.0;
   std::uint64_t arrivals = 0;
   std::uint64_t drops = 0;
+
+  [[nodiscard]] std::size_t occupancy() const noexcept {
+    return sched->size() + (in_service.has_value() ? 1u : 0u);
+  }
 };
 
 }  // namespace
@@ -62,7 +63,8 @@ struct Port {
 Simulator::Simulator(const topo::Topology& topo,
                      const topo::RoutingScheme& routing,
                      const topo::TrafficMatrix& traffic, SimConfig config)
-    : topo_(topo), routing_(routing), traffic_(traffic), cfg_(config) {
+    : topo_(topo), routing_(routing), traffic_(traffic),
+      cfg_(std::move(config)) {
   if (topo.num_nodes() != routing.num_nodes() ||
       topo.num_nodes() != traffic.num_nodes())
     throw std::invalid_argument("Simulator: size mismatch between inputs");
@@ -70,6 +72,7 @@ Simulator::Simulator(const topo::Topology& topo,
     throw std::invalid_argument("Simulator: bad time configuration");
   if (cfg_.mean_packet_bits <= 0.0)
     throw std::invalid_argument("Simulator: bad packet size");
+  cfg_.scenario.validate();
   topo.validate();
 }
 
@@ -77,21 +80,29 @@ SimResult Simulator::run() {
   const double w_start = cfg_.warmup_s;
   const double w_end = cfg_.warmup_s + cfg_.window_s;
   const util::RngStream root(cfg_.seed);
+  const std::uint32_t num_classes = cfg_.scenario.priority_classes;
 
   // --- flows ----------------------------------------------------------
   std::vector<Flow> flows;
   for (const auto& [s, d] : routing_.pairs()) {
     const double bps = traffic_.get(s, d);
     if (bps <= 0.0) continue;
-    flows.push_back(Flow{s, d, bps / cfg_.mean_packet_bits,
+    const double rate_pps = bps / cfg_.mean_packet_bits;
+    const std::uint32_t cls =
+        cfg_.flow_class ? std::min(cfg_.flow_class(s, d), num_classes - 1)
+                        : 0u;
+    flows.push_back(Flow{s, d, rate_pps, static_cast<std::uint8_t>(cls),
                          &routing_.path(s, d),
-                         root.derive("flow", flows.size())});
+                         root.derive("flow", flows.size()),
+                         make_arrival_process(cfg_.scenario, rate_pps)});
   }
 
   // --- ports ----------------------------------------------------------
   std::vector<Port> ports(topo_.num_links());
-  for (topo::LinkId l = 0; l < topo_.num_links(); ++l)
+  for (topo::LinkId l = 0; l < topo_.num_links(); ++l) {
+    ports[l].sched = make_scheduler(cfg_.scenario, cfg_.mean_packet_bits);
     ports[l].capacity = topo_.queue_size(topo_.graph().link(l).src);
+  }
 
   // --- per-flow statistics ---------------------------------------------
   std::vector<util::Welford> delay(flows.size());
@@ -109,36 +120,40 @@ SimResult Simulator::run() {
   auto integrate = [&](Port& p, double now) {
     const double span = window_overlap(p.last_change, now);
     if (span > 0.0)
-      p.occupancy_integral += span * static_cast<double>(p.q.size());
+      p.occupancy_integral += span * static_cast<double>(p.occupancy());
     p.last_change = now;
   };
 
   auto start_service = [&](topo::LinkId l, double now) {
     Port& p = ports[l];
     p.service_start = now;
-    const double svc = p.q.front().size_bits / topo_.link_capacity(l);
+    const double svc = p.in_service->size_bits / topo_.link_capacity(l);
     heap.push(Event{now + svc, seq++, EvType::kDeparture, l});
   };
 
-  // Offer a packet to the port of its current hop; drop if full.
-  auto offer = [&](Packet pkt, double now) {
+  // Offer a packet to the port of its current hop; drop-tail if full.
+  auto offer = [&](const SimPacket& pkt, double now) {
     const Flow& f = flows[pkt.flow];
     const topo::LinkId l = f.path->links[pkt.hop];
     Port& p = ports[l];
     ++p.arrivals;
-    if (p.q.size() >= p.capacity) {
+    if (p.occupancy() >= p.capacity) {
       ++p.drops;
       if (pkt.measured) ++dropped[pkt.flow];
       return;
     }
     integrate(p, now);
-    p.q.push_back(pkt);
-    if (p.q.size() == 1) start_service(l, now);
+    if (!p.in_service.has_value()) {
+      p.in_service = pkt;
+      start_service(l, now);
+    } else {
+      p.sched->push(pkt);
+    }
   };
 
   auto schedule_gen = [&](std::uint32_t fi, double now) {
     Flow& f = flows[fi];
-    const double next = now + f.rng.exponential(1.0 / f.rate_pps);
+    const double next = f.arrivals->next(now, f.rng);
     if (next < w_end) heap.push(Event{next, seq++, EvType::kFlowGen, fi});
   };
 
@@ -157,10 +172,11 @@ SimResult Simulator::run() {
     switch (ev.type) {
       case EvType::kFlowGen: {
         Flow& f = flows[ev.idx];
-        Packet pkt;
+        SimPacket pkt;
         pkt.gen_time = now;
         pkt.flow = ev.idx;
         pkt.hop = 0;
+        pkt.cls = f.cls;
         pkt.measured = (now >= w_start && now < w_end);
         pkt.size_bits = cfg_.size_dist == PacketSizeDist::kExponential
                             ? f.rng.exponential(cfg_.mean_packet_bits)
@@ -173,11 +189,15 @@ SimResult Simulator::run() {
       case EvType::kDeparture: {
         Port& p = ports[ev.idx];
         integrate(p, now);
-        Packet pkt = p.q.front();
-        p.q.pop_front();
+        const SimPacket done = *p.in_service;
+        p.in_service.reset();
         p.busy_s += window_overlap(p.service_start, now);
-        if (!p.q.empty()) start_service(ev.idx, now);
+        if (!p.sched->empty()) {
+          p.in_service = p.sched->pop_next();
+          start_service(ev.idx, now);
+        }
 
+        SimPacket pkt = done;
         const Flow& f = flows[pkt.flow];
         const double prop = topo_.link_prop_delay(ev.idx);
         const double arrive = now + prop;

@@ -3,19 +3,24 @@
 // This is the in-house OMNeT++ substitute used to produce ground-truth
 // datasets (DESIGN.md S1).  Model:
 //
-//  * every (src, dst) pair with traffic is a flow: Poisson packet
-//    arrivals at rate TM(src,dst)/mean_packet_bits, i.i.d. packet sizes
-//    (exponential by default);
+//  * every (src, dst) pair with traffic is a flow: packet arrivals follow
+//    the scenario's TrafficProcess (Poisson by default; CBR and
+//    Markov-modulated on-off for the scenario engine, DESIGN.md §S),
+//    i.i.d. packet sizes (exponential by default);
 //  * forwarding follows the RoutingScheme's fixed path;
-//  * each directed link is an output port with a finite drop-tail FIFO
+//  * each directed link is an output port with a finite drop-tail buffer
 //    whose capacity (in packets, including the one in service) is the
 //    *queue size of the transmitting node* — the feature the paper varies;
+//    the scenario's SchedulerPolicy (FIFO / strict priority / DRR) picks
+//    which waiting packet transmits next;
 //  * service time = packet size / link capacity; then the packet takes
 //    the link's propagation delay to reach the next node.
 //
-// A single-link instance of this model is exactly M/M/1/K, which the test
-// suite exploits to validate delay, loss and utilization against closed
-// forms (sim/mm1k.hpp).
+// A single-link instance of the default model is exactly M/M/1/K, which
+// the test suite exploits to validate delay, loss and utilization against
+// closed forms (sim/mm1k.hpp); the non-default scenario combinations are
+// pinned against their own closed forms in tests/queueing_theory_test.cpp,
+// and the default path is pinned bitwise by tests/sim_golden_test.cpp.
 //
 // Statistics are collected for the cohort of packets *generated* inside
 // the measurement window (after warm-up); the event loop drains fully, so
@@ -24,8 +29,10 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 
 #include "sim/metrics.hpp"
+#include "sim/scenario.hpp"
 #include "topo/routing.hpp"
 #include "topo/topology.hpp"
 #include "topo/traffic.hpp"
@@ -44,6 +51,13 @@ struct SimConfig {
   PacketSizeDist size_dist = PacketSizeDist::kExponential;
   std::uint64_t seed = 1;
   std::uint64_t max_events = 500'000'000;  ///< hard safety cap
+  /// Scheduling policy / traffic process / class structure.  The default
+  /// (FIFO + Poisson, one class) reproduces the seed simulator bitwise.
+  ScenarioConfig scenario;
+  /// Scheduling class per flow, keyed by (src, dst); the result is
+  /// clamped to scenario.priority_classes - 1.  Unset = every flow in
+  /// class 0.  The dataset generator records its assignment per path.
+  std::function<std::uint32_t(topo::NodeId, topo::NodeId)> flow_class;
 };
 
 /// One simulation run over a fixed topology/routing/traffic triple.

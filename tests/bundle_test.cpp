@@ -226,6 +226,141 @@ TEST(Bundle, WrongModelKindRejected) {
   std::filesystem::remove(path);
 }
 
+// ---- scenario feature gating (DESIGN.md §S) -----------------------------
+
+// A v2 bundle must round-trip the scenario_features flag.
+TEST(Bundle, ScenarioFeatureFlagRoundTrips) {
+  const std::string path = "/tmp/rnx_bundle_scenario.rnxb";
+  const data::Dataset& ds = test_dataset();
+  core::ModelConfig mc = small_config();
+  mc.scenario_features = true;  // state_dim 8 >= kScenarioFeatureMinDim
+  const core::ExtendedRouteNet model(mc);
+  const data::Scaler scaler = data::Scaler::fit(ds.samples(), 5);
+  serve::save_bundle(path, model, scaler, core::PredictionTarget::kDelay, 5);
+  const serve::ModelBundle loaded = serve::load_bundle(path);
+  EXPECT_TRUE(loaded.model->config().scenario_features);
+  std::filesystem::remove(path);
+}
+
+// A bundle trained with scenario features must refuse — descriptively,
+// not as UB or silent zeros — to serve samples that record no scenario.
+TEST(Bundle, ScenarioModelRefusesFeaturelessSamples) {
+  const std::string path = "/tmp/rnx_bundle_gating.rnxb";
+  const data::Dataset& ds = test_dataset();
+  core::ModelConfig mc = small_config();
+  mc.scenario_features = true;
+  const core::ExtendedRouteNet model(mc);
+  const data::Scaler scaler = data::Scaler::fit(ds.samples(), 5);
+  serve::save_bundle(path, model, scaler, core::PredictionTarget::kDelay, 5);
+
+  const serve::InferenceEngine engine(path);
+  data::Sample legacy = ds[0];
+  legacy.scenario_recorded = false;  // as loaded from a v1 dataset
+  try {
+    (void)engine.predict(legacy);
+    FAIL() << "feature-less sample accepted by scenario-feature model";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("scenario"), std::string::npos)
+        << e.what();
+  }
+  // Samples that do record a scenario serve fine.
+  EXPECT_NO_THROW((void)engine.predict(ds[0]));
+  std::filesystem::remove(path);
+}
+
+TEST(Bundle, ScenarioFeaturesNeedWideEnoughState) {
+  core::ModelConfig mc = small_config();
+  mc.state_dim = 3;  // < kScenarioFeatureMinDim
+  mc.scenario_features = true;
+  EXPECT_THROW(core::ExtendedRouteNet m(mc), std::invalid_argument);
+  EXPECT_THROW((void)core::make_model(core::ModelKind::kOriginal, mc),
+               std::invalid_argument);
+}
+
+// Scenario features change predictions (the channels are really read).
+TEST(Bundle, ScenarioFeaturesEnterTheForwardPass) {
+  const data::Dataset& ds = test_dataset();
+  const data::Scaler scaler = data::Scaler::fit(ds.samples(), 5);
+  core::ModelConfig mc = small_config();
+  const core::ExtendedRouteNet plain(mc);
+  mc.scenario_features = true;
+  const core::ExtendedRouteNet featured(mc);
+
+  data::Sample drr = ds[0];
+  drr.scenario.policy = rnx::sim::SchedulerPolicy::kDrr;
+  const nn::NoGradGuard guard;
+  // Same weights, same sample: the policy one-hot must shift outputs...
+  const double fifo_pred = featured.forward(ds[0], scaler).value()(0, 0);
+  const double drr_pred = featured.forward(drr, scaler).value()(0, 0);
+  EXPECT_NE(fifo_pred, drr_pred);
+  // ...while the feature-less model is blind to the scenario change.
+  const double plain_a = plain.forward(ds[0], scaler).value()(0, 0);
+  const double plain_b = plain.forward(drr, scaler).value()(0, 0);
+  EXPECT_EQ(plain_a, plain_b);
+}
+
+// Hand-written v1 bundle (pre-scenario layout, no scenario_features
+// byte): must load with the flag off and serve bitwise-identically to
+// the same weights in memory.
+TEST(Bundle, V1BundlesLoadAndServeBitwiseIdentically) {
+  const std::string path = "/tmp/rnx_bundle_v1.rnxb";
+  const data::Dataset& ds = test_dataset();
+  const core::ExtendedRouteNet model(small_config());
+  const data::Scaler scaler = data::Scaler::fit(ds.samples(), 5);
+
+  // Mirror save_bundle's v1 writer: v2 minus the scenario byte.
+  std::ostringstream body(std::ios::binary);
+  auto put = [&body](const auto& v) {
+    body.write(reinterpret_cast<const char*>(&v), sizeof(v));
+  };
+  put(std::uint8_t{1});  // kind: ext
+  put(std::uint8_t{0});  // target: delay
+  put(std::uint64_t{5});  // min_delivered
+  const core::ModelConfig& mc = model.config();
+  put(static_cast<std::uint64_t>(mc.state_dim));
+  put(static_cast<std::uint64_t>(mc.readout_hidden));
+  put(static_cast<std::uint64_t>(mc.iterations));
+  put(static_cast<std::uint8_t>(mc.node_rule));
+  put(static_cast<std::uint8_t>(mc.node_mean_aggregation ? 1 : 0));
+  put(static_cast<std::uint8_t>(mc.fused_gru ? 1 : 0));
+  put(mc.init_seed);
+  for (const data::Moments* m :
+       {&scaler.traffic_moments(), &scaler.capacity_moments(),
+        &scaler.queue_moments(), &scaler.log_delay_moments(),
+        &scaler.log_jitter_moments()}) {
+    put(m->mean);
+    put(m->stddev);
+  }
+  const nn::NamedParams params = model.named_params();
+  nn::save_params(body, params);
+  const std::string bytes = body.str();
+  {
+    std::ofstream f(path, std::ios::binary);
+    f.write("RNXB", 4);
+    const std::uint32_t version = 1;
+    f.write(reinterpret_cast<const char*>(&version), sizeof(version));
+    const auto size = static_cast<std::uint64_t>(bytes.size());
+    f.write(reinterpret_cast<const char*>(&size), sizeof(size));
+    const std::uint64_t sum = fnv1a64(bytes);
+    f.write(reinterpret_cast<const char*>(&sum), sizeof(sum));
+    f.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  const serve::ModelBundle loaded = serve::load_bundle(path);
+  EXPECT_FALSE(loaded.model->config().scenario_features);
+  EXPECT_EQ(loaded.min_delivered, 5u);
+  const serve::InferenceEngine engine(path);
+  for (const auto& sample : ds.samples()) {
+    const nn::NoGradGuard guard;
+    const nn::Tensor direct = model.forward(sample, scaler).value();
+    const std::vector<double> served = engine.predict(sample);
+    ASSERT_EQ(served.size(), static_cast<std::size_t>(direct.rows()));
+    for (std::size_t i = 0; i < served.size(); ++i)
+      EXPECT_EQ(served[i], scaler.target_to_delay(direct(i, 0)));
+  }
+  std::filesystem::remove(path);
+}
+
 TEST(Engine, BatchMatchesSingleAndReusesPlans) {
   const std::string path = "/tmp/rnx_bundle_engine_batch.rnxb";
   make_saved_bundle(path);

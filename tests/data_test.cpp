@@ -3,8 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 #include <filesystem>
 #include <fstream>
+#include <set>
 
 #include "data/dataset.hpp"
 #include "data/generator.hpp"
@@ -119,6 +121,155 @@ TEST(Generator, ProgressCallbackFires) {
   EXPECT_EQ(calls, 3u);
 }
 
+// ---- generator config validation (DESIGN.md §S) ------------------------------
+
+TEST(GeneratorValidation, RejectsOutOfRangeTinyQueueProbability) {
+  GeneratorConfig cfg = fast_config();
+  cfg.p_tiny_queue = -0.1;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg.p_tiny_queue = 1.5;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  // The throw must fire on generation too, not only on direct validate().
+  util::RngStream rng(1);
+  EXPECT_THROW((void)data::generate_sample(topo::ring(4), cfg, rng),
+               std::invalid_argument);
+}
+
+TEST(GeneratorValidation, RejectsNonPositivePacketSize) {
+  GeneratorConfig cfg = fast_config();
+  cfg.mean_packet_bits = 0.0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg.mean_packet_bits = -8000.0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(GeneratorValidation, RejectsZeroTargetPackets) {
+  GeneratorConfig cfg = fast_config();
+  cfg.target_packets = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(GeneratorValidation, RejectsInvertedUtilizationRange) {
+  GeneratorConfig cfg = fast_config();
+  cfg.util_lo = 0.9;
+  cfg.util_hi = 0.5;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(GeneratorValidation, RejectsBadScenario) {
+  GeneratorConfig cfg = fast_config();
+  cfg.scenario.priority_classes = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+// ---- scenario recording ------------------------------------------------------
+
+TEST(GeneratorScenario, RecordsScenarioAndClasses) {
+  GeneratorConfig cfg = fast_config();
+  cfg.scenario.policy = rnx::sim::SchedulerPolicy::kDrr;
+  cfg.scenario.traffic = rnx::sim::TrafficProcess::kOnOff;
+  cfg.scenario.priority_classes = 3;
+  const Dataset ds(data::generate_dataset(topo::ring(4), 2, cfg, 19));
+  bool saw_nonzero_class = false;
+  for (const auto& s : ds.samples()) {
+    EXPECT_TRUE(s.scenario_recorded);
+    EXPECT_EQ(s.scenario.policy, rnx::sim::SchedulerPolicy::kDrr);
+    EXPECT_EQ(s.scenario.traffic, rnx::sim::TrafficProcess::kOnOff);
+    EXPECT_EQ(s.scenario.priority_classes, 3u);
+    for (const auto& p : s.paths) {
+      EXPECT_LT(p.priority_class, 3u);
+      saw_nonzero_class |= p.priority_class != 0;
+    }
+    EXPECT_NO_THROW(s.validate());
+  }
+  EXPECT_TRUE(saw_nonzero_class);  // 12 paths x 2 samples over 3 classes
+}
+
+TEST(GeneratorScenario, MixedModeSpansCombinations) {
+  GeneratorConfig cfg = fast_config();
+  cfg.mixed_scenarios = true;
+  cfg.scenario.priority_classes = 2;
+  const Dataset ds(data::generate_dataset(topo::ring(4), 12, cfg, 23));
+  std::set<std::uint8_t> policies, traffics;
+  for (const auto& s : ds.samples()) {
+    EXPECT_TRUE(s.scenario_recorded);
+    policies.insert(static_cast<std::uint8_t>(s.scenario.policy));
+    traffics.insert(static_cast<std::uint8_t>(s.scenario.traffic));
+  }
+  // 12 uniform draws over 3 values miss a value with prob ~3*(2/3)^12.
+  EXPECT_GE(policies.size(), 2u);
+  EXPECT_GE(traffics.size(), 2u);
+}
+
+TEST(GeneratorScenario, ScenarioSurvivesSaveLoadRoundTrip) {
+  const std::string path = "/tmp/rnx_scenario_roundtrip.rnxd";
+  GeneratorConfig cfg = fast_config();
+  cfg.scenario.policy = rnx::sim::SchedulerPolicy::kStrictPriority;
+  cfg.scenario.traffic = rnx::sim::TrafficProcess::kCbr;
+  cfg.scenario.priority_classes = 2;
+  const Dataset ds(data::generate_dataset(topo::ring(4), 2, cfg, 29));
+  ds.save(path);
+  const Dataset loaded = Dataset::load(path);
+  ASSERT_EQ(loaded.size(), ds.size());
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    EXPECT_TRUE(loaded[i].scenario_recorded);
+    EXPECT_EQ(loaded[i].scenario, ds[i].scenario);
+    ASSERT_EQ(loaded[i].paths.size(), ds[i].paths.size());
+    for (std::size_t p = 0; p < ds[i].paths.size(); ++p)
+      EXPECT_EQ(loaded[i].paths[p].priority_class,
+                ds[i].paths[p].priority_class);
+  }
+  std::filesystem::remove(path);
+}
+
+// Hand-written v1 file (the pre-scenario-engine layout): must load with
+// the default scenario and scenario_recorded = false.
+TEST(GeneratorScenario, V1DatasetsStillLoadWithoutScenario) {
+  const std::string path = "/tmp/rnx_v1_dataset.rnxd";
+  {
+    std::ofstream f(path, std::ios::binary);
+    auto put = [&f](const auto& v) {
+      f.write(reinterpret_cast<const char*>(&v), sizeof(v));
+    };
+    f.write("RNXD", 4);
+    put(std::uint32_t{1});  // version 1
+    put(std::uint64_t{1});  // one sample
+    put(std::uint32_t{2});  // topo_name "v1"
+    f.write("v1", 2);
+    put(std::uint32_t{2});  // num_nodes
+    put(std::uint64_t{1});  // one link: 0 -> 1
+    put(std::uint32_t{0});
+    put(std::uint32_t{1});
+    put(std::uint64_t{1});  // capacities
+    put(double{1e6});
+    put(std::uint64_t{2});  // queues
+    put(std::uint32_t{8});
+    put(std::uint32_t{8});
+    put(double{0.5});       // max_utilization
+    put(std::uint64_t{1});  // one path
+    put(std::uint32_t{0});  // src
+    put(std::uint32_t{1});  // dst
+    put(std::uint64_t{2});  // nodes
+    put(std::uint32_t{0});
+    put(std::uint32_t{1});
+    put(std::uint64_t{1});  // links
+    put(std::uint32_t{0});
+    put(double{1e5});       // traffic_bps (no priority_class byte in v1)
+    put(double{1e-3});      // mean_delay_s
+    put(double{1e-6});      // jitter_s2
+    put(double{0.0});       // loss_rate
+    put(std::uint64_t{100});  // delivered
+  }
+  const Dataset loaded = Dataset::load(path);
+  ASSERT_EQ(loaded.size(), 1u);
+  EXPECT_FALSE(loaded[0].scenario_recorded);
+  EXPECT_EQ(loaded[0].scenario, rnx::sim::ScenarioConfig{});
+  EXPECT_EQ(loaded[0].paths[0].priority_class, 0u);
+  EXPECT_DOUBLE_EQ(loaded[0].paths[0].mean_delay_s, 1e-3);
+  EXPECT_EQ(loaded[0].paths[0].delivered, 100u);
+  std::filesystem::remove(path);
+}
+
 // ---- sample validation ----------------------------------------------------------
 
 TEST(SampleValidate, DetectsCorruption) {
@@ -136,6 +287,12 @@ TEST(SampleValidate, DetectsCorruption) {
   EXPECT_THROW(broken.validate(), std::runtime_error);
   broken = s;
   broken.link_capacity_bps[0] = -1.0;
+  EXPECT_THROW(broken.validate(), std::runtime_error);
+  broken = s;
+  broken.paths[0].priority_class = 9;  // >= scenario.priority_classes
+  EXPECT_THROW(broken.validate(), std::runtime_error);
+  broken = s;
+  broken.scenario.onoff_duty = 2.0;
   EXPECT_THROW(broken.validate(), std::runtime_error);
 }
 

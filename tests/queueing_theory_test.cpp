@@ -1,0 +1,389 @@
+// Closed-form validation of the scenario engine (DESIGN.md §S).
+//
+// Every non-default (scheduling policy, traffic process) dimension is
+// pinned against analytic queueing theory, the same way the default
+// simulator is pinned against M/M/1/K in sim_test.cpp:
+//
+//   * Poisson + deterministic sizes  -> M/D/1 via Pollaczek-Khinchine;
+//   * CBR + exponential sizes        -> D/M/1 via its fixed-point root;
+//   * CBR + deterministic sizes      -> D/D/1 (zero queueing below rho=1);
+//   * strict priority, two classes   -> M/M/1 non-preemptive closed forms;
+//   * DRR, symmetric classes         -> equal throughput shares (matching
+//                                       FIFO), where strict priority
+//                                       starves the low class;
+//   * on-off bursts                  -> rate conservation + strictly worse
+//                                       delay/loss than Poisson at the
+//                                       same average load.
+//
+// A parametrized sweep also runs every (policy, traffic) combination and
+// asserts the conservation + determinism invariants, so all three
+// schedulers and all three traffic models are exercised by ctest.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "sim/mm1k.hpp"
+#include "sim/simulator.hpp"
+#include "topo/zoo.hpp"
+
+namespace {
+
+using namespace rnx;
+using sim::ScenarioConfig;
+using sim::SchedulerPolicy;
+using sim::SimConfig;
+using sim::Simulator;
+using sim::SimResult;
+using sim::TrafficProcess;
+
+constexpr double kCapBps = 1e6;
+constexpr double kPktBits = 8000.0;
+constexpr double kMu = kCapBps / kPktBits;  // 125 pkt/s service rate
+
+// Single-hop scenario: one flow 0->1 over line(2) at load rho.
+SimResult run_single_hop(double rho, std::uint32_t k, const SimConfig& base,
+                         double window_s = 400.0, std::uint64_t seed = 1) {
+  topo::Topology t = topo::line(2, kCapBps);
+  t.set_all_queue_sizes(k);
+  const topo::RoutingScheme rs = topo::hop_count_routing(t);
+  topo::TrafficMatrix tm(2);
+  tm.set(0, 1, rho * kCapBps);
+  SimConfig cfg = base;
+  cfg.mean_packet_bits = kPktBits;
+  cfg.window_s = window_s;
+  cfg.warmup_s = 10.0;
+  cfg.seed = seed;
+  Simulator s(t, rs, tm, cfg);
+  return s.run();
+}
+
+// Two flows sharing link 1->2 of a line(3) whose first hop is so fast
+// that its queueing is negligible: flow 0->2 (class 0) arrives at the
+// shared port essentially Poisson, flow 1->2 (class 1) is born there.
+SimResult run_shared_link2(double rho_hi, double rho_lo, std::uint32_t k,
+                           const SimConfig& base, double window_s = 400.0,
+                           std::uint64_t seed = 1) {
+  topo::Topology t = topo::line(3, kCapBps);
+  // Speed up both directions of edge (0,1); the 1->2 port keeps kCapBps.
+  for (topo::LinkId l = 0; l < t.num_links(); ++l) {
+    const auto& link = t.graph().link(l);
+    if ((link.src == 0 && link.dst == 1) || (link.src == 1 && link.dst == 0))
+      t.set_link_capacity(l, 1e9);
+  }
+  t.set_all_queue_sizes(k);
+  const topo::RoutingScheme rs = topo::hop_count_routing(t);
+  topo::TrafficMatrix tm(3);
+  tm.set(0, 2, rho_hi * kCapBps);
+  tm.set(1, 2, rho_lo * kCapBps);
+  SimConfig cfg = base;
+  cfg.mean_packet_bits = kPktBits;
+  cfg.window_s = window_s;
+  cfg.warmup_s = 10.0;
+  cfg.seed = seed;
+  cfg.flow_class = [](topo::NodeId src, topo::NodeId) -> std::uint32_t {
+    return src == 0 ? 0u : 1u;  // 0->2 high priority, 1->2 low
+  };
+  Simulator s(t, rs, tm, cfg);
+  return s.run();
+}
+
+SimResult run_shared_link(double rho_each, std::uint32_t k,
+                          const SimConfig& base, double window_s = 400.0,
+                          std::uint64_t seed = 1) {
+  return run_shared_link2(rho_each, rho_each, k, base, window_s, seed);
+}
+
+// ---- M/D/1: Poisson arrivals, deterministic service ------------------------
+
+TEST(QueueingTheory, Md1SojournMatchesPollaczekKhinchine) {
+  const double rho = 0.7;
+  SimConfig cfg;
+  cfg.size_dist = sim::PacketSizeDist::kDeterministic;
+  const SimResult res = run_single_hop(rho, 500, cfg);
+  const auto& p = res.path(0, 1);
+  ASSERT_GT(p.delivered, 20'000u);
+  EXPECT_LT(p.loss_rate(), 1e-5);
+  // Pollaczek-Khinchine with E[S^2] = 1/mu^2 (deterministic service):
+  // W_q = rho / (2 mu (1 - rho)); T = 1/mu + W_q.
+  const double theory = 1.0 / kMu + rho / (2.0 * kMu * (1.0 - rho));
+  EXPECT_NEAR(p.mean_delay_s, theory, 0.05 * theory);
+  // M/D/1 must queue strictly less than M/M/1 at the same load.
+  EXPECT_LT(p.mean_delay_s, 0.8 * sim::mm1_mean_sojourn(rho * kMu, kMu));
+}
+
+// ---- D/M/1: CBR arrivals, exponential service ------------------------------
+
+TEST(QueueingTheory, Dm1SojournMatchesFixedPointForm) {
+  const double rho = 0.7;  // lambda = rho * mu, deterministic gap 1/lambda
+  SimConfig cfg;
+  cfg.scenario.traffic = TrafficProcess::kCbr;
+  const SimResult res = run_single_hop(rho, 500, cfg);
+  const auto& p = res.path(0, 1);
+  ASSERT_GT(p.delivered, 20'000u);
+  EXPECT_LT(p.loss_rate(), 1e-5);
+  // D/M/1: sigma is the root of sigma = exp(-(mu/lambda)(1 - sigma));
+  // T = 1 / (mu (1 - sigma)).
+  double sigma = 0.5;
+  for (int i = 0; i < 200; ++i) sigma = std::exp(-(1.0 / rho) * (1.0 - sigma));
+  const double theory = 1.0 / (kMu * (1.0 - sigma));
+  EXPECT_NEAR(p.mean_delay_s, theory, 0.05 * theory);
+  // Deterministic arrivals queue strictly less than Poisson ones.
+  EXPECT_LT(p.mean_delay_s, 0.8 * sim::mm1_mean_sojourn(rho * kMu, kMu));
+}
+
+// ---- D/D/1: CBR arrivals, deterministic service ----------------------------
+
+TEST(QueueingTheory, Dd1HasNoQueueingBelowSaturation) {
+  const double rho = 0.8;
+  SimConfig cfg;
+  cfg.scenario.traffic = TrafficProcess::kCbr;
+  cfg.size_dist = sim::PacketSizeDist::kDeterministic;
+  const SimResult res = run_single_hop(rho, 4, cfg, 100.0);
+  const auto& p = res.path(0, 1);
+  ASSERT_GT(p.delivered, 5'000u);
+  // Arrivals are spaced 1/lambda > 1/mu apart, so every packet finds an
+  // empty server: sojourn == service time exactly, zero variance, zero
+  // loss even with a tiny buffer.
+  EXPECT_EQ(p.dropped, 0u);
+  EXPECT_NEAR(p.mean_delay_s, 1.0 / kMu, 1e-12);
+  EXPECT_NEAR(p.min_delay_s, 1.0 / kMu, 1e-12);
+  EXPECT_NEAR(p.max_delay_s, 1.0 / kMu, 1e-12);
+  EXPECT_LT(p.jitter_s2, 1e-18);
+  EXPECT_NEAR(res.links[0].utilization, rho, 0.01);
+}
+
+// ---- strict priority: two-class M/M/1 non-preemptive closed forms ----------
+
+TEST(QueueingTheory, StrictPriorityMatchesTwoClassClosedForms) {
+  const double rho_each = 0.35;  // rho_total = 0.7
+  SimConfig cfg;
+  cfg.scenario.policy = SchedulerPolicy::kStrictPriority;
+  cfg.scenario.priority_classes = 2;
+  const SimResult res = run_shared_link(rho_each, 500, cfg);
+  const auto& hi = res.path(0, 2);
+  const auto& lo = res.path(1, 2);
+  ASSERT_GT(hi.delivered, 10'000u);
+  ASSERT_GT(lo.delivered, 10'000u);
+  EXPECT_LT(hi.loss_rate(), 1e-5);
+  EXPECT_LT(lo.loss_rate(), 1e-5);
+
+  // Non-preemptive M/M/1 priority with equal service rates: mean residual
+  // work R = rho/mu; W_q1 = R / (1 - rho1); W_q2 = R / ((1 - rho1)
+  // (1 - rho1 - rho2)); T_i = W_qi + 1/mu.  The high-priority flow also
+  // crosses the 1e9-bps first hop (~8 us service), inside tolerance.
+  const double r = 2.0 * rho_each / kMu;
+  const double t_hi = r / (1.0 - rho_each) + 1.0 / kMu;
+  const double t_lo =
+      r / ((1.0 - rho_each) * (1.0 - 2.0 * rho_each)) + 1.0 / kMu;
+  EXPECT_NEAR(hi.mean_delay_s, t_hi, 0.06 * t_hi);
+  EXPECT_NEAR(lo.mean_delay_s, t_lo, 0.06 * t_lo);
+  EXPECT_LT(hi.mean_delay_s, lo.mean_delay_s);
+}
+
+TEST(QueueingTheory, FifoTreatsBothClassesAlike) {
+  // Control experiment: same two-flow load, FIFO port -> both flows see
+  // the same M/M/1 sojourn, bracketed by the priority extremes.
+  const double rho_each = 0.35;
+  SimConfig cfg;  // default FIFO; flow_class set but irrelevant
+  const SimResult res = run_shared_link(rho_each, 500, cfg);
+  const auto& a = res.path(0, 2);
+  const auto& b = res.path(1, 2);
+  const double t_fifo = sim::mm1_mean_sojourn(2.0 * rho_each * kMu, kMu);
+  EXPECT_NEAR(a.mean_delay_s, t_fifo, 0.06 * t_fifo);
+  EXPECT_NEAR(b.mean_delay_s, t_fifo, 0.06 * t_fifo);
+}
+
+// ---- DRR: symmetric flows get equal shares ---------------------------------
+
+TEST(QueueingTheory, DrrGivesSymmetricFlowsEqualShares) {
+  // Overload the shared port (rho_total = 1.6) so throughput is
+  // scheduler-allocated, not demand-limited.
+  const double rho_each = 0.8;
+  SimConfig drr_cfg;
+  drr_cfg.scenario.policy = SchedulerPolicy::kDrr;
+  drr_cfg.scenario.priority_classes = 2;
+  const SimResult drr = run_shared_link(rho_each, 16, drr_cfg, 200.0);
+  const auto& d0 = drr.path(0, 2);
+  const auto& d1 = drr.path(1, 2);
+  ASSERT_GT(d0.delivered + d1.delivered, 10'000u);
+  const double drr_share =
+      static_cast<double>(d0.delivered) /
+      static_cast<double>(d0.delivered + d1.delivered);
+
+  SimConfig fifo_cfg;
+  const SimResult fifo = run_shared_link(rho_each, 16, fifo_cfg, 200.0);
+  const auto& f0 = fifo.path(0, 2);
+  const auto& f1 = fifo.path(1, 2);
+  const double fifo_share =
+      static_cast<double>(f0.delivered) /
+      static_cast<double>(f0.delivered + f1.delivered);
+
+  // Symmetric demand: both DRR and FIFO must split the link ~50/50, and
+  // the two policies must agree with each other within CI tolerance.
+  EXPECT_NEAR(drr_share, 0.5, 0.03);
+  EXPECT_NEAR(fifo_share, 0.5, 0.03);
+  EXPECT_NEAR(drr_share, fifo_share, 0.04);
+}
+
+TEST(QueueingTheory, StrictPriorityJumpsTheQueueUnderOverload) {
+  // Same overload under strict priority.  Admission is shared drop-tail
+  // without push-out (policy-independent by design, DESIGN.md §S), so
+  // delivered *shares* stay symmetric — what priority reallocates is
+  // *waiting*: a high-class packet overtakes the whole low-class
+  // backlog, a low-class packet waits out nearly the full buffer.
+  const double rho_each = 0.8;
+  SimConfig cfg;
+  cfg.scenario.policy = SchedulerPolicy::kStrictPriority;
+  cfg.scenario.priority_classes = 2;
+  const SimResult res = run_shared_link(rho_each, 16, cfg, 200.0);
+  const auto& hi = res.path(0, 2);
+  const auto& lo = res.path(1, 2);
+  ASSERT_GT(hi.delivered, 5'000u);
+  ASSERT_GT(lo.delivered, 5'000u);
+  EXPECT_LT(hi.mean_delay_s, 0.35 * lo.mean_delay_s);
+  const double hi_share =
+      static_cast<double>(hi.delivered) /
+      static_cast<double>(hi.delivered + lo.delivered);
+  EXPECT_NEAR(hi_share, 0.5, 0.05);
+
+  // FIFO control at the same load: one queue, both classes wait alike.
+  SimConfig fifo_cfg;
+  const SimResult fifo = run_shared_link(rho_each, 16, fifo_cfg, 200.0);
+  EXPECT_NEAR(fifo.path(0, 2).mean_delay_s, fifo.path(1, 2).mean_delay_s,
+              0.1 * fifo.path(1, 2).mean_delay_s);
+}
+
+TEST(QueueingTheory, DrrIsolatesLightClassFromHeavyClass) {
+  // The WFQ property DRR approximates: a light class (0.2 of capacity)
+  // sharing the port with an overloading heavy class (1.4 of capacity)
+  // keeps a short lane of its own under DRR, instead of waiting behind
+  // the heavy backlog as it does under FIFO.
+  SimConfig drr_cfg;
+  drr_cfg.scenario.policy = SchedulerPolicy::kDrr;
+  drr_cfg.scenario.priority_classes = 2;
+  const SimResult drr = run_shared_link2(0.2, 1.4, 16, drr_cfg, 200.0);
+  const auto& light_drr = drr.path(0, 2);
+  const auto& heavy_drr = drr.path(1, 2);
+  ASSERT_GT(light_drr.delivered, 2'000u);
+  EXPECT_LT(light_drr.mean_delay_s, 0.5 * heavy_drr.mean_delay_s);
+
+  SimConfig fifo_cfg;
+  const SimResult fifo = run_shared_link2(0.2, 1.4, 16, fifo_cfg, 200.0);
+  const auto& light_fifo = fifo.path(0, 2);
+  EXPECT_LT(light_drr.mean_delay_s, 0.5 * light_fifo.mean_delay_s);
+}
+
+// ---- on-off bursts ---------------------------------------------------------
+
+TEST(QueueingTheory, OnOffConservesMeanRate) {
+  const double rho = 0.5;
+  SimConfig cfg;
+  cfg.scenario.traffic = TrafficProcess::kOnOff;
+  const SimResult res = run_single_hop(rho, 500, cfg, 600.0);
+  const auto& p = res.path(0, 1);
+  // Long-run average rate must match the traffic matrix: lambda * window.
+  const double expected = rho * kMu * 600.0;
+  EXPECT_NEAR(static_cast<double>(p.generated), expected, 0.10 * expected);
+  EXPECT_EQ(p.generated, p.delivered + p.dropped);
+}
+
+TEST(QueueingTheory, OnOffBurstsQueueWorseThanPoisson) {
+  // Same average load, peak rate 2x (duty 0.5): the queue sees transient
+  // overload during bursts, so delay and tiny-queue loss must both
+  // exceed Poisson's.  This is the regime where vanilla RouteNet breaks
+  // ("Applying Graph-based Deep Learning To Realistic Network
+  // Scenarios", Ferriol-Galmés et al., 2020).
+  const double rho = 0.6;
+  SimConfig onoff;
+  onoff.scenario.traffic = TrafficProcess::kOnOff;
+  SimConfig poisson;
+
+  const auto d_onoff = run_single_hop(rho, 500, onoff).path(0, 1);
+  const auto d_poisson = run_single_hop(rho, 500, poisson).path(0, 1);
+  EXPECT_GT(d_onoff.mean_delay_s, 1.2 * d_poisson.mean_delay_s);
+  EXPECT_GT(d_onoff.jitter_s2, d_poisson.jitter_s2);
+
+  const auto l_onoff = run_single_hop(rho, 2, onoff).path(0, 1);
+  const auto l_poisson = run_single_hop(rho, 2, poisson).path(0, 1);
+  EXPECT_GT(l_onoff.loss_rate(), l_poisson.loss_rate());
+}
+
+// ---- full (policy, traffic) sweep: invariants ------------------------------
+
+class ScenarioSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(ScenarioSweep, ConservationAndDeterminism) {
+  SimConfig cfg;
+  cfg.scenario.policy =
+      static_cast<SchedulerPolicy>(std::get<0>(GetParam()));
+  cfg.scenario.traffic =
+      static_cast<TrafficProcess>(std::get<1>(GetParam()));
+  cfg.scenario.priority_classes = 2;
+  auto run = [&] { return run_shared_link(0.45, 8, cfg, 60.0, 5); };
+  const SimResult a = run();
+  const SimResult b = run();
+  EXPECT_EQ(a.total_events, b.total_events);
+  for (std::size_t i = 0; i < a.paths.size(); ++i) {
+    const auto& pa = a.paths[i];
+    EXPECT_EQ(pa.generated, pa.delivered + pa.dropped);
+    EXPECT_GT(pa.delivered, 100u);
+    EXPECT_EQ(pa.delivered, b.paths[i].delivered);
+    EXPECT_DOUBLE_EQ(pa.mean_delay_s, b.paths[i].mean_delay_s);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombinations, ScenarioSweep,
+    ::testing::Combine(::testing::Values(0, 1, 2),   // fifo, prio, drr
+                       ::testing::Values(0, 1, 2)),  // poisson, cbr, onoff
+    [](const ::testing::TestParamInfo<std::tuple<int, int>>& info) {
+      return std::string(sim::to_string(static_cast<SchedulerPolicy>(
+                 std::get<0>(info.param)))) +
+             "_" +
+             std::string(sim::to_string(
+                 static_cast<TrafficProcess>(std::get<1>(info.param))));
+    });
+
+// ---- degenerate single-class policies reduce to FIFO -----------------------
+
+TEST(QueueingTheory, SingleClassPrioAndDrrAreExactlyFifo)
+{
+  SimConfig fifo;
+  SimConfig prio;
+  prio.scenario.policy = SchedulerPolicy::kStrictPriority;
+  SimConfig drr;
+  drr.scenario.policy = SchedulerPolicy::kDrr;
+  const auto f = run_single_hop(0.9, 8, fifo, 60.0).path(0, 1);
+  const auto p = run_single_hop(0.9, 8, prio, 60.0).path(0, 1);
+  const auto d = run_single_hop(0.9, 8, drr, 60.0).path(0, 1);
+  // With one class there is a single FIFO lane, so service order — and
+  // therefore every statistic — is bitwise identical across policies.
+  EXPECT_EQ(f.delivered, p.delivered);
+  EXPECT_EQ(f.delivered, d.delivered);
+  EXPECT_DOUBLE_EQ(f.mean_delay_s, p.mean_delay_s);
+  EXPECT_DOUBLE_EQ(f.mean_delay_s, d.mean_delay_s);
+  EXPECT_DOUBLE_EQ(f.jitter_s2, d.jitter_s2);
+}
+
+TEST(QueueingTheory, ScenarioConfigValidation) {
+  ScenarioConfig sc;
+  EXPECT_NO_THROW(sc.validate());
+  sc.priority_classes = 0;
+  EXPECT_THROW(sc.validate(), std::invalid_argument);
+  sc = ScenarioConfig{};
+  sc.onoff_duty = 0.0;
+  EXPECT_THROW(sc.validate(), std::invalid_argument);
+  sc = ScenarioConfig{};
+  sc.onoff_duty = 1.5;
+  EXPECT_THROW(sc.validate(), std::invalid_argument);
+  sc = ScenarioConfig{};
+  sc.onoff_burst_pkts = -1.0;
+  EXPECT_THROW(sc.validate(), std::invalid_argument);
+  sc = ScenarioConfig{};
+  sc.drr_quantum_bits = -8.0;
+  EXPECT_THROW(sc.validate(), std::invalid_argument);
+}
+
+}  // namespace

@@ -2,14 +2,19 @@
 //
 //   rnx_datagen --topo geant2 --count 200 --seed 1 --out train.rnxd
 //   rnx_datagen --topo nsfnet --count 50 --p-tiny 0.5 --csv out.csv
+//   rnx_datagen --topo nsfnet --count 50 --policy drr --traffic onoff
+//               --priority-classes 3 --out bursty.rnxd
 //
 // Topologies: geant2, nsfnet, ring<N>, line<N>, rand<N>x<M> (N nodes,
-// M undirected edges; seeded by --seed).
+// M undirected edges; seeded by --seed).  Scenario knobs (DESIGN.md §S):
+// --policy / --traffic fix one scheduling policy and traffic process for
+// the whole dataset; --mixed-scenarios draws the pair per sample instead.
 #include <iostream>
 
 #include "cli.hpp"
 #include "data/dataset.hpp"
 #include "data/generator.hpp"
+#include "sim/scenario.hpp"
 #include "topo/zoo.hpp"
 #include "util/timer.hpp"
 
@@ -38,12 +43,13 @@ rnx::topo::Topology parse_topology(const std::string& name,
 
 }  // namespace
 
-int main(int argc, char** argv) {
+int run(int argc, char** argv) {
   using namespace rnx;
   const cli::Args args(
       argc, argv,
       {"topo", "count", "seed", "out", "csv", "p-tiny", "packets",
-       "util-lo", "util-hi", "fixed-routing"},
+       "util-lo", "util-hi", "fixed-routing", "policy", "traffic",
+       "priority-classes", "mixed-scenarios"},
       "usage: rnx_datagen --topo geant2 --count 100 --out ds.rnxd\n"
       "  --topo NAME      geant2 | nsfnet | ringN | lineN | randNxM\n"
       "  --count N        samples to generate (default 100)\n"
@@ -53,7 +59,11 @@ int main(int argc, char** argv) {
       "  --p-tiny P       P(node gets a 1-packet queue), default 0.5\n"
       "  --packets N      simulated packets per sample, default 100000\n"
       "  --util-lo/hi U   target max-utilization range, default 0.4/0.95\n"
-      "  --fixed-routing  hop-count routing instead of randomized weights");
+      "  --fixed-routing  hop-count routing instead of randomized weights\n"
+      "  --policy P       port scheduler: fifo (default) | prio | drr\n"
+      "  --traffic T      arrival process: poisson (default) | cbr | onoff\n"
+      "  --priority-classes N  flow classes for prio/drr, default 1\n"
+      "  --mixed-scenarios     draw (policy, traffic) per sample");
 
   const auto seed = static_cast<std::uint64_t>(args.get("seed", 1.0));
   const topo::Topology topo =
@@ -66,9 +76,32 @@ int main(int argc, char** argv) {
   cfg.util_hi = args.get("util-hi", 0.95);
   cfg.randomize_routing = !args.has("fixed-routing");
 
+  const std::string policy_s = args.get("policy", std::string("fifo"));
+  const auto policy = sim::policy_from_string(policy_s);
+  if (!policy) {
+    std::cerr << "error: --policy must be fifo, prio or drr (got '"
+              << policy_s << "')\n";
+    return 2;
+  }
+  cfg.scenario.policy = *policy;
+  const std::string traffic_s = args.get("traffic", std::string("poisson"));
+  const auto traffic = sim::traffic_from_string(traffic_s);
+  if (!traffic) {
+    std::cerr << "error: --traffic must be poisson, cbr or onoff (got '"
+              << traffic_s << "')\n";
+    return 2;
+  }
+  cfg.scenario.traffic = *traffic;
+  cfg.scenario.priority_classes = static_cast<std::uint32_t>(
+      args.get("priority-classes", std::size_t{1}));
+  cfg.mixed_scenarios = args.has("mixed-scenarios");
+  cfg.validate();
+
   const std::size_t count = args.get("count", std::size_t{100});
   std::cout << "generating " << count << " samples on " << topo.name()
-            << " (seed " << seed << ")...\n";
+            << " (seed " << seed << ", policy " << sim::to_string(*policy)
+            << ", traffic " << sim::to_string(*traffic)
+            << (cfg.mixed_scenarios ? ", mixed" : "") << ")...\n";
   util::Stopwatch watch;
   data::Dataset ds(data::generate_dataset(
       topo, count, cfg, seed, [](std::size_t done, std::size_t total) {
@@ -89,4 +122,15 @@ int main(int argc, char** argv) {
   if (!args.has("out") && !args.has("csv"))
     std::cout << "(no --out/--csv given: dry run)\n";
   return 0;
+}
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    // Bad topology specs and out-of-range generator configs surface as
+    // clean diagnostics instead of std::terminate.
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
 }

@@ -29,7 +29,8 @@ int run(int argc, char** argv) {
       argc, argv,
       {"train", "eval", "model", "target", "epochs", "lr", "batch",
        "state-dim", "iterations", "min-delivered", "save", "save-bundle",
-       "load", "scaler-from", "seed", "threads", "quiet"},
+       "load", "scaler-from", "seed", "threads", "quiet",
+       "scenario-features"},
       "usage: rnx_train --train ds.rnxd [--eval test.rnxd] [options]\n"
       "  --train FILE      training dataset (.rnxd)\n"
       "  --eval FILE       evaluation dataset (.rnxd)\n"
@@ -50,6 +51,9 @@ int run(int argc, char** argv) {
       "  --seed S          init/shuffle seed, default 42\n"
       "  --threads N       data-parallel lanes (0 = all cores), default 1;\n"
       "                    results are identical for any thread count\n"
+      "  --scenario-features  feed scheduling-policy / flow-class /\n"
+      "                    traffic-process inputs (needs a scenario-\n"
+      "                    recording dataset; persisted in the bundle)\n"
       "  --quiet           suppress per-epoch logs");
 
   // Data-parallel lanes, shared by training and evaluation.
@@ -63,6 +67,7 @@ int run(int argc, char** argv) {
   mc.state_dim = args.get("state-dim", std::size_t{12});
   mc.iterations = args.get("iterations", std::size_t{4});
   mc.init_seed = args.get("seed", std::size_t{42});
+  mc.scenario_features = args.has("scenario-features");
 
   const auto kind = core::model_kind_from_string(model_kind);
   if (!kind) {
