@@ -6,6 +6,7 @@
 // weights; all stochasticity lives in initialization and training.
 #pragma once
 
+#include <exception>
 #include <memory>
 #include <span>
 #include <string>
@@ -74,6 +75,24 @@ class Model {
   [[nodiscard]] std::vector<nn::Tensor> forward_batch(
       std::span<const data::Sample> samples, const data::Scaler& scaler,
       util::ThreadPool* pool = nullptr,
+      const std::vector<char>* skip = nullptr) const;
+
+  /// Scattered-batch inference: as forward_batch, but over sample
+  /// *pointers* so the batch can gather samples that are not contiguous
+  /// in memory — the serving scheduler coalesces samples from many
+  /// queued requests, and plan-cache keying by sample address requires
+  /// passing the original objects, never copies.  A non-null `errors`
+  /// vector (resized to samples.size()) captures each sample's forward
+  /// exception in its own slot instead of failing the whole batch, so a
+  /// multi-request batch isolates one request's bad sample from the
+  /// others; the corresponding output tensor stays empty.  With `errors`
+  /// null, the first exception propagates as in forward_batch.  The pool
+  /// is acquired with try_parallel_for: if another job owns it, this
+  /// batch runs inline on the calling thread rather than blocking.
+  [[nodiscard]] std::vector<nn::Tensor> forward_batch(
+      std::span<const data::Sample* const> samples,
+      const data::Scaler& scaler, util::ThreadPool* pool = nullptr,
+      std::vector<std::exception_ptr>* errors = nullptr,
       const std::vector<char>* skip = nullptr) const;
 
   /// Weight persistence via nn::serialize (strict name/shape matching).

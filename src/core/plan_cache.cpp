@@ -49,4 +49,9 @@ std::uint64_t PlanCache::misses() const {
   return misses_;
 }
 
+PlanCache::Stats PlanCache::stats() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return Stats{map_.size(), hits_, misses_};
+}
+
 }  // namespace rnx::core

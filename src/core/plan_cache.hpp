@@ -48,6 +48,16 @@ class PlanCache {
   [[nodiscard]] std::uint64_t hits() const;
   [[nodiscard]] std::uint64_t misses() const;
 
+  /// Consistent point-in-time view of all three counters under one lock
+  /// (three separate getters can interleave with concurrent inserts).
+  /// The serving stats snapshot reports this (serve/stats.hpp).
+  struct Stats {
+    std::size_t size = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+  };
+  [[nodiscard]] Stats stats() const;
+
  private:
   struct Key {
     const data::Sample* sample;

@@ -1,5 +1,6 @@
 #include "core/routenet.hpp"
 
+#include <exception>
 #include <stdexcept>
 #include <string>
 
@@ -49,19 +50,41 @@ const MpPlan& Model::plan_for(const data::Sample& sample, bool use_nodes,
 std::vector<nn::Tensor> Model::forward_batch(
     std::span<const data::Sample> samples, const data::Scaler& scaler,
     util::ThreadPool* pool, const std::vector<char>* skip) const {
+  std::vector<const data::Sample*> ptrs(samples.size());
+  for (std::size_t i = 0; i < samples.size(); ++i) ptrs[i] = &samples[i];
+  return forward_batch(std::span<const data::Sample* const>(ptrs), scaler,
+                       pool, nullptr, skip);
+}
+
+std::vector<nn::Tensor> Model::forward_batch(
+    std::span<const data::Sample* const> samples, const data::Scaler& scaler,
+    util::ThreadPool* pool, std::vector<std::exception_ptr>* errors,
+    const std::vector<char>* skip) const {
   if (skip != nullptr && skip->size() != samples.size())
     throw std::invalid_argument("forward_batch: skip mask size mismatch");
   std::vector<nn::Tensor> out(samples.size());
+  if (errors != nullptr) {
+    errors->clear();
+    errors->resize(samples.size());
+  }
   const auto eval_one = [&](std::size_t i) {
     if (skip != nullptr && (*skip)[i]) return;
     const nn::NoGradGuard guard;  // thread-local: set per lane
-    out[i] = forward(samples[i], scaler).value();
+    if (errors == nullptr) {
+      out[i] = forward(*samples[i], scaler).value();
+      return;
+    }
+    try {
+      out[i] = forward(*samples[i], scaler).value();
+    } catch (...) {
+      (*errors)[i] = std::current_exception();
+    }
   };
-  if (pool != nullptr && pool->size() > 1 && samples.size() > 1) {
-    pool->parallel_for(samples.size(), eval_one);
-  } else {
+  const bool pooled = pool != nullptr && pool->size() > 1 &&
+                      samples.size() > 1 &&
+                      pool->try_parallel_for(samples.size(), eval_one);
+  if (!pooled)
     for (std::size_t i = 0; i < samples.size(); ++i) eval_one(i);
-  }
   return out;
 }
 

@@ -1,0 +1,52 @@
+// Typed serving-layer errors (DESIGN.md §B2).
+//
+// Admission failures are *values* (ServeError on the Submitted handle):
+// a shed request never owned a future, so there is nothing to throw
+// through.  Failures of an admitted request travel through its future as
+// typed exceptions, so callers can tell overload/shutdown/routing policy
+// apart from model-level errors (e.g. the scenario feature-gating
+// std::runtime_error) without string matching.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace rnx::serve {
+
+enum class ServeError : std::uint8_t {
+  kNone = 0,       ///< admitted; the future will resolve
+  kOverloaded,     ///< queue at max depth: request shed at admission
+  kUnknownModel,   ///< registry routing: no bundle under that name
+  kShutdown,       ///< scheduler is (or went) down
+};
+
+[[nodiscard]] constexpr const char* to_string(ServeError e) noexcept {
+  switch (e) {
+    case ServeError::kNone: return "none";
+    case ServeError::kOverloaded: return "overloaded";
+    case ServeError::kUnknownModel: return "unknown-model";
+    case ServeError::kShutdown: return "shutdown";
+  }
+  return "invalid";
+}
+
+// Note there is deliberately no OverloadedError exception: overload is
+// an admission failure, which is always a value (kOverloaded) — a shed
+// request never owns a future for an exception to travel through.
+
+/// Registry lookup failed: no engine is registered under the name.
+class UnknownModelError : public std::runtime_error {
+ public:
+  explicit UnknownModelError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// The scheduler shut down with the request still pending.
+class ShutdownError : public std::runtime_error {
+ public:
+  explicit ShutdownError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+}  // namespace rnx::serve

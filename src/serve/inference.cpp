@@ -1,24 +1,54 @@
 #include "serve/inference.hpp"
 
+#include <limits>
 #include <stdexcept>
+#include <utility>
 
 #include "nn/autograd.hpp"
+#include "serve/scheduler.hpp"
 
 namespace rnx::serve {
+
+namespace {
+
+/// predict_batch's internal scheduler: no thread, no shedding (the
+/// synchronous API keeps its never-refuses contract), no linger (callers
+/// are already waiting) — pure coalescing of concurrent calls.
+SchedulerConfig sync_scheduler_config() {
+  SchedulerConfig cfg;
+  cfg.max_queue_depth = std::numeric_limits<std::size_t>::max();
+  cfg.max_batch_samples = std::numeric_limits<std::size_t>::max();
+  cfg.max_linger = std::chrono::microseconds{0};
+  cfg.manual_drain = true;
+  return cfg;
+}
+
+}  // namespace
 
 InferenceEngine::InferenceEngine(const std::string& path, std::size_t threads)
     : InferenceEngine(load_bundle(path), threads) {}
 
 InferenceEngine::InferenceEngine(ModelBundle bundle, std::size_t threads)
+    : InferenceEngine(std::move(bundle), std::make_shared<core::PlanCache>(),
+                      threads) {}
+
+InferenceEngine::InferenceEngine(ModelBundle bundle,
+                                 std::shared_ptr<core::PlanCache> cache,
+                                 std::size_t threads)
     : model_(std::move(bundle.model)),
       scaler_(bundle.scaler),
       target_(bundle.target),
-      min_delivered_(bundle.min_delivered) {
+      min_delivered_(bundle.min_delivered),
+      plan_cache_(std::move(cache)) {
   if (!model_)
     throw std::invalid_argument("InferenceEngine: bundle holds no model");
+  if (!plan_cache_)
+    throw std::invalid_argument("InferenceEngine: null plan cache");
   if (threads == 0) threads = util::ThreadPool::hardware_threads();
   if (threads > 1) pool_.emplace(threads);
-  model_->set_plan_cache(&plan_cache_);
+  batch_sched_ = std::make_unique<BatchScheduler>(
+      sync_scheduler_config(), pool_ ? &*pool_ : nullptr);
+  model_->set_plan_cache(plan_cache_.get());
 }
 
 InferenceEngine::~InferenceEngine() { model_->set_plan_cache(nullptr); }
@@ -45,17 +75,24 @@ std::vector<double> InferenceEngine::predict(
 
 std::vector<std::vector<double>> InferenceEngine::predict_batch(
     std::span<const data::Sample> samples) const {
-  std::vector<nn::Tensor> preds;
-  {
-    // forward_batch owns the pool for the duration of the request; the
-    // pool runs one parallel_for at a time, so concurrent batch calls
-    // queue here instead of interleaving.
-    const std::scoped_lock lock(batch_mu_);
-    preds = model_->forward_batch(samples, scaler_,
-                                  pool_ ? &*pool_ : nullptr);
-  }
+  // Coalesce through the sync scheduler: concurrent predict_batch calls
+  // land in one queue and every caller helps execute whatever batch is
+  // frontmost (its own or a peer's), so nobody waits idle.  Depth is
+  // unbounded and linger zero, so admission never sheds and the helper
+  // loop never stalls on a timer.
+  Submitted sub = batch_sched_->submit(*this, samples);
+  batch_sched_->help_until(sub.result);
+  return sub.result.get();
+}
+
+std::vector<std::vector<double>> InferenceEngine::predict_ptrs(
+    std::span<const data::Sample* const> samples, util::ThreadPool* pool,
+    std::vector<std::exception_ptr>* errors) const {
+  const std::vector<nn::Tensor> preds =
+      model_->forward_batch(samples, scaler_, pool, errors);
   std::vector<std::vector<double>> out(samples.size());
   for (std::size_t si = 0; si < samples.size(); ++si) {
+    if (errors != nullptr && (*errors)[si] != nullptr) continue;
     out[si].resize(preds[si].rows());
     for (std::size_t i = 0; i < out[si].size(); ++i)
       out[si][i] = denormalize(preds[si](i, 0));
@@ -73,9 +110,9 @@ double InferenceEngine::predict_mean(const data::Sample& sample) const {
 }
 
 void InferenceEngine::invalidate(const data::Sample& sample) const {
-  plan_cache_.invalidate(sample);
+  plan_cache_->invalidate(sample);
 }
 
-void InferenceEngine::clear_plan_cache() const { plan_cache_.clear(); }
+void InferenceEngine::clear_plan_cache() const { plan_cache_->clear(); }
 
 }  // namespace rnx::serve

@@ -2,24 +2,28 @@
 //
 // The engine owns the reconstructed model, the training-set scaler, a
 // core::PlanCache shared across requests (repeated what-if queries over
-// the same scenario pay build_plan once), and an optional ThreadPool for
-// batch fan-out.  Predictions come back in physical units — seconds for
+// the same scenario pay build_plan once — and, inside a ModelRegistry,
+// shared across *engines*), and an optional ThreadPool for batch
+// fan-out.  Predictions come back in physical units — seconds for
 // delay, seconds^2 for jitter — ready for an operator-facing API.
 //
-// Thread-safety (DESIGN.md §B): predict() may be called concurrently
-// from any number of threads — forward() only reads the weights, the
-// plan cache takes its own lock, and autograd's no-grad mode is
-// thread-local.  predict_batch() fans one request out over the pool and
-// serializes concurrent batch calls on an internal mutex (the pool runs
-// one job at a time).  Plan-cache entries are keyed by sample identity
+// Thread-safety (DESIGN.md §B, §B2): predict() may be called
+// concurrently from any number of threads — forward() only reads the
+// weights, the plan cache takes its own lock, and autograd's no-grad
+// mode is thread-local.  predict_batch() routes through an internal
+// serve::BatchScheduler in synchronous mode: concurrent batch calls
+// coalesce into shared micro-batches and the calling threads
+// cooperatively drain them, so no caller ever blocks idle behind a
+// global mutex (the pre-scheduler engine serialized every batch call on
+// one lock).  Plan-cache entries are keyed by sample identity
 // (address): a caller that destroys or mutates request samples and then
 // recycles their addresses must invalidate()/clear_plan_cache() first,
 // same contract as core::PlanCache.
 #pragma once
 
 #include <cstdint>
+#include <exception>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <span>
 #include <string>
@@ -32,6 +36,8 @@
 
 namespace rnx::serve {
 
+class BatchScheduler;
+
 class InferenceEngine {
  public:
   /// Load the bundle at `path`.  `threads` sizes the batch fan-out pool
@@ -39,6 +45,11 @@ class InferenceEngine {
   explicit InferenceEngine(const std::string& path, std::size_t threads = 1);
   /// Adopt an already-loaded bundle (must hold a model).
   explicit InferenceEngine(ModelBundle bundle, std::size_t threads = 1);
+  /// Adopt a bundle and attach `cache` instead of an engine-private plan
+  /// cache — the ModelRegistry path, where every engine shares one cache
+  /// and the registry's pool (so `threads` defaults to poolless).
+  InferenceEngine(ModelBundle bundle, std::shared_ptr<core::PlanCache> cache,
+                  std::size_t threads = 1);
 
   InferenceEngine(const InferenceEngine&) = delete;
   InferenceEngine& operator=(const InferenceEngine&) = delete;
@@ -50,9 +61,22 @@ class InferenceEngine {
   [[nodiscard]] std::vector<double> predict(const data::Sample& sample) const;
 
   /// Batched request: one prediction vector per sample, fanned out over
-  /// the engine's pool.  Concurrent batch calls are serialized.
+  /// the engine's pool.  Safe to call concurrently — calls coalesce
+  /// through the internal scheduler instead of serializing; outputs are
+  /// bitwise-identical to per-sample predict() either way.  Throws the
+  /// first failing sample's error (in sample order).
   [[nodiscard]] std::vector<std::vector<double>> predict_batch(
       std::span<const data::Sample> samples) const;
+
+  /// Scattered batch over sample pointers: the BatchScheduler's
+  /// execution hook (batches gather samples from many queued requests).
+  /// With `errors` non-null, each sample's forward error lands in its
+  /// slot (the prediction slot stays empty) instead of failing the whole
+  /// batch.  `pool` may belong to the caller (e.g. the registry); if it
+  /// is busy the batch runs inline — never blocks.
+  [[nodiscard]] std::vector<std::vector<double>> predict_ptrs(
+      std::span<const data::Sample* const> samples, util::ThreadPool* pool,
+      std::vector<std::exception_ptr>* errors = nullptr) const;
 
   /// Mean predicted value over a scenario's paths — the what-if loop's
   /// scalar objective (examples/what_if_queue_upgrade.cpp).
@@ -72,8 +96,8 @@ class InferenceEngine {
   [[nodiscard]] std::size_t threads() const noexcept;
   /// The batch fan-out pool (nullptr when the engine is serial).
   /// Exposed so eval tooling can drive Model::forward_batch on the
-  /// engine's lanes; borrow only while no predict_batch call is in
-  /// flight — the pool runs one job at a time.
+  /// engine's lanes; the pool serializes concurrent jobs internally, so
+  /// borrowing is always safe.
   [[nodiscard]] util::ThreadPool* batch_pool() const noexcept {
     return pool_ ? &*pool_ : nullptr;
   }
@@ -82,7 +106,7 @@ class InferenceEngine {
   void invalidate(const data::Sample& sample) const;
   void clear_plan_cache() const;
   [[nodiscard]] const core::PlanCache& plan_cache() const noexcept {
-    return plan_cache_;
+    return *plan_cache_;
   }
 
  private:
@@ -92,9 +116,13 @@ class InferenceEngine {
   data::Scaler scaler_;
   core::PredictionTarget target_;
   std::uint64_t min_delivered_;
-  mutable core::PlanCache plan_cache_;
+  std::shared_ptr<core::PlanCache> plan_cache_;  ///< private or registry-shared
   mutable std::optional<util::ThreadPool> pool_;  ///< threads > 1 only
-  mutable std::mutex batch_mu_;  ///< one pool job at a time
+  /// Synchronous-mode scheduler backing predict_batch (manual drain,
+  /// unbounded depth, zero linger): concurrent batch calls coalesce and
+  /// cooperatively drain here.  Built after pool_ (it fans out on it);
+  /// declared after pool_ so it shuts down first.
+  std::unique_ptr<BatchScheduler> batch_sched_;
 };
 
 }  // namespace rnx::serve

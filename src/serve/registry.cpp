@@ -1,0 +1,56 @@
+#include "serve/registry.hpp"
+
+#include <stdexcept>
+
+namespace rnx::serve {
+
+ModelRegistry::ModelRegistry(std::size_t threads)
+    : cache_(std::make_shared<core::PlanCache>()) {
+  if (threads == 0) threads = util::ThreadPool::hardware_threads();
+  if (threads > 1) pool_.emplace(threads);
+}
+
+InferenceEngine& ModelRegistry::add(std::string name, ModelBundle bundle) {
+  if (name.empty())
+    throw std::invalid_argument("ModelRegistry: bundle name must not be empty");
+  if (find(name) != nullptr)
+    throw std::invalid_argument("ModelRegistry: duplicate bundle name '" +
+                                name + "'");
+  // Engines share the registry cache and use the registry pool via the
+  // scheduler, so they are built poolless (threads = 1).
+  auto engine = std::make_unique<InferenceEngine>(std::move(bundle), cache_);
+  InferenceEngine& ref = *engine;
+  engines_.emplace_back(std::move(name), std::move(engine));
+  return ref;
+}
+
+InferenceEngine& ModelRegistry::add(std::string name,
+                                    const std::string& path) {
+  return add(std::move(name), load_bundle(path));
+}
+
+const InferenceEngine* ModelRegistry::find(
+    std::string_view name) const noexcept {
+  for (const auto& [n, engine] : engines_)
+    if (n == name) return engine.get();
+  return nullptr;
+}
+
+const InferenceEngine& ModelRegistry::at(std::string_view name) const {
+  if (const InferenceEngine* engine = find(name)) return *engine;
+  std::string known;
+  for (const auto& [n, engine] : engines_)
+    known += (known.empty() ? "" : ", ") + n;
+  throw UnknownModelError("ModelRegistry: unknown model '" +
+                          std::string(name) + "' (registered: " +
+                          (known.empty() ? "<none>" : known) + ")");
+}
+
+std::vector<std::string> ModelRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(engines_.size());
+  for (const auto& [n, engine] : engines_) out.push_back(n);
+  return out;
+}
+
+}  // namespace rnx::serve

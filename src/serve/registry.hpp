@@ -1,0 +1,81 @@
+// Named bundle registry: one serving process, many models.
+//
+// A production digital-twin deployment serves heterogeneous queries —
+// delay and jitter targets, scenario-featured and plain bundles, v1 and
+// v2 formats — from one process.  The registry owns one InferenceEngine
+// per named bundle plus the two resources they share (DESIGN.md §B2):
+//
+//  * one core::PlanCache — message-passing plans depend only on the
+//    sample's topology/routing and the use_nodes flag, not on weights,
+//    so a scenario queried against several models pays build_plan once;
+//  * one util::ThreadPool — a single process gets one set of fan-out
+//    lanes, however many bundles it serves (per-engine pools would
+//    oversubscribe the host).
+//
+// Lifecycle: register every bundle first, then serve.  add() is not
+// synchronized against concurrent lookups; after setup, all access
+// (find/at from any number of scheduler or caller threads) is read-only
+// and safe.  Lookup by unknown name is a typed UnknownModelError, so a
+// routing typo is distinguishable from every other failure.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "core/plan_cache.hpp"
+#include "serve/errors.hpp"
+#include "serve/inference.hpp"
+#include "util/thread_pool.hpp"
+
+namespace rnx::serve {
+
+class ModelRegistry {
+ public:
+  /// `threads` sizes the shared fan-out pool (1 = no pool, 0 = all
+  /// hardware threads) handed to the batch scheduler.
+  explicit ModelRegistry(std::size_t threads = 1);
+  ModelRegistry(const ModelRegistry&) = delete;
+  ModelRegistry& operator=(const ModelRegistry&) = delete;
+
+  /// Register `bundle` under `name`.  Throws std::invalid_argument on an
+  /// empty or duplicate name.  Returns the wrapping engine (borrowed).
+  InferenceEngine& add(std::string name, ModelBundle bundle);
+  /// Load the bundle at `path` and register it under `name`.
+  InferenceEngine& add(std::string name, const std::string& path);
+
+  /// The engine serving `name`, or nullptr when unregistered.
+  [[nodiscard]] const InferenceEngine* find(
+      std::string_view name) const noexcept;
+  /// As find(), but an unknown name throws UnknownModelError naming the
+  /// registered bundles.
+  [[nodiscard]] const InferenceEngine& at(std::string_view name) const;
+
+  /// Registered names, in registration order.
+  [[nodiscard]] std::vector<std::string> names() const;
+  [[nodiscard]] std::size_t size() const noexcept { return engines_.size(); }
+
+  /// The shared fan-out pool (nullptr when threads == 1).
+  [[nodiscard]] util::ThreadPool* pool() const noexcept {
+    return pool_ ? &*pool_ : nullptr;
+  }
+  [[nodiscard]] const core::PlanCache& plan_cache() const noexcept {
+    return *cache_;
+  }
+
+  // -- shared plan-cache lifetime hooks (core::PlanCache contract) ------
+  void invalidate(const data::Sample& sample) { cache_->invalidate(sample); }
+  void clear_plan_cache() { cache_->clear(); }
+
+ private:
+  std::shared_ptr<core::PlanCache> cache_;
+  mutable std::optional<util::ThreadPool> pool_;  ///< threads > 1 only
+  std::vector<std::pair<std::string, std::unique_ptr<InferenceEngine>>>
+      engines_;  ///< registration order; linear scan (registries are small)
+};
+
+}  // namespace rnx::serve

@@ -1,0 +1,287 @@
+#include "serve/scheduler.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "serve/inference.hpp"
+#include "serve/registry.hpp"
+#include "util/thread_pool.hpp"
+
+namespace rnx::serve {
+
+BatchScheduler::BatchScheduler(SchedulerConfig cfg, util::ThreadPool* pool)
+    : cfg_(std::move(cfg)), pool_(pool) {
+  if (cfg_.max_queue_depth == 0)
+    throw std::invalid_argument("BatchScheduler: max_queue_depth must be > 0");
+  if (cfg_.max_batch_samples == 0)
+    throw std::invalid_argument(
+        "BatchScheduler: max_batch_samples must be > 0");
+  if (cfg_.max_linger.count() < 0)
+    throw std::invalid_argument("BatchScheduler: max_linger must be >= 0");
+  if (cfg_.now && !cfg_.manual_drain)
+    throw std::invalid_argument(
+        "BatchScheduler: a scripted clock requires manual_drain (the "
+        "drainer thread sleeps on the real clock)");
+  if (!cfg_.manual_drain) drainer_ = std::thread([this] { drain_loop(); });
+}
+
+BatchScheduler::~BatchScheduler() { shutdown(); }
+
+BatchScheduler::ClockPoint BatchScheduler::clock_now() const {
+  return cfg_.now ? cfg_.now() : std::chrono::steady_clock::now();
+}
+
+Submitted BatchScheduler::submit(const InferenceEngine& engine,
+                                 std::span<const data::Sample> samples) {
+  Submitted out;
+  std::promise<PredictionSet> empty_done;
+  bool notify = false;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) {
+      // A downed scheduler accounts nothing: kShutdown submissions stay
+      // outside the submitted == admitted + shed conservation law.
+      out.error = ServeError::kShutdown;
+      return out;
+    }
+    ++stats_.submitted;
+    if (samples.empty()) {
+      // Nothing to batch: resolve immediately (outside the lock).
+      ++stats_.admitted;
+      ++stats_.completed;
+      out.result = empty_done.get_future();
+    } else if (pending_.size() >= cfg_.max_queue_depth) {
+      out.error = ServeError::kOverloaded;
+      ++stats_.shed;
+    } else {
+      ++stats_.admitted;
+      Request req{&engine, samples, std::promise<PredictionSet>(),
+                  clock_now()};
+      out.result = req.promise.get_future();
+      pending_.push_back(std::move(req));
+      stats_.queue_depth = pending_.size();
+      stats_.peak_queue_depth =
+          std::max(stats_.peak_queue_depth, stats_.queue_depth);
+      notify = !cfg_.manual_drain;
+    }
+  }
+  if (out.admitted() && samples.empty()) empty_done.set_value({});
+  if (notify) cv_.notify_one();
+  return out;
+}
+
+Submitted BatchScheduler::submit(const ModelRegistry& registry,
+                                 std::string_view model,
+                                 std::span<const data::Sample> samples) {
+  const InferenceEngine* engine = registry.find(model);
+  if (engine == nullptr) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    Submitted out;
+    if (shutdown_) {
+      // Same rule as the engine path: a downed scheduler accounts
+      // nothing, whatever the refusal reason.
+      out.error = ServeError::kShutdown;
+      return out;
+    }
+    ++stats_.submitted;
+    ++stats_.shed;
+    out.error = ServeError::kUnknownModel;
+    return out;
+  }
+  return submit(*engine, samples);
+}
+
+bool BatchScheduler::front_ready_locked(ClockPoint now) const {
+  if (pending_.empty()) return false;
+  if (now - pending_.front().enqueued >= cfg_.max_linger) return true;
+  const InferenceEngine* engine = pending_.front().engine;
+  std::size_t samples = 0;
+  for (const Request& r : pending_) {
+    if (r.engine != engine) break;
+    samples += r.samples.size();
+    if (samples >= cfg_.max_batch_samples) return true;
+  }
+  return false;
+}
+
+BatchScheduler::Batch BatchScheduler::take_front_locked() {
+  Batch out;
+  if (pending_.empty()) return out;
+  const InferenceEngine* engine = pending_.front().engine;
+  std::size_t samples = 0;
+  while (!pending_.empty() && pending_.front().engine == engine) {
+    const std::size_t k = pending_.front().samples.size();
+    if (!out.empty() && samples + k > cfg_.max_batch_samples) break;
+    samples += k;
+    out.push_back(std::move(pending_.front()));
+    pending_.pop_front();
+  }
+  stats_.queue_depth = pending_.size();
+  ++stats_.batches;
+  stats_.batch_samples += samples;
+  stats_.peak_batch_samples =
+      std::max<std::uint64_t>(stats_.peak_batch_samples, samples);
+  return out;
+}
+
+void BatchScheduler::execute(Batch batch) {
+  if (batch.empty()) return;
+  const InferenceEngine* engine = batch.front().engine;
+  std::size_t total = 0;
+  for (const Request& r : batch) total += r.samples.size();
+  std::vector<const data::Sample*> ptrs;
+  ptrs.reserve(total);
+  for (const Request& r : batch)
+    for (const data::Sample& s : r.samples) ptrs.push_back(&s);
+
+  PredictionSet values;
+  std::vector<std::exception_ptr> errors;
+  std::exception_ptr batch_error;
+  try {
+    values = engine->predict_ptrs(ptrs, pool_, &errors);
+  } catch (...) {
+    // Whole-batch failure (not a per-sample forward error): every
+    // request in the batch fails with the same cause.
+    batch_error = std::current_exception();
+  }
+
+  const ClockPoint done = clock_now();
+  std::vector<std::exception_ptr> request_err(batch.size());
+  std::uint64_t completed = 0, failed = 0, latency_sum = 0, latency_max = 0;
+  std::size_t off = 0;
+  for (std::size_t ri = 0; ri < batch.size(); ++ri) {
+    const std::size_t k = batch[ri].samples.size();
+    std::exception_ptr err = batch_error;
+    for (std::size_t i = off; err == nullptr && i < off + k; ++i)
+      if (errors[i]) err = errors[i];  // first bad sample, in sample order
+    request_err[ri] = err;
+    err == nullptr ? ++completed : ++failed;
+    const auto waited = std::chrono::duration_cast<std::chrono::microseconds>(
+        done - batch[ri].enqueued);
+    const auto us = static_cast<std::uint64_t>(
+        std::max<std::chrono::microseconds::rep>(waited.count(), 0));
+    latency_sum += us;
+    latency_max = std::max(latency_max, us);
+    off += k;
+  }
+
+  // Commit the counters BEFORE resolving any promise: a caller that has
+  // observed its future resolve must find its request already counted
+  // (the soak test reads stats right after every writer's get() returns).
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    stats_.completed += completed;
+    stats_.failed += failed;
+    stats_.latency_us_sum += latency_sum;
+    stats_.latency_us_max = std::max(stats_.latency_us_max, latency_max);
+  }
+
+  off = 0;
+  for (std::size_t ri = 0; ri < batch.size(); ++ri) {
+    Request& r = batch[ri];
+    const std::size_t k = r.samples.size();
+    if (request_err[ri] != nullptr) {
+      r.promise.set_exception(request_err[ri]);
+    } else {
+      PredictionSet slice(std::make_move_iterator(values.begin() + off),
+                          std::make_move_iterator(values.begin() + off + k));
+      r.promise.set_value(std::move(slice));
+    }
+    off += k;
+  }
+}
+
+std::size_t BatchScheduler::pump() {
+  std::size_t executed = 0;
+  for (;;) {
+    Batch batch;
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      if (!front_ready_locked(clock_now())) break;
+      batch = take_front_locked();
+    }
+    execute(std::move(batch));
+    ++executed;
+  }
+  return executed;
+}
+
+std::size_t BatchScheduler::flush() {
+  std::size_t executed = 0;
+  for (;;) {
+    Batch batch;
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      batch = take_front_locked();
+    }
+    if (batch.empty()) break;
+    execute(std::move(batch));
+    ++executed;
+  }
+  return executed;
+}
+
+void BatchScheduler::help_until(const std::future<PredictionSet>& fut) {
+  using namespace std::chrono_literals;
+  while (fut.wait_for(0s) != std::future_status::ready) {
+    Batch batch;
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      batch = take_front_locked();
+    }
+    if (batch.empty()) {
+      // Someone else took the batch holding fut's request; they will
+      // resolve it.
+      fut.wait();
+      return;
+    }
+    execute(std::move(batch));
+  }
+}
+
+void BatchScheduler::shutdown() {
+  std::deque<Request> orphans;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+    orphans.swap(pending_);
+    stats_.queue_depth = 0;
+    stats_.cancelled += orphans.size();
+  }
+  cv_.notify_all();
+  if (drainer_.joinable()) drainer_.join();
+  for (Request& r : orphans)
+    r.promise.set_exception(std::make_exception_ptr(ShutdownError(
+        "BatchScheduler: shut down with the request still pending")));
+}
+
+void BatchScheduler::drain_loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!shutdown_) {
+    if (pending_.empty()) {
+      cv_.wait(lock,
+               [&] { return shutdown_ || !pending_.empty(); });
+      continue;
+    }
+    const ClockPoint now = std::chrono::steady_clock::now();
+    if (!front_ready_locked(now)) {
+      cv_.wait_until(lock, pending_.front().enqueued + cfg_.max_linger);
+      continue;
+    }
+    Batch batch = take_front_locked();
+    lock.unlock();
+    execute(std::move(batch));
+    lock.lock();
+  }
+}
+
+ServeStats BatchScheduler::stats() const {
+  // plan_cache stays default here: the scheduler has no cache of its own.
+  // Callers overlay the serving cache's counters (registry.plan_cache()
+  // .stats()) when they want the full picture — see tools/rnx_serve.
+  const std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace rnx::serve

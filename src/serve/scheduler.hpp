@@ -1,0 +1,185 @@
+// Micro-batching request scheduler: the serving layer's concurrency core
+// (DESIGN.md §B2).
+//
+// Callers enqueue predict requests (one or many samples against one
+// InferenceEngine); a drainer coalesces adjacent same-engine requests
+// into micro-batches, fans each batch over the shared util::ThreadPool
+// via Model::forward_batch, and completes per-request futures.  This
+// replaces InferenceEngine's old global batch mutex: concurrent callers
+// now *pool their work* instead of waiting in line.
+//
+// Admission control: the pending queue is bounded (max_queue_depth
+// requests).  A request that arrives at a full queue is shed immediately
+// with ServeError::kOverloaded — submit() never blocks, so an overloaded
+// server degrades by refusing work, not by growing latency without
+// bound.
+//
+// Batch formation (exact, pinned by tests/serve_scheduler_test.cpp):
+// requests wait in strict admission order; a batch is always formed from
+// the queue *front* and extends over the maximal contiguous run of
+// same-engine requests whose combined sample count stays within
+// max_batch_samples (requests are never split; a single request larger
+// than max_batch_samples forms its own oversized batch).  The front
+// batch is executed when either (a) its engine's contiguous prefix
+// reaches max_batch_samples — the full cut — or (b) the front request
+// has waited at least max_linger — the linger cut.  Batches therefore
+// *start* in admission order; concurrent executors may finish them out
+// of order.
+//
+// Determinism: batching cannot change results.  Every sample's forward
+// pass is an independent pure function of (weights, sample, scaler)
+// written into its own output slot; no reduction ever crosses samples
+// (§T), so any grouping of requests into batches — and any lane count —
+// yields outputs bitwise-identical to serial InferenceEngine::predict.
+// The test rig exercises exactly this: scripted clock, manual drain, and
+// bitwise comparison against the serial path.
+//
+// Modes: with manual_drain=false a drainer thread waits out linger
+// deadlines on the real clock.  With manual_drain=true no thread is
+// spawned and time is read from the injected cfg.now — tests script the
+// clock and call pump()/flush(), so linger expiry, full cuts and
+// shedding are asserted exactly, with no sleeps and no flakiness.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <span>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "data/sample.hpp"
+#include "serve/errors.hpp"
+#include "serve/stats.hpp"
+
+namespace rnx::util {
+class ThreadPool;
+}
+
+namespace rnx::serve {
+
+class InferenceEngine;
+class ModelRegistry;
+
+/// Per-request result: one prediction vector per submitted sample, in
+/// the sample's path order, physical units (see InferenceEngine).
+using PredictionSet = std::vector<std::vector<double>>;
+
+struct SchedulerConfig {
+  /// Pending requests admitted before shedding (units: requests).
+  std::size_t max_queue_depth = 1024;
+  /// Full-cut threshold: a batch executes once the front contiguous
+  /// same-engine run reaches this many samples.
+  std::size_t max_batch_samples = 32;
+  /// Linger cut: the longest a front request waits for batch-mates.
+  std::chrono::microseconds max_linger{200};
+  /// No drainer thread; tests (and the synchronous predict_batch
+  /// wrapper) drive batch formation via pump()/flush()/help_until().
+  bool manual_drain = false;
+  /// Scripted time source for the deterministic rig.  Only valid with
+  /// manual_drain (the drainer thread sleeps on the real clock).
+  /// Defaults to std::chrono::steady_clock::now.
+  std::function<std::chrono::steady_clock::time_point()> now;
+};
+
+/// Admission handle: `error == ServeError::kNone` means the request was
+/// admitted and `result` will resolve; otherwise the request was refused
+/// and `result` is invalid.
+struct Submitted {
+  ServeError error = ServeError::kNone;
+  std::future<PredictionSet> result;
+  [[nodiscard]] bool admitted() const noexcept {
+    return error == ServeError::kNone;
+  }
+};
+
+class BatchScheduler {
+ public:
+  /// `pool` (borrowed, may be null) fans batch forwards out; it must
+  /// outlive the scheduler.  Throws std::invalid_argument on a zero
+  /// depth/batch bound or a scripted clock without manual_drain.
+  explicit BatchScheduler(SchedulerConfig cfg,
+                          util::ThreadPool* pool = nullptr);
+  ~BatchScheduler();
+  BatchScheduler(const BatchScheduler&) = delete;
+  BatchScheduler& operator=(const BatchScheduler&) = delete;
+
+  /// Enqueue `samples` against `engine`.  Never blocks; a full queue
+  /// sheds with kOverloaded, a downed scheduler with kShutdown.  The
+  /// caller keeps `samples` alive and unmodified until the future
+  /// resolves (the batch references them in place — plan-cache keying
+  /// is by sample address).  An empty span completes immediately.
+  [[nodiscard]] Submitted submit(const InferenceEngine& engine,
+                                 std::span<const data::Sample> samples);
+
+  /// Registry-routed submission: resolves `model` by name and sheds with
+  /// kUnknownModel when the registry holds no such bundle.
+  [[nodiscard]] Submitted submit(const ModelRegistry& registry,
+                                 std::string_view model,
+                                 std::span<const data::Sample> samples);
+
+  /// Execute every batch that is *ready* (full cut or expired linger)
+  /// right now; returns the number of batches executed.  The manual
+  /// rig's drain primitive.
+  std::size_t pump();
+
+  /// Execute everything pending regardless of linger; returns batches
+  /// executed.  Safe alongside a live drainer thread.
+  std::size_t flush();
+
+  /// Cooperative draining for synchronous callers: execute pending
+  /// batches (ignoring linger) until `fut` is ready, then return.  If
+  /// another thread took the batch containing `fut`'s request, blocks
+  /// until that thread completes it.  InferenceEngine::predict_batch
+  /// rides on this so concurrent batch calls make progress on each
+  /// other's work instead of serializing.
+  void help_until(const std::future<PredictionSet>& fut);
+
+  /// Stop accepting work, join the drainer, and fail every pending
+  /// request with ShutdownError (counted as cancelled).  Idempotent;
+  /// the destructor calls it.  In-flight batches complete normally.
+  void shutdown();
+
+  [[nodiscard]] ServeStats stats() const;
+  [[nodiscard]] const SchedulerConfig& config() const noexcept {
+    return cfg_;
+  }
+  [[nodiscard]] util::ThreadPool* pool() const noexcept { return pool_; }
+
+ private:
+  using ClockPoint = std::chrono::steady_clock::time_point;
+  struct Request {
+    const InferenceEngine* engine;
+    std::span<const data::Sample> samples;
+    std::promise<PredictionSet> promise;
+    ClockPoint enqueued;
+  };
+  using Batch = std::vector<Request>;
+
+  [[nodiscard]] ClockPoint clock_now() const;
+  /// True when the front batch may execute at `now` (full or linger cut).
+  [[nodiscard]] bool front_ready_locked(ClockPoint now) const;
+  /// Pop the front batch (maximal same-engine run within the sample
+  /// bound); empty when nothing is pending.
+  [[nodiscard]] Batch take_front_locked();
+  /// Run one batch and resolve its promises; updates counters.
+  void execute(Batch batch);
+  void drain_loop();
+
+  const SchedulerConfig cfg_;
+  util::ThreadPool* const pool_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;  ///< wakes the drainer thread
+  std::deque<Request> pending_;
+  bool shutdown_ = false;
+  ServeStats stats_;  ///< counters under mu_ (plan_cache filled per snapshot)
+  std::thread drainer_;
+};
+
+}  // namespace rnx::serve

@@ -1,0 +1,25 @@
+#include "serve/stats.hpp"
+
+#include <ostream>
+
+namespace rnx::serve {
+
+void print_stats(std::ostream& os, const ServeStats& s) {
+  os << "serve stats:\n"
+     << "  requests   submitted " << s.submitted << ", admitted "
+     << s.admitted << ", shed " << s.shed << ", completed " << s.completed
+     << ", failed " << s.failed << ", cancelled " << s.cancelled
+     << ", in-flight " << s.in_flight() << "\n"
+     << "  batches    " << s.batches << " (" << s.batch_samples
+     << " samples, mean " << s.mean_batch_samples() << ", peak "
+     << s.peak_batch_samples << ")\n"
+     << "  queue      depth " << s.queue_depth << ", peak "
+     << s.peak_queue_depth << "\n"
+     << "  latency    mean " << s.mean_latency_us() << " us, max "
+     << s.latency_us_max << " us\n"
+     << "  plan cache " << s.plan_cache.size << " entries, "
+     << s.plan_cache.hits << " hits, " << s.plan_cache.misses
+     << " misses\n";
+}
+
+}  // namespace rnx::serve

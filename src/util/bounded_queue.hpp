@@ -1,0 +1,95 @@
+// Bounded multi-producer / multi-consumer queue.
+//
+// The serving layer's load drivers (tools/rnx_serve, bench_serve_latency)
+// decouple request *generation* from request *submission* with this
+// primitive: a pacing thread pushes work descriptors, client threads pop
+// and submit.  Push never blocks — a full queue refuses the item, which
+// is exactly the shed-at-admission behavior the serving stack wants at
+// every layer (DESIGN.md §B2); pop blocks until an item arrives or the
+// queue is closed.
+//
+// close() wakes every waiting consumer; items already queued still drain
+// (pop returns them before reporting empty), so a producer can close the
+// queue as its end-of-stream marker without losing the tail.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace rnx::util {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  /// capacity == 0 is normalized to 1 (a zero-capacity queue could never
+  /// transfer an item).
+  explicit BoundedQueue(std::size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Enqueue without blocking.  Returns false — and drops the item — when
+  /// the queue is full or closed.
+  bool try_push(T item) {
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Dequeue without blocking; std::nullopt when nothing is queued.
+  std::optional<T> try_pop() {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return pop_locked();
+  }
+
+  /// Dequeue, waiting until an item arrives.  Returns std::nullopt only
+  /// once the queue is closed *and* drained.
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    return pop_locked();
+  }
+
+  /// Mark end-of-stream: future pushes fail, waiting consumers wake.
+  void close() {
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  [[nodiscard]] bool closed() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+  [[nodiscard]] std::size_t size() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  std::optional<T> pop_locked() {
+    if (items_.empty()) return std::nullopt;
+    std::optional<T> out(std::move(items_.front()));
+    items_.pop_front();
+    return out;
+  }
+
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace rnx::util

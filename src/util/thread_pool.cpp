@@ -52,6 +52,21 @@ void ThreadPool::worker_loop() {
 void ThreadPool::parallel_for(std::size_t count,
                               const std::function<void(std::size_t)>& fn) {
   if (count == 0) return;
+  const std::lock_guard<std::mutex> job(job_mu_);
+  run_job(count, fn);
+}
+
+bool ThreadPool::try_parallel_for(std::size_t count,
+                                  const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return true;
+  const std::unique_lock<std::mutex> job(job_mu_, std::try_to_lock);
+  if (!job.owns_lock()) return false;
+  run_job(count, fn);
+  return true;
+}
+
+void ThreadPool::run_job(std::size_t count,
+                         const std::function<void(std::size_t)>& fn) {
   std::unique_lock<std::mutex> lock(mu_);
   fn_ = &fn;
   count_ = count;

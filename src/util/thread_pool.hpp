@@ -42,19 +42,32 @@ class ThreadPool {
   /// fn runs concurrently on up to size() lanes (including the caller).
   /// If any invocation throws, the first exception (in completion order)
   /// is rethrown here after all indices were dispatched.
+  /// Safe to call from several threads at once: the pool runs one job at
+  /// a time and concurrent callers queue on an internal job mutex (use
+  /// try_parallel_for to fall back to inline work instead of waiting).
   /// Not reentrant: fn must not call parallel_for on the same pool.
   void parallel_for(std::size_t count,
                     const std::function<void(std::size_t)>& fn);
+
+  /// As parallel_for, but if another job currently owns the pool, returns
+  /// false immediately without running anything — the caller is expected
+  /// to do the work inline on its own thread.  The serving scheduler uses
+  /// this so concurrent batch executions never block each other on the
+  /// pool (DESIGN.md §B2).
+  [[nodiscard]] bool try_parallel_for(std::size_t count,
+                                      const std::function<void(std::size_t)>& fn);
 
   /// Best-effort hardware concurrency, never 0.
   [[nodiscard]] static std::size_t hardware_threads() noexcept;
 
  private:
   void worker_loop();
+  void run_job(std::size_t count, const std::function<void(std::size_t)>& fn);
 
   std::size_t lanes_;
   std::vector<std::thread> workers_;
 
+  std::mutex job_mu_;  ///< held for the duration of one parallel_for job
   std::mutex mu_;
   std::condition_variable cv_start_;
   std::condition_variable cv_done_;

@@ -5,6 +5,7 @@
 #include <atomic>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "util/thread_pool.hpp"
@@ -71,6 +72,55 @@ TEST(ThreadPool, ExceptionPropagatesAfterAllIndicesRan) {
   std::atomic<int> ok{0};
   pool.parallel_for(8, [&](std::size_t) { ++ok; });
   EXPECT_EQ(ok.load(), 8);
+}
+
+// try_parallel_for refuses (returns false, runs nothing) while another
+// job owns the pool, and plain parallel_for from a second thread queues
+// instead of corrupting the in-flight job — the serving scheduler's
+// fan-out contract (DESIGN.md §B2).
+TEST(ThreadPool, TryParallelForRefusesWhileBusy) {
+  ThreadPool pool(2);
+  std::atomic<bool> inner_ran{false};
+  std::atomic<int> refused{0}, outer_done{0};
+  // One long outer job; a probe thread try-submits while it runs.
+  std::atomic<bool> probe_may_run{false};
+  std::thread probe([&] {
+    while (!probe_may_run.load()) std::this_thread::yield();
+    if (!pool.try_parallel_for(4, [&](std::size_t) { inner_ran = true; }))
+      ++refused;
+  });
+  pool.parallel_for(64, [&](std::size_t) {
+    probe_may_run = true;
+    // Hold the job open long enough for the probe to observe "busy".
+    while (refused.load() == 0 && !inner_ran.load())
+      std::this_thread::yield();
+    ++outer_done;
+  });
+  probe.join();
+  EXPECT_EQ(outer_done.load(), 64);
+  // Either the probe hit the busy window (refused, ran nothing inline)
+  // or it landed after the job drained and ran normally — both are
+  // valid schedules; what may never happen is refusal AND execution.
+  EXPECT_NE(refused.load() == 1, inner_ran.load());
+
+  // Once idle, try_parallel_for succeeds and runs every index.
+  std::atomic<int> count{0};
+  EXPECT_TRUE(pool.try_parallel_for(8, [&](std::size_t) { ++count; }));
+  EXPECT_EQ(count.load(), 8);
+}
+
+TEST(ThreadPool, ConcurrentParallelForCallsSerializeSafely) {
+  ThreadPool pool(2);
+  constexpr std::size_t kCallers = 4, kCount = 64;
+  std::vector<std::atomic<int>> hits(kCallers * kCount);
+  std::vector<std::thread> callers;
+  for (std::size_t c = 0; c < kCallers; ++c)
+    callers.emplace_back([&, c] {
+      pool.parallel_for(kCount,
+                        [&](std::size_t i) { ++hits[c * kCount + i]; });
+    });
+  for (auto& t : callers) t.join();
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
 }
 
 // Slot reduction: results written to per-index slots and reduced in index

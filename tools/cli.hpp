@@ -65,31 +65,39 @@ class Args {
       }
       if (arg == "help") fail("");
       if (!known.contains(arg)) fail("unknown flag: --" + arg);
-      values_[arg] = value;
+      values_[arg].push_back(value);
     }
+  }
+
+  /// Every value a repeated flag was given, in command-line order (e.g.
+  /// rnx_serve --bundle delay=a.rnxb --bundle jitter=b.rnxb).  The
+  /// single-value get() accessors keep their last-one-wins behavior.
+  [[nodiscard]] std::vector<std::string> all(const std::string& key) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? std::vector<std::string>() : it->second;
   }
 
   [[nodiscard]] std::string get(const std::string& key,
                                 const std::string& fallback) const {
-    const auto it = values_.find(key);
-    return it == values_.end() ? fallback : it->second;
+    const std::string* v = last(key);
+    return v == nullptr ? fallback : *v;
   }
   [[nodiscard]] double get(const std::string& key, double fallback) const {
-    const auto it = values_.find(key);
-    if (it == values_.end()) return fallback;
-    const auto v = parse_double(it->second);
+    const std::string* s = last(key);
+    if (s == nullptr) return fallback;
+    const auto v = parse_double(*s);
     if (!v)
-      fail("invalid value for --" + key + ": '" + it->second +
+      fail("invalid value for --" + key + ": '" + *s +
            "' (expected a number)");
     return *v;
   }
   [[nodiscard]] std::size_t get(const std::string& key,
                                 std::size_t fallback) const {
-    const auto it = values_.find(key);
-    if (it == values_.end()) return fallback;
-    const auto v = parse_size(it->second);
+    const std::string* s = last(key);
+    if (s == nullptr) return fallback;
+    const auto v = parse_size(*s);
     if (!v)
-      fail("invalid value for --" + key + ": '" + it->second +
+      fail("invalid value for --" + key + ": '" + *s +
            "' (expected a non-negative integer)");
     return *v;
   }
@@ -98,12 +106,19 @@ class Args {
   }
 
  private:
+  /// Last occurrence of a flag (single-value accessors keep their
+  /// last-one-wins behavior), nullptr when absent.
+  [[nodiscard]] const std::string* last(const std::string& key) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? nullptr : &it->second.back();
+  }
+
   [[noreturn]] void fail(const std::string& msg) const {
     if (!msg.empty()) std::cerr << "error: " << msg << "\n\n";
     std::cerr << usage_ << "\n";
     std::exit(msg.empty() ? 0 : 2);
   }
-  std::map<std::string, std::string> values_;
+  std::map<std::string, std::vector<std::string>> values_;
   std::string usage_;
 };
 
