@@ -1,0 +1,104 @@
+// Parallel datagen + shard-write throughput (DESIGN.md §D).
+//
+// Sweeps the ordered-commit dataset generator over thread counts and
+// reports samples/s per lane count plus the speedup over serial —
+// determinism means every sweep point produces byte-identical samples,
+// so the ratios are pure scheduling overhead.  A second phase measures
+// the sharded store's write path (serialize + checksum + atomic
+// rename): samples/s and MB/s at a realistic shard size.
+//
+// Emits BENCH_datagen_parallel.json.  RNX_BENCH_QUICK=1 shrinks counts
+// for CI smoke.
+#include <filesystem>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "data/generator.hpp"
+#include "data/sample_io.hpp"
+#include "data/shards.hpp"
+#include "topo/zoo.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+
+int main() {
+  using namespace rnx;
+  benchcfg::print_banner("parallel datagen + shard write throughput");
+  benchcfg::BenchResult result("datagen_parallel");
+
+  const std::size_t count = benchcfg::scaled(benchcfg::quick_mode() ? 12 : 48);
+  data::GeneratorConfig cfg;
+  cfg.target_packets = benchcfg::quick_mode() ? 10'000 : 60'000;
+  const topo::Topology base = topo::nsfnet();
+  const std::uint64_t seed = 2019;
+  result.set_config("nsfnet, " + std::to_string(count) + " samples, " +
+                    std::to_string(cfg.target_packets) +
+                    " packets/sample, shard write at 8 samples/shard");
+
+  std::vector<std::size_t> lane_counts{1, 2, 4};
+  const std::size_t hw = util::ThreadPool::hardware_threads();
+  if (hw > 4) lane_counts.push_back(hw);
+
+  util::Table table({"threads", "seconds", "samples/s", "speedup"});
+  double serial_seconds = 0.0;
+  std::vector<data::Sample> generated;  // reused for the shard phase
+  for (const std::size_t threads : lane_counts) {
+    util::Stopwatch watch;
+    auto samples = data::generate_dataset(base, count, cfg, seed, threads);
+    const double secs = watch.seconds();
+    if (threads == 1) {
+      serial_seconds = secs;
+      generated = std::move(samples);
+    }
+    const double rate = static_cast<double>(count) / secs;
+    const double speedup = serial_seconds > 0.0 ? serial_seconds / secs : 1.0;
+    table.add_row({std::to_string(threads), util::Table::cell(secs, 3),
+                   util::Table::cell(rate, 2),
+                   util::Table::cell(speedup, 2)});
+    result.add("samples_per_s_threads_" + std::to_string(threads), rate);
+    result.add("speedup_threads_" + std::to_string(threads), speedup);
+  }
+  table.print(std::cout);
+  result.add("hardware_threads", static_cast<double>(hw));
+
+  // ---- shard write throughput ---------------------------------------------
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "rnx_bench_datagen_parallel";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  const std::string manifest = (dir / "bench.rnxm").string();
+  util::Stopwatch write_watch;
+  data::ShardWriter writer(manifest, 8, seed, data::config_digest(cfg));
+  for (const auto& s : generated) writer.add(s);
+  (void)writer.finish();
+  const double write_secs = write_watch.seconds();
+
+  std::uintmax_t bytes = 0;
+  for (const auto& e : std::filesystem::directory_iterator(dir))
+    bytes += e.file_size();
+  const double mb = static_cast<double>(bytes) / 1e6;
+  std::cout << "shard write: " << generated.size() << " samples, "
+            << util::Table::cell(mb, 2) << " MB in "
+            << util::Table::cell(write_secs, 3) << " s ("
+            << util::Table::cell(mb / write_secs, 2) << " MB/s)\n";
+  result.add("shard_write_samples_per_s",
+             static_cast<double>(generated.size()) / write_secs);
+  result.add("shard_write_mb_per_s", mb / write_secs);
+  result.add("shard_store_mb", mb);
+
+  // Round-trip sanity: the store must read back identical to what was
+  // generated (cheap guard against benching a broken writer).
+  data::ShardedReader reader(manifest);
+  const data::Dataset back = reader.load_all();
+  bool identical = back.size() == generated.size();
+  for (std::size_t i = 0; identical && i < back.size(); ++i)
+    identical = data::io::sample_digest(back[i]) ==
+                data::io::sample_digest(generated[i]);
+  if (!identical) {
+    std::cerr << "ERROR: shard round-trip diverged from generated samples\n";
+    return 1;
+  }
+  std::filesystem::remove_all(dir);
+
+  result.write();
+  return 0;
+}

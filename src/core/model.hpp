@@ -114,6 +114,24 @@ class Model {
   PlanCache* plan_cache_ = nullptr;
 };
 
+/// RAII guard restoring a model's attached plan cache on scope exit —
+/// every code path that attaches a run-scoped cache (Trainer::fit) or
+/// detaches for transient streamed samples (fit_stream,
+/// eval::predict_source; DESIGN.md §D) must not leave the model
+/// pointing at a dead stack frame's cache when an exception unwinds.
+class PlanCacheScope {
+ public:
+  explicit PlanCacheScope(Model& model) noexcept
+      : model_(model), prev_(model.plan_cache()) {}
+  ~PlanCacheScope() { model_.set_plan_cache(prev_); }
+  PlanCacheScope(const PlanCacheScope&) = delete;
+  PlanCacheScope& operator=(const PlanCacheScope&) = delete;
+
+ private:
+  Model& model_;
+  PlanCache* prev_;
+};
+
 /// Construct-from-config factory: the freshly initialized model of the
 /// given kind (weights from cfg.init_seed, ready for load_weights).
 /// Deserialization and the CLI tools route through this so every

@@ -4,8 +4,10 @@
 #include <limits>
 #include <memory>
 #include <numeric>
+#include <span>
 
 #include "core/plan.hpp"
+#include "data/source.hpp"
 #include "nn/ops.hpp"
 #include "util/log.hpp"
 #include "util/timer.hpp"
@@ -18,6 +20,125 @@ std::vector<nn::Var> trainable(const Model& model) {
   for (auto& [name, var] : model.named_params()) out.push_back(var);
   return out;
 }
+
+// Lane replicas + the per-batch optimizer step, shared verbatim by the
+// in-memory and streaming fit paths: both feed it the same kind of
+// sample-pointer batches, so for identical sample sequences the two
+// paths produce bit-identical weights (the streaming-equivalence test's
+// contract).  See the header comment for the determinism argument: per-
+// sample gradients land in per-sample slots and merge in sample order,
+// so results do not depend on which lane computed what.
+class BatchEngine {
+ public:
+  BatchEngine(Model& model, const TrainConfig& cfg, nn::Adam& opt,
+              util::ThreadPool* pool, PlanCache* cache)
+      : model_(model),
+        cfg_(cfg),
+        opt_(opt),
+        pool_(pool),
+        lanes_(pool ? pool->size() : 1),
+        slots_(std::max<std::size_t>(cfg.batch_samples, 1)) {
+    // Lane replicas: lane 0 drives the primary model; lanes 1.. get
+    // deep copies whose weights are re-synced after every step.
+    lane_models_.push_back(&model_);
+    for (std::size_t l = 1; l < lanes_; ++l) {
+      replicas_.push_back(model_.clone());
+      if (cache != nullptr) replicas_.back()->set_plan_cache(cache);
+      lane_models_.push_back(replicas_.back().get());
+    }
+    for (Model* m : lane_models_) lane_params_.push_back(trainable(*m));
+  }
+
+  void begin_epoch() {
+    loss_sum_ = 0.0;
+    loss_count_ = 0;
+    opt_.zero_grad();
+  }
+
+  void process_batch(std::span<const data::Sample* const> batch,
+                     const data::Scaler& scaler) {
+    const std::size_t fill = batch.size();
+    if (fill == 0) return;
+
+    // Lane task: forward+backward each owned sample, then park the
+    // gradients in the sample's slot and clear the lane's accumulators.
+    // Every lane reads identical weights, so a slot's contents do not
+    // depend on which lane filled it.
+    const auto lane_task = [&](std::size_t lane) {
+      const Model& m = *lane_models_[lane];
+      std::vector<nn::Var>& params = lane_params_[lane];
+      for (std::size_t i = lane; i < fill; i += lanes_) {
+        SampleSlot& slot = slots_[i];
+        slot.valid = false;
+        slot.grads.clear();
+        const nn::Var loss =
+            Trainer::sample_loss(m, *batch[i], scaler, cfg_.min_delivered,
+                                 cfg_.target);
+        if (!loss.defined()) continue;
+        loss.backward();
+        slot.valid = true;
+        slot.loss = loss.value().item();
+        slot.grads.reserve(params.size());
+        for (nn::Var& p : params) {
+          slot.grads.push_back(p.grad());
+          p.zero_grad();
+        }
+      }
+    };
+    if (lanes_ > 1 && fill > 1) {
+      pool_->parallel_for(lanes_, lane_task);
+    } else {
+      lane_task(0);
+    }
+
+    // Merge in sample order (deterministic for any lane count), scale
+    // by the actual batch fill — a trailing partial batch must not see
+    // a silently shrunken step (the seed scaled by batch_samples).
+    std::size_t valid_count = 0;
+    for (std::size_t i = 0; i < fill; ++i)
+      if (slots_[i].valid) ++valid_count;
+    if (valid_count == 0) return;
+    std::vector<nn::Var>& primary = lane_params_[0];
+    for (std::size_t i = 0; i < fill; ++i) {
+      if (!slots_[i].valid) continue;
+      loss_sum_ += slots_[i].loss;
+      ++loss_count_;
+      for (std::size_t k = 0; k < primary.size(); ++k)
+        primary[k].grad_ref().add_inplace(slots_[i].grads[k]);
+    }
+    const double inv = 1.0 / static_cast<double>(valid_count);
+    for (nn::Var& p : primary) p.grad_ref().scale_inplace(inv);
+    opt_.clip_global_norm(cfg_.clip_norm);
+    opt_.step();
+    opt_.zero_grad();
+    for (auto& replica : replicas_) replica->copy_params_from(model_);
+  }
+
+  [[nodiscard]] double epoch_mean_loss() const {
+    return loss_count_ ? loss_sum_ / static_cast<double>(loss_count_) : 0.0;
+  }
+
+ private:
+  // Per-sample gradient slots for one batch (reused across batches).
+  struct SampleSlot {
+    bool valid = false;
+    double loss = 0.0;
+    std::vector<nn::Tensor> grads;  ///< one per parameter
+  };
+
+  Model& model_;
+  const TrainConfig& cfg_;
+  nn::Adam& opt_;
+  util::ThreadPool* pool_;
+  std::size_t lanes_;
+  std::vector<std::unique_ptr<Model>> replicas_;
+  std::vector<Model*> lane_models_;
+  std::vector<std::vector<nn::Var>> lane_params_;
+  std::vector<SampleSlot> slots_;
+  double loss_sum_ = 0.0;
+  std::size_t loss_count_ = 0;
+};
+
 }  // namespace
 
 Trainer::Trainer(Model& model, TrainConfig cfg)
@@ -49,47 +170,23 @@ std::vector<EpochRecord> Trainer::fit(const data::Dataset& train,
   util::RngStream shuffle_rng(cfg_.seed);
   std::vector<std::size_t> order(train.size());
   std::iota(order.begin(), order.end(), 0);
-
-  const std::size_t lanes = pool_ ? pool_->size() : 1;
   const std::size_t batch = std::max<std::size_t>(cfg_.batch_samples, 1);
 
   // Plan memo: one build per (sample, variant) for the whole run.  Keyed
   // by sample address — `train`/`val` outlive this call, which is the
   // cache's validity requirement.
   PlanCache plan_cache;
-  // Restore the previous cache on every exit path — a lane exception
-  // propagating out of fit must not leave the model pointing at this
-  // stack frame's cache.
-  struct CacheScope {
-    Model& model;
-    PlanCache* prev;
-    ~CacheScope() { model.set_plan_cache(prev); }
-  } cache_scope{model_, model_.plan_cache()};
+  const PlanCacheScope cache_scope(model_);
   if (cfg_.use_plan_cache) model_.set_plan_cache(&plan_cache);
 
-  // Lane replicas: lane 0 drives the primary model; lanes 1.. get deep
-  // copies whose weights are re-synced after every optimizer step.
-  std::vector<std::unique_ptr<Model>> replicas;
-  std::vector<Model*> lane_models{&model_};
-  for (std::size_t l = 1; l < lanes; ++l) {
-    replicas.push_back(model_.clone());
-    if (cfg_.use_plan_cache) replicas.back()->set_plan_cache(&plan_cache);
-    lane_models.push_back(replicas.back().get());
-  }
-  std::vector<std::vector<nn::Var>> lane_params;
-  for (Model* m : lane_models) lane_params.push_back(trainable(*m));
-
-  // Per-sample gradient slots for one batch (reused across batches).
-  struct SampleSlot {
-    bool valid = false;
-    double loss = 0.0;
-    std::vector<nn::Tensor> grads;  ///< one per parameter, lane order
-  };
-  std::vector<SampleSlot> slots(batch);
+  BatchEngine engine(model_, cfg_, opt_, pool_ ? &*pool_ : nullptr,
+                     cfg_.use_plan_cache ? &plan_cache : nullptr);
 
   std::vector<EpochRecord> history;
   double best_val = std::numeric_limits<double>::infinity();
   std::size_t since_best = 0;
+  std::vector<const data::Sample*> batch_ptrs;
+  batch_ptrs.reserve(batch);
 
   for (std::size_t epoch = 0; epoch < cfg_.epochs; ++epoch) {
     util::Stopwatch watch;
@@ -99,71 +196,19 @@ std::vector<EpochRecord> Trainer::fit(const data::Dataset& train,
                 order[static_cast<std::size_t>(shuffle_rng.uniform_int(
                     0, static_cast<std::int64_t>(i) - 1))]);
 
-    double loss_sum = 0.0;
-    std::size_t loss_count = 0;
-    opt_.zero_grad();
+    engine.begin_epoch();
     for (std::size_t start = 0; start < order.size(); start += batch) {
       const std::size_t fill = std::min(batch, order.size() - start);
-
-      // Lane task: forward+backward each owned sample, then park the
-      // gradients in the sample's slot and clear the lane's accumulators.
-      // Every lane reads identical weights, so a slot's contents do not
-      // depend on which lane filled it.
-      const auto lane_task = [&](std::size_t lane) {
-        const Model& m = *lane_models[lane];
-        std::vector<nn::Var>& params = lane_params[lane];
-        for (std::size_t i = lane; i < fill; i += lanes) {
-          SampleSlot& slot = slots[i];
-          slot.valid = false;
-          slot.grads.clear();
-          const nn::Var loss =
-              sample_loss(m, train[order[start + i]], scaler,
-                          cfg_.min_delivered, cfg_.target);
-          if (!loss.defined()) continue;
-          loss.backward();
-          slot.valid = true;
-          slot.loss = loss.value().item();
-          slot.grads.reserve(params.size());
-          for (nn::Var& p : params) {
-            slot.grads.push_back(p.grad());
-            p.zero_grad();
-          }
-        }
-      };
-      if (lanes > 1 && fill > 1) {
-        pool_->parallel_for(lanes, lane_task);
-      } else {
-        lane_task(0);
-      }
-
-      // Merge in sample order (deterministic for any lane count), scale
-      // by the actual batch fill — a trailing partial batch must not see
-      // a silently shrunken step (the seed scaled by batch_samples).
-      std::size_t valid_count = 0;
+      batch_ptrs.clear();
       for (std::size_t i = 0; i < fill; ++i)
-        if (slots[i].valid) ++valid_count;
-      if (valid_count == 0) continue;
-      std::vector<nn::Var>& primary = lane_params[0];
-      for (std::size_t i = 0; i < fill; ++i) {
-        if (!slots[i].valid) continue;
-        loss_sum += slots[i].loss;
-        ++loss_count;
-        for (std::size_t k = 0; k < primary.size(); ++k)
-          primary[k].grad_ref().add_inplace(slots[i].grads[k]);
-      }
-      const double inv = 1.0 / static_cast<double>(valid_count);
-      for (nn::Var& p : primary) p.grad_ref().scale_inplace(inv);
-      opt_.clip_global_norm(cfg_.clip_norm);
-      opt_.step();
-      opt_.zero_grad();
-      for (auto& replica : replicas) replica->copy_params_from(model_);
+        batch_ptrs.push_back(&train[order[start + i]]);
+      engine.process_batch(batch_ptrs, scaler);
     }
     opt_.set_lr(opt_.lr() * cfg_.lr_decay);
 
     EpochRecord rec;
     rec.epoch = epoch;
-    rec.train_loss =
-        loss_count ? loss_sum / static_cast<double>(loss_count) : 0.0;
+    rec.train_loss = engine.epoch_mean_loss();
     rec.val_loss = val ? evaluate_loss(*val, scaler)
                        : std::numeric_limits<double>::quiet_NaN();
     rec.seconds = watch.seconds();
@@ -173,6 +218,78 @@ std::vector<EpochRecord> Trainer::fit(const data::Dataset& train,
                      rec.train_loss, val ? " val_loss=" : "",
                      val ? std::to_string(rec.val_loss) : std::string(),
                      " (", rec.seconds, "s)");
+
+    if (val && cfg_.patience > 0) {
+      if (rec.val_loss < best_val - 1e-9) {
+        best_val = rec.val_loss;
+        since_best = 0;
+      } else if (++since_best >= cfg_.patience) {
+        if (cfg_.verbose)
+          util::log_info(model_.name(), ": early stop at epoch ", epoch);
+        break;
+      }
+    }
+  }
+  return history;
+}
+
+std::vector<EpochRecord> Trainer::fit_stream(data::SampleSource& train,
+                                             const data::Scaler& scaler,
+                                             data::SampleSource* val) {
+  const std::size_t batch = std::max<std::size_t>(cfg_.batch_samples, 1);
+
+  // Address-keyed plan caching is only sound when the source's sample
+  // objects are stable for the whole run; a streaming source recycles
+  // addresses, so the model runs cache-DETACHED there (correctness over
+  // speed — a stale plan at a reused address would be silently wrong).
+  const bool cacheable = cfg_.use_plan_cache && train.stable_addresses();
+  PlanCache plan_cache;
+  const PlanCacheScope cache_scope(model_);
+  model_.set_plan_cache(cacheable ? &plan_cache : nullptr);
+
+  BatchEngine engine(model_, cfg_, opt_, pool_ ? &*pool_ : nullptr,
+                     cacheable ? &plan_cache : nullptr);
+
+  std::vector<EpochRecord> history;
+  double best_val = std::numeric_limits<double>::infinity();
+  std::size_t since_best = 0;
+  // Keep-alive handles for the in-flight batch: residency is bounded by
+  // the batch size plus whatever the source prefetches.
+  std::vector<std::shared_ptr<const data::Sample>> hold;
+  std::vector<const data::Sample*> batch_ptrs;
+  hold.reserve(batch);
+  batch_ptrs.reserve(batch);
+
+  for (std::size_t epoch = 0; epoch < cfg_.epochs; ++epoch) {
+    util::Stopwatch watch;
+    train.reset();
+    engine.begin_epoch();
+    while (auto sp = train.next()) {
+      batch_ptrs.push_back(sp.get());
+      hold.push_back(std::move(sp));
+      if (batch_ptrs.size() == batch) {
+        engine.process_batch(batch_ptrs, scaler);
+        batch_ptrs.clear();
+        hold.clear();
+      }
+    }
+    engine.process_batch(batch_ptrs, scaler);
+    batch_ptrs.clear();
+    hold.clear();
+    opt_.set_lr(opt_.lr() * cfg_.lr_decay);
+
+    EpochRecord rec;
+    rec.epoch = epoch;
+    rec.train_loss = engine.epoch_mean_loss();
+    rec.val_loss = val ? evaluate_loss(*val, scaler)
+                       : std::numeric_limits<double>::quiet_NaN();
+    rec.seconds = watch.seconds();
+    history.push_back(rec);
+    if (cfg_.verbose)
+      util::log_info(model_.name(), " epoch ", epoch, ": train_loss=",
+                     rec.train_loss, val ? " val_loss=" : "",
+                     val ? std::to_string(rec.val_loss) : std::string(),
+                     " (", rec.seconds, "s, streaming)");
 
     if (val && cfg_.patience > 0) {
       if (rec.val_loss < best_val - 1e-9) {
@@ -215,6 +332,58 @@ double Trainer::evaluate_loss(const data::Dataset& ds,
     sum += losses[i];
     ++count;
   }
+  return count ? sum / static_cast<double>(count)
+               : std::numeric_limits<double>::quiet_NaN();
+}
+
+double Trainer::evaluate_loss(data::SampleSource& src,
+                              const data::Scaler& scaler) const {
+  // Streaming sources hand out transient samples: run cache-detached so
+  // no address-keyed plan entry can outlive its sample (see fit_stream).
+  const PlanCacheScope cache_scope(model_);
+  if (!src.stable_addresses()) model_.set_plan_cache(nullptr);
+
+  src.reset();
+  const std::size_t lanes = pool_ ? pool_->size() : 1;
+  const std::size_t window = std::max<std::size_t>(4 * lanes, 8);
+  std::vector<std::shared_ptr<const data::Sample>> hold;
+  hold.reserve(window);
+  std::vector<double> losses(window, 0.0);
+  std::vector<char> defined(window, 0);
+  double sum = 0.0;
+  std::size_t count = 0;
+
+  const auto flush = [&] {
+    const std::size_t n = hold.size();
+    if (n == 0) return;
+    std::fill(defined.begin(), defined.begin() + static_cast<std::ptrdiff_t>(n), 0);
+    const auto eval_one = [&](std::size_t i) {
+      const nn::NoGradGuard guard;
+      const nn::Var loss = sample_loss(model_, *hold[i], scaler,
+                                       cfg_.min_delivered, cfg_.target);
+      if (!loss.defined()) return;
+      losses[i] = loss.value().item();
+      defined[i] = 1;
+    };
+    if (pool_ && n > 1) {
+      pool_->parallel_for(n, eval_one);
+    } else {
+      for (std::size_t i = 0; i < n; ++i) eval_one(i);
+    }
+    // Sample-order sum: windowing changes residency, never the result.
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!defined[i]) continue;
+      sum += losses[i];
+      ++count;
+    }
+    hold.clear();
+  };
+
+  while (auto sp = src.next()) {
+    hold.push_back(std::move(sp));
+    if (hold.size() == window) flush();
+  }
+  flush();
   return count ? sum / static_cast<double>(count)
                : std::numeric_limits<double>::quiet_NaN();
 }

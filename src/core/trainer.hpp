@@ -26,6 +26,10 @@
 #include "nn/optimizer.hpp"
 #include "util/thread_pool.hpp"
 
+namespace rnx::data {
+class SampleSource;
+}
+
 namespace rnx::core {
 
 struct TrainConfig {
@@ -61,9 +65,29 @@ class Trainer {
                                const data::Scaler& scaler,
                                const data::Dataset* val = nullptr);
 
+  /// Streaming fit (DESIGN.md §D): consume `train` pass-by-pass from a
+  /// SampleSource — e.g. a sharded on-disk store larger than RAM — with
+  /// peak sample residency bounded by the batch size plus the source's
+  /// prefetch window.  Sample ORDER is the source's (the source owns
+  /// shuffling); given the same sample sequence, updates are
+  /// bitwise-identical to the in-memory path for any thread count.
+  /// Address-keyed plan caching engages only when the source guarantees
+  /// stable sample addresses; for transient streaming samples the model
+  /// runs cache-detached (caching a recycled address would serve a
+  /// stale plan).
+  std::vector<EpochRecord> fit_stream(data::SampleSource& train,
+                                      const data::Scaler& scaler,
+                                      data::SampleSource* val = nullptr);
+
   /// Mean per-sample loss without building the tape (inference mode);
   /// parallel over the trainer's lanes.
   [[nodiscard]] double evaluate_loss(const data::Dataset& ds,
+                                     const data::Scaler& scaler) const;
+
+  /// Streaming evaluation over one pass of `src`, windowed so residency
+  /// stays bounded; losses are summed in sample order, so the result is
+  /// bitwise-equal to the in-memory overload on the same samples.
+  [[nodiscard]] double evaluate_loss(data::SampleSource& src,
                                      const data::Scaler& scaler) const;
 
   /// Loss for one sample: MSE between the prediction and the z-scored

@@ -3,8 +3,10 @@
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
+#include <sstream>
 #include <stdexcept>
 
+#include "data/sample_io.hpp"
 #include "util/log.hpp"
 #include "util/table.hpp"
 
@@ -37,184 +39,63 @@ std::size_t Dataset::total_paths() const noexcept {
   return n;
 }
 
-namespace {
-constexpr char kMagic[4] = {'R', 'N', 'X', 'D'};
-// v2 appends the scenario block (policy / traffic process / classes /
-// on-off shape / DRR quantum) per sample and a priority class per path;
-// v1 files (pre-scenario-engine) still load with the default scenario
-// and scenario_recorded = false.
-constexpr std::uint32_t kVersion = 2;
-constexpr std::uint32_t kMinVersion = 1;
-
-template <typename T>
-void put(std::ofstream& f, const T& v) {
-  f.write(reinterpret_cast<const char*>(&v), sizeof(T));
-}
-template <typename T>
-void get(std::ifstream& f, T& v) {
-  f.read(reinterpret_cast<char*>(&v), sizeof(T));
-  if (!f) throw std::runtime_error("Dataset::load: truncated file");
-}
-void put_string(std::ofstream& f, const std::string& s) {
-  put(f, static_cast<std::uint32_t>(s.size()));
-  f.write(s.data(), static_cast<std::streamsize>(s.size()));
-}
-std::string get_string(std::ifstream& f) {
-  std::uint32_t len = 0;
-  get(f, len);
-  if (len > (1u << 20))
-    throw std::runtime_error("Dataset::load: implausible string length");
-  std::string s(len, '\0');
-  f.read(s.data(), len);
-  if (!f) throw std::runtime_error("Dataset::load: truncated string");
-  return s;
-}
-template <typename T>
-void put_vec(std::ofstream& f, const std::vector<T>& v) {
-  put(f, static_cast<std::uint64_t>(v.size()));
-  f.write(reinterpret_cast<const char*>(v.data()),
-          static_cast<std::streamsize>(v.size() * sizeof(T)));
-}
-template <typename T>
-void get_vec(std::ifstream& f, std::vector<T>& v) {
-  std::uint64_t n = 0;
-  get(f, n);
-  if (n > (1ull << 28))
-    throw std::runtime_error("Dataset::load: implausible vector length");
-  v.resize(n);
-  f.read(reinterpret_cast<char*>(v.data()),
-         static_cast<std::streamsize>(n * sizeof(T)));
-  if (!f) throw std::runtime_error("Dataset::load: truncated vector");
-}
-}  // namespace
-
 void Dataset::save(const std::string& path) const {
-  std::ofstream f(path, std::ios::binary);
-  if (!f) throw std::runtime_error("Dataset::save: cannot open " + path);
-  f.write(kMagic, sizeof(kMagic));
-  put(f, kVersion);
-  put(f, static_cast<std::uint64_t>(samples_.size()));
-  for (const auto& s : samples_) {
-    put_string(f, s.topo_name);
-    put(f, s.num_nodes);
-    put_vec(f, s.links);
-    put_vec(f, s.link_capacity_bps);
-    put_vec(f, s.queue_pkts);
-    put(f, s.max_utilization);
-    put(f, static_cast<std::uint8_t>(s.scenario_recorded ? 1 : 0));
-    put(f, static_cast<std::uint8_t>(s.scenario.policy));
-    put(f, static_cast<std::uint8_t>(s.scenario.traffic));
-    put(f, s.scenario.priority_classes);
-    put(f, s.scenario.onoff_burst_pkts);
-    put(f, s.scenario.onoff_duty);
-    put(f, s.scenario.drr_quantum_bits);
-    put(f, static_cast<std::uint64_t>(s.paths.size()));
-    for (const auto& p : s.paths) {
-      put(f, p.src);
-      put(f, p.dst);
-      put_vec(f, p.nodes);
-      put_vec(f, p.links);
-      put(f, p.traffic_bps);
-      put(f, p.priority_class);
-      put(f, p.mean_delay_s);
-      put(f, p.jitter_s2);
-      put(f, p.loss_rate);
-      put(f, p.delivered);
-    }
-  }
-  if (!f) throw std::runtime_error("Dataset::save: write failed");
+  // Stream into a temp file, then rename: a crash or full disk
+  // mid-write must never destroy a previously good dataset at `path`,
+  // and no second in-memory copy of the serialized bytes is made.
+  io::atomic_write_stream(
+      path, [this](std::ostream& f) { io::write_dataset_stream(f, samples_); });
 }
 
 Dataset Dataset::load(const std::string& path) {
   std::ifstream f(path, std::ios::binary);
   if (!f) throw std::runtime_error("Dataset::load: cannot open " + path);
-  char magic[4];
-  f.read(magic, sizeof(magic));
-  if (!f || std::string_view(magic, 4) != std::string_view(kMagic, 4))
-    throw std::runtime_error("Dataset::load: bad magic");
-  std::uint32_t version = 0;
-  get(f, version);
-  if (version < kMinVersion || version > kVersion)
-    throw std::runtime_error("Dataset::load: unsupported version " +
-                             std::to_string(version));
-  std::uint64_t count = 0;
-  get(f, count);
-  std::vector<Sample> samples;
-  samples.reserve(count);
-  for (std::uint64_t i = 0; i < count; ++i) {
-    Sample s;
-    s.topo_name = get_string(f);
-    get(f, s.num_nodes);
-    get_vec(f, s.links);
-    get_vec(f, s.link_capacity_bps);
-    get_vec(f, s.queue_pkts);
-    get(f, s.max_utilization);
-    if (version >= 2) {
-      std::uint8_t recorded = 0, policy = 0, traffic = 0;
-      get(f, recorded);
-      get(f, policy);
-      get(f, traffic);
-      if (policy >= sim::kNumSchedulerPolicies)
-        throw std::runtime_error("Dataset::load: invalid scheduler policy " +
-                                 std::to_string(policy));
-      if (traffic >= sim::kNumTrafficProcesses)
-        throw std::runtime_error("Dataset::load: invalid traffic process " +
-                                 std::to_string(traffic));
-      s.scenario_recorded = recorded != 0;
-      s.scenario.policy = static_cast<sim::SchedulerPolicy>(policy);
-      s.scenario.traffic = static_cast<sim::TrafficProcess>(traffic);
-      get(f, s.scenario.priority_classes);
-      get(f, s.scenario.onoff_burst_pkts);
-      get(f, s.scenario.onoff_duty);
-      get(f, s.scenario.drr_quantum_bits);
-    }
-    std::uint64_t np = 0;
-    get(f, np);
-    s.paths.resize(np);
-    for (auto& p : s.paths) {
-      get(f, p.src);
-      get(f, p.dst);
-      get_vec(f, p.nodes);
-      get_vec(f, p.links);
-      get(f, p.traffic_bps);
-      if (version >= 2) get(f, p.priority_class);
-      get(f, p.mean_delay_s);
-      get(f, p.jitter_s2);
-      get(f, p.loss_rate);
-      get(f, p.delivered);
-    }
-    s.validate();
-    samples.push_back(std::move(s));
-  }
-  return Dataset(std::move(samples));
+  std::error_code ec;
+  const std::uintmax_t file_bytes = std::filesystem::file_size(path, ec);
+  if (ec)
+    throw std::runtime_error("Dataset::load: cannot stat " + path + " (" +
+                             ec.message() + ")");
+  return Dataset(io::read_dataset_stream(f, file_bytes,
+                                         "Dataset::load(" + path + ")"));
 }
 
 void Dataset::export_csv(const std::string& path) const {
-  util::CsvWriter csv(path, {"sample", "topo", "src", "dst", "hops",
-                             "traffic_bps", "policy", "traffic_model",
-                             "class", "max_util", "mean_delay_s",
-                             "jitter_s2", "loss_rate", "delivered"});
-  for (std::size_t i = 0; i < samples_.size(); ++i) {
-    const auto& s = samples_[i];
-    for (const auto& p : s.paths) {
-      csv.add_row({std::to_string(i), s.topo_name, std::to_string(p.src),
-                   std::to_string(p.dst), std::to_string(p.links.size()),
-                   util::Table::cell(p.traffic_bps, 1),
-                   std::string(sim::to_string(s.scenario.policy)),
-                   std::string(sim::to_string(s.scenario.traffic)),
-                   std::to_string(p.priority_class),
-                   util::Table::cell(s.max_utilization, 3),
-                   util::Table::cell(p.mean_delay_s, 9),
-                   util::Table::cell(p.jitter_s2, 12),
-                   util::Table::cell(p.loss_rate, 6),
-                   std::to_string(p.delivered)});
-    }
+  util::CsvWriter csv(path, dataset_csv_header());
+  for (std::size_t i = 0; i < samples_.size(); ++i)
+    append_csv_rows(csv, samples_[i], i);
+}
+
+std::vector<std::string> dataset_csv_header() {
+  return {"sample",       "topo",      "src",           "dst",
+          "hops",         "traffic_bps", "policy",      "traffic_model",
+          "class",        "max_util",  "mean_delay_s",  "jitter_s2",
+          "loss_rate",    "delivered"};
+}
+
+void append_csv_rows(util::CsvWriter& csv, const Sample& s,
+                     std::size_t sample_index) {
+  for (const auto& p : s.paths) {
+    csv.add_row({std::to_string(sample_index), s.topo_name,
+                 std::to_string(p.src), std::to_string(p.dst),
+                 std::to_string(p.links.size()),
+                 util::Table::cell(p.traffic_bps, 1),
+                 std::string(sim::to_string(s.scenario.policy)),
+                 std::string(sim::to_string(s.scenario.traffic)),
+                 std::to_string(p.priority_class),
+                 util::Table::cell(s.max_utilization, 3),
+                 util::Table::cell(p.mean_delay_s, 9),
+                 util::Table::cell(p.jitter_s2, 12),
+                 util::Table::cell(p.loss_rate, 6),
+                 std::to_string(p.delivered)});
   }
 }
 
 Dataset load_or_generate(const std::string& path, std::size_t expected,
                          const std::function<Dataset()>& generate) {
   if (std::filesystem::exists(path)) {
+    // Never swallow WHY a cache is rejected: a size mismatch (stale
+    // cache from a different config) reads very differently from a
+    // corrupt/truncated file, and silent regeneration hides both.
     try {
       Dataset d = Dataset::load(path);
       if (d.size() == expected) {
@@ -222,11 +103,12 @@ Dataset load_or_generate(const std::string& path, std::size_t expected,
                        " samples)");
         return d;
       }
-      util::log_warn("dataset cache size mismatch for ", path,
-                     ", regenerating");
+      util::log_warn("dataset cache size mismatch for ", path, ": have ",
+                     d.size(), " samples, want ", expected,
+                     "; regenerating");
     } catch (const std::exception& e) {
       util::log_warn("dataset cache unreadable (", e.what(),
-                     "), regenerating");
+                     "); regenerating");
     }
   }
   Dataset d = generate();

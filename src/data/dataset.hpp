@@ -10,6 +10,10 @@
 #include "data/sample.hpp"
 #include "util/rng.hpp"
 
+namespace rnx::util {
+class CsvWriter;
+}
+
 namespace rnx::data {
 
 class Dataset {
@@ -26,6 +30,11 @@ class Dataset {
     return samples_;
   }
   void add(Sample s) { samples_.push_back(std::move(s)); }
+  /// Move the samples out, leaving the dataset empty — how the sharded
+  /// reader concatenates shards without copying.
+  [[nodiscard]] std::vector<Sample> release_samples() noexcept {
+    return std::move(samples_);
+  }
 
   /// Deterministic Fisher-Yates shuffle.
   void shuffle(util::RngStream& rng);
@@ -37,6 +46,8 @@ class Dataset {
 
   // -- persistence -----------------------------------------------------
   /// Versioned binary format ("RNXD"); validates every sample on load.
+  /// save() is atomic (temp file + rename): a crash or full disk
+  /// mid-write never corrupts a previously good file at `path`.
   void save(const std::string& path) const;
   [[nodiscard]] static Dataset load(const std::string& path);
   /// One CSV row per path (sample id, pair, traffic, labels) — for
@@ -49,8 +60,17 @@ class Dataset {
 
 /// Load `path` if it exists and holds exactly `expected` samples;
 /// otherwise invoke `generate`, save the result to `path`, and return it.
+/// Logs why a cache is regenerated (size mismatch vs. load error).
 [[nodiscard]] Dataset load_or_generate(
     const std::string& path, std::size_t expected,
     const std::function<Dataset()>& generate);
+
+/// The per-path CSV schema shared by Dataset::export_csv and the
+/// sharded datagen path (tools/rnx_datagen streams rows per shard).
+[[nodiscard]] std::vector<std::string> dataset_csv_header();
+/// One CSV row per path of `s`, tagged with the dataset-wide
+/// `sample_index`.
+void append_csv_rows(util::CsvWriter& csv, const Sample& s,
+                     std::size_t sample_index);
 
 }  // namespace rnx::data

@@ -1,11 +1,17 @@
 #include "data/generator.hpp"
 
 #include <algorithm>
+#include <condition_variable>
+#include <mutex>
+#include <optional>
+#include <sstream>
 
+#include "data/sample_io.hpp"
 #include "sim/simulator.hpp"
 #include "topo/traffic.hpp"
 #include "topo/zoo.hpp"
 #include "util/log.hpp"
+#include "util/thread_pool.hpp"
 
 namespace rnx::data {
 
@@ -73,6 +79,15 @@ Sample generate_sample(const topo::Topology& base, const GeneratorConfig& cfg,
           : topo::hop_count_routing(topo);
 
   topo::TrafficMatrix tm = draw_traffic(topo.num_nodes(), cfg.traffic, rng);
+  // A zero-demand matrix (e.g. a single-node topology has no pairs)
+  // would divide the window computation below to +inf — an unbounded
+  // simulation.  Fail loudly before any scaling or simulation work.
+  if (!(tm.total() > 0.0))
+    throw std::invalid_argument(
+        "generate_sample: traffic matrix total is zero on topology '" +
+        topo.name() +
+        "' (no demand to simulate; cannot size a finite measurement "
+        "window)");
   const double target_util = rng.uniform(cfg.util_lo, cfg.util_hi);
   topo::scale_to_max_utilization(tm, topo, routing, target_util);
 
@@ -150,19 +165,164 @@ Sample generate_sample(const topo::Topology& base, const GeneratorConfig& cfg,
   return s;
 }
 
+TopologySampler fixed_topology(topo::Topology base) {
+  // Must not draw from the sample stream: generate_sample then consumes
+  // the exact RNG sequence of the seed protocol, keeping fixed-topology
+  // datasets bitwise-identical across serial, parallel and pre-sampler
+  // code paths.
+  return [base = std::move(base)](util::RngStream&) { return base; };
+}
+
+TopologySampler mixed_topology() {
+  return [](util::RngStream& rng) -> topo::Topology {
+    const auto kind = rng.uniform_int(0, 3);
+    switch (kind) {
+      case 0:
+        return topo::geant2();
+      case 1:
+        return topo::nsfnet();
+      case 2: {
+        const auto n = static_cast<std::size_t>(rng.uniform_int(8, 24));
+        const auto extra = static_cast<std::size_t>(
+            rng.uniform_int(2, static_cast<std::int64_t>(n)));
+        // Structure from a derived stream so topology size draws never
+        // shift the scenario draws that follow in generate_sample.
+        util::RngStream trng = rng.derive("topo");
+        return topo::random_connected(n, n - 1 + extra, trng);
+      }
+      default: {
+        const auto n = static_cast<std::size_t>(rng.uniform_int(8, 24));
+        util::RngStream trng = rng.derive("topo");
+        return topo::barabasi_albert(n, 2, trng);
+      }
+    }
+  };
+}
+
+void generate_dataset_stream(
+    const TopologySampler& topo_of, std::size_t count,
+    const GeneratorConfig& cfg, std::uint64_t seed, std::size_t threads,
+    const std::function<void(std::size_t, Sample)>& sink,
+    const std::function<void(std::size_t, std::size_t)>& progress) {
+  cfg.validate();
+  if (threads == 0) threads = util::ThreadPool::hardware_threads();
+  const util::RngStream root(seed);
+  const auto make_sample = [&](std::size_t i) {
+    util::RngStream rng = root.derive("sample", i);
+    const topo::Topology t = topo_of(rng);
+    return generate_sample(t, cfg, rng);
+  };
+
+  if (threads <= 1 || count <= 1) {
+    for (std::size_t i = 0; i < count; ++i) {
+      sink(i, make_sample(i));
+      if (progress) progress(i + 1, count);
+    }
+    return;
+  }
+
+  // Ordered commit (DESIGN.md §D): lanes claim indices in increasing
+  // order (the pool's atomic counter) and simulate concurrently; a
+  // finished sample parks in a bounded reorder ring and the in-order
+  // prefix is drained to the sink under the commit mutex.  A lane whose
+  // index is more than `window` ahead of the commit cursor waits, so
+  // peak buffered samples are O(threads) — and the lane holding the
+  // cursor index is always inside the window, so the drain can never
+  // stall (no deadlock).
+  util::ThreadPool pool(threads);
+  const std::size_t lanes = pool.size();
+  const std::size_t window = std::max<std::size_t>(2 * lanes, 4);
+  std::vector<std::optional<Sample>> ring(window);
+  std::mutex mu;
+  std::condition_variable cv;
+  std::size_t committed = 0;
+  bool failed = false;
+
+  pool.parallel_for(count, [&](std::size_t i) {
+    {
+      // Cheap abort: once any lane failed, later indices skip their
+      // simulation instead of burning CPU on a doomed run.
+      const std::lock_guard<std::mutex> lock(mu);
+      if (failed) return;
+    }
+    Sample s;
+    try {
+      s = make_sample(i);
+    } catch (...) {
+      // Unblock every lane waiting on the commit cursor: this index
+      // will never commit, so the run is aborted (parallel_for rethrows
+      // the first error once all indices are dispatched).
+      const std::lock_guard<std::mutex> lock(mu);
+      failed = true;
+      cv.notify_all();
+      throw;
+    }
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return failed || i < committed + window; });
+    if (failed) return;
+    ring[i % window] = std::move(s);
+    while (committed < count && ring[committed % window].has_value()) {
+      Sample out = std::move(*ring[committed % window]);
+      ring[committed % window].reset();
+      const std::size_t idx = committed++;
+      try {
+        // The sink runs under the commit mutex: calls are strictly
+        // ordered and never concurrent, which is what lets it write
+        // shard files or digest streams with no locking of its own.
+        sink(idx, std::move(out));
+      } catch (...) {
+        failed = true;
+        cv.notify_all();
+        throw;
+      }
+      if (progress) progress(committed, count);
+    }
+    cv.notify_all();
+  });
+}
+
 std::vector<Sample> generate_dataset(
     const topo::Topology& base, std::size_t count, const GeneratorConfig& cfg,
     std::uint64_t seed,
     const std::function<void(std::size_t, std::size_t)>& progress) {
-  const util::RngStream root(seed);
-  std::vector<Sample> out;
-  out.reserve(count);
-  for (std::size_t i = 0; i < count; ++i) {
-    util::RngStream rng = root.derive("sample", i);
-    out.push_back(generate_sample(base, cfg, rng));
-    if (progress) progress(i + 1, count);
-  }
+  return generate_dataset(base, count, cfg, seed, /*threads=*/1, progress);
+}
+
+std::vector<Sample> generate_dataset(
+    const topo::Topology& base, std::size_t count, const GeneratorConfig& cfg,
+    std::uint64_t seed, std::size_t threads,
+    const std::function<void(std::size_t, std::size_t)>& progress) {
+  std::vector<Sample> out(count);
+  generate_dataset_stream(
+      fixed_topology(base), count, cfg, seed, threads,
+      [&](std::size_t i, Sample s) { out[i] = std::move(s); }, progress);
   return out;
 }
 
+std::uint64_t config_digest(const GeneratorConfig& cfg) {
+  std::ostringstream bytes(std::ios::binary);
+  const auto put = [&bytes](const auto& v) {
+    bytes.write(reinterpret_cast<const char*>(&v), sizeof(v));
+  };
+  put(cfg.p_tiny_queue);
+  for (const double c : cfg.capacity_choices) put(c);
+  put(cfg.util_lo);
+  put(cfg.util_hi);
+  put(static_cast<std::uint8_t>(cfg.traffic));
+  put(static_cast<std::uint8_t>(cfg.randomize_routing));
+  put(static_cast<std::uint8_t>(cfg.randomize_queues));
+  put(static_cast<std::uint8_t>(cfg.randomize_capacities));
+  put(cfg.mean_packet_bits);
+  put(cfg.target_packets);
+  put(static_cast<std::uint8_t>(cfg.scenario.policy));
+  put(static_cast<std::uint8_t>(cfg.scenario.traffic));
+  put(cfg.scenario.priority_classes);
+  put(cfg.scenario.onoff_burst_pkts);
+  put(cfg.scenario.onoff_duty);
+  put(cfg.scenario.drr_quantum_bits);
+  put(static_cast<std::uint8_t>(cfg.mixed_scenarios));
+  return io::fnv1a64(bytes.str());
+}
+
 }  // namespace rnx::data
+

@@ -53,10 +53,45 @@ struct GeneratorConfig {
 };
 
 /// Generate one sample on (a scenario drawn from) the base topology.
-/// Deterministic in (base, cfg, rng state).
+/// Deterministic in (base, cfg, rng state).  Throws
+/// std::invalid_argument if the drawn traffic matrix carries zero total
+/// demand (a zero-rate matrix would size an infinite measurement
+/// window).
 [[nodiscard]] Sample generate_sample(const topo::Topology& base,
                                      const GeneratorConfig& cfg,
                                      util::RngStream& rng);
+
+/// Per-sample topology provider for dataset generation.  Called with
+/// the sample's derived RNG stream BEFORE generate_sample consumes it;
+/// a fixed-topology sampler must not draw from the stream (that keeps
+/// fixed-topology datasets bitwise-identical to the seed protocol),
+/// while the mixed sampler draws the topology kind and size from it.
+using TopologySampler = std::function<topo::Topology(util::RngStream&)>;
+
+/// Sampler that returns `base` for every sample without touching the
+/// RNG stream — the classic single-topology protocol.
+[[nodiscard]] TopologySampler fixed_topology(topo::Topology base);
+
+/// The cross-topology generalization mix (rnx_datagen --topo mix): each
+/// sample draws uniformly from {geant2, nsfnet, random_connected,
+/// barabasi_albert}, the latter two with randomized size — the
+/// topology-diverse corpus the generalization papers train on.
+[[nodiscard]] TopologySampler mixed_topology();
+
+/// Streaming generation core: generate `count` samples over `threads`
+/// lanes (0 = all hardware threads) and deliver each to
+/// `sink(index, sample)` in STRICT SAMPLE ORDER.  Sample i uses an
+/// independent RNG stream derived from (seed, i), so the output is
+/// bitwise-identical for ANY thread count (same doctrine as the
+/// data-parallel trainer, DESIGN.md §T/§D): lanes simulate out of
+/// order, a bounded reorder window commits in order, and peak buffered
+/// samples stay O(threads).  `progress(done, total)` fires after each
+/// committed sample, monotonically.
+void generate_dataset_stream(
+    const TopologySampler& topo_of, std::size_t count,
+    const GeneratorConfig& cfg, std::uint64_t seed, std::size_t threads,
+    const std::function<void(std::size_t, Sample)>& sink,
+    const std::function<void(std::size_t, std::size_t)>& progress = nullptr);
 
 /// Generate `count` samples; sample i uses an independent RNG stream
 /// derived from (seed, i), so datasets are reproducible and extendable
@@ -66,5 +101,18 @@ struct GeneratorConfig {
     const topo::Topology& base, std::size_t count, const GeneratorConfig& cfg,
     std::uint64_t seed,
     const std::function<void(std::size_t, std::size_t)>& progress = nullptr);
+
+/// As above, fanned out over `threads` simulation lanes (0 = all
+/// hardware threads).  Bitwise-identical to the serial overload for any
+/// thread count.
+[[nodiscard]] std::vector<Sample> generate_dataset(
+    const topo::Topology& base, std::size_t count, const GeneratorConfig& cfg,
+    std::uint64_t seed, std::size_t threads,
+    const std::function<void(std::size_t, std::size_t)>& progress = nullptr);
+
+/// FNV-1a digest over every generation-relevant field of `cfg` — the
+/// shard manifest records it so a cache/manifest can be matched against
+/// the protocol that produced it.
+[[nodiscard]] std::uint64_t config_digest(const GeneratorConfig& cfg);
 
 }  // namespace rnx::data

@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "data/source.hpp"
 #include "util/stats.hpp"
 
 namespace rnx::data {
@@ -17,11 +18,17 @@ Moments from_welford(const util::Welford& w) {
   m.stddev = w.stddev() > 1e-12 ? w.stddev() : 1.0;
   return m;
 }
-}  // namespace
 
-Scaler Scaler::fit(std::span<const Sample> train, std::uint64_t min_delivered) {
+// One accumulator for both fit overloads: per-sample order fixed here,
+// so in-memory and streaming fits agree bit for bit.
+struct FitAccumulator {
   util::Welford traffic, capacity, queue, log_delay, log_jitter;
-  for (const auto& s : train) {
+  std::uint64_t min_delivered;
+
+  explicit FitAccumulator(std::uint64_t min_delivered_)
+      : min_delivered(min_delivered_) {}
+
+  void add(const Sample& s) {
     for (const double c : s.link_capacity_bps) capacity.add(c);
     for (const auto q : s.queue_pkts) queue.add(static_cast<double>(q));
     for (const auto& p : s.paths) {
@@ -32,17 +39,32 @@ Scaler Scaler::fit(std::span<const Sample> train, std::uint64_t min_delivered) {
         log_jitter.add(std::log(p.jitter_s2));
     }
   }
-  if (log_delay.count() == 0)
-    throw std::invalid_argument("Scaler::fit: no usable delay labels");
-  Scaler sc;
-  sc.traffic_ = from_welford(traffic);
-  sc.capacity_ = from_welford(capacity);
-  sc.queue_ = from_welford(queue);
-  sc.log_delay_ = from_welford(log_delay);
-  // Jitter labels can legitimately be absent (e.g. deterministic packet
-  // sizes at trivial load); leave unit moments in that case.
-  if (log_jitter.count() > 0) sc.log_jitter_ = from_welford(log_jitter);
-  return sc;
+
+  [[nodiscard]] Scaler finish() const {
+    if (log_delay.count() == 0)
+      throw std::invalid_argument("Scaler::fit: no usable delay labels");
+    // Jitter labels can legitimately be absent (e.g. deterministic
+    // packet sizes at trivial load); leave unit moments in that case.
+    const Moments lj =
+        log_jitter.count() > 0 ? from_welford(log_jitter) : Moments{};
+    return Scaler::from_moments(from_welford(traffic),
+                                from_welford(capacity), from_welford(queue),
+                                from_welford(log_delay), lj);
+  }
+};
+}  // namespace
+
+Scaler Scaler::fit(std::span<const Sample> train, std::uint64_t min_delivered) {
+  FitAccumulator acc(min_delivered);
+  for (const auto& s : train) acc.add(s);
+  return acc.finish();
+}
+
+Scaler Scaler::fit(SampleSource& train, std::uint64_t min_delivered) {
+  FitAccumulator acc(min_delivered);
+  train.reset();
+  while (const auto sp = train.next()) acc.add(*sp);
+  return acc.finish();
 }
 
 Scaler Scaler::from_moments(const Moments& traffic, const Moments& capacity,

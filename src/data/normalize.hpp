@@ -15,6 +15,8 @@
 
 namespace rnx::data {
 
+class SampleSource;
+
 /// Mean/stddev pair for one feature channel.
 struct Moments {
   double mean = 0.0;
@@ -35,6 +37,12 @@ class Scaler {
   /// too noisy to trust).  Throws if the set yields no usable labels.
   static Scaler fit(std::span<const Sample> train,
                     std::uint64_t min_delivered = 10);
+
+  /// Streaming fit: one pass over a SampleSource (DESIGN.md §D), so
+  /// statistics for sharded on-disk sets never materialize the data.
+  /// Accumulation order equals the in-memory overload's, so moments are
+  /// bitwise-identical for the same samples.
+  static Scaler fit(SampleSource& train, std::uint64_t min_delivered = 10);
 
   /// Rebuild a scaler from previously fitted statistics — how a model
   /// bundle restores the exact training-set moments at deployment time

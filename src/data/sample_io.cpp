@@ -1,0 +1,243 @@
+#include "data/sample_io.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "sim/scenario.hpp"
+
+namespace rnx::data::io {
+
+namespace {
+
+template <typename T>
+void put(std::ostream& f, const T& v) {
+  f.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+template <typename T>
+void get(std::istream& f, T& v, const std::string& what) {
+  f.read(reinterpret_cast<char*>(&v), sizeof(T));
+  if (!f) throw std::runtime_error(what + ": truncated file");
+}
+void put_string(std::ostream& f, const std::string& s) {
+  put(f, static_cast<std::uint32_t>(s.size()));
+  f.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+std::string get_string(std::istream& f, const std::string& what) {
+  std::uint32_t len = 0;
+  get(f, len, what);
+  if (len > (1u << 20))
+    throw std::runtime_error(what + ": implausible string length");
+  std::string s(len, '\0');
+  f.read(s.data(), len);
+  if (!f) throw std::runtime_error(what + ": truncated string");
+  return s;
+}
+template <typename T>
+void put_vec(std::ostream& f, const std::vector<T>& v) {
+  put(f, static_cast<std::uint64_t>(v.size()));
+  f.write(reinterpret_cast<const char*>(v.data()),
+          static_cast<std::streamsize>(v.size() * sizeof(T)));
+}
+template <typename T>
+void get_vec(std::istream& f, std::vector<T>& v, const std::string& what) {
+  std::uint64_t n = 0;
+  get(f, n, what);
+  if (n > (1ull << 28))
+    throw std::runtime_error(what + ": implausible vector length");
+  v.resize(n);
+  f.read(reinterpret_cast<char*>(v.data()),
+         static_cast<std::streamsize>(n * sizeof(T)));
+  if (!f) throw std::runtime_error(what + ": truncated vector");
+}
+
+}  // namespace
+
+std::uint64_t fnv1a64(std::string_view bytes, std::uint64_t h) noexcept {
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+std::uint64_t fnv1a64(std::string_view bytes) noexcept {
+  return fnv1a64(bytes, kFnvOffsetBasis);
+}
+
+void write_sample(std::ostream& f, const Sample& s) {
+  put_string(f, s.topo_name);
+  put(f, s.num_nodes);
+  put_vec(f, s.links);
+  put_vec(f, s.link_capacity_bps);
+  put_vec(f, s.queue_pkts);
+  put(f, s.max_utilization);
+  put(f, static_cast<std::uint8_t>(s.scenario_recorded ? 1 : 0));
+  put(f, static_cast<std::uint8_t>(s.scenario.policy));
+  put(f, static_cast<std::uint8_t>(s.scenario.traffic));
+  put(f, s.scenario.priority_classes);
+  put(f, s.scenario.onoff_burst_pkts);
+  put(f, s.scenario.onoff_duty);
+  put(f, s.scenario.drr_quantum_bits);
+  put(f, static_cast<std::uint64_t>(s.paths.size()));
+  for (const auto& p : s.paths) {
+    put(f, p.src);
+    put(f, p.dst);
+    put_vec(f, p.nodes);
+    put_vec(f, p.links);
+    put(f, p.traffic_bps);
+    put(f, p.priority_class);
+    put(f, p.mean_delay_s);
+    put(f, p.jitter_s2);
+    put(f, p.loss_rate);
+    put(f, p.delivered);
+  }
+}
+
+Sample read_sample(std::istream& f, std::uint32_t version,
+                   const std::string& what) {
+  Sample s;
+  s.topo_name = get_string(f, what);
+  get(f, s.num_nodes, what);
+  get_vec(f, s.links, what);
+  get_vec(f, s.link_capacity_bps, what);
+  get_vec(f, s.queue_pkts, what);
+  get(f, s.max_utilization, what);
+  if (version >= 2) {
+    std::uint8_t recorded = 0, policy = 0, traffic = 0;
+    get(f, recorded, what);
+    get(f, policy, what);
+    get(f, traffic, what);
+    if (policy >= sim::kNumSchedulerPolicies)
+      throw std::runtime_error(what + ": invalid scheduler policy " +
+                               std::to_string(policy));
+    if (traffic >= sim::kNumTrafficProcesses)
+      throw std::runtime_error(what + ": invalid traffic process " +
+                               std::to_string(traffic));
+    s.scenario_recorded = recorded != 0;
+    s.scenario.policy = static_cast<sim::SchedulerPolicy>(policy);
+    s.scenario.traffic = static_cast<sim::TrafficProcess>(traffic);
+    get(f, s.scenario.priority_classes, what);
+    get(f, s.scenario.onoff_burst_pkts, what);
+    get(f, s.scenario.onoff_duty, what);
+    get(f, s.scenario.drr_quantum_bits, what);
+  }
+  std::uint64_t np = 0;
+  get(f, np, what);
+  if (np > (1ull << 28))
+    throw std::runtime_error(what + ": implausible path count");
+  s.paths.resize(np);
+  for (auto& p : s.paths) {
+    get(f, p.src, what);
+    get(f, p.dst, what);
+    get_vec(f, p.nodes, what);
+    get_vec(f, p.links, what);
+    get(f, p.traffic_bps, what);
+    if (version >= 2) get(f, p.priority_class, what);
+    get(f, p.mean_delay_s, what);
+    get(f, p.jitter_s2, what);
+    get(f, p.loss_rate, what);
+    get(f, p.delivered, what);
+  }
+  return s;
+}
+
+std::uint64_t sample_digest(const Sample& s) {
+  std::ostringstream bytes(std::ios::binary);
+  write_sample(bytes, s);
+  return fnv1a64(bytes.str());
+}
+
+void write_dataset_header(std::ostream& f, std::uint64_t count) {
+  f.write(kDatasetMagic, sizeof(kDatasetMagic));
+  put(f, kDatasetVersion);
+  put(f, count);
+}
+
+DatasetHeader read_dataset_header(std::istream& f, std::uint64_t file_bytes,
+                                  const std::string& what) {
+  char magic[4];
+  f.read(magic, sizeof(magic));
+  if (!f || std::string_view(magic, 4) != std::string_view(kDatasetMagic, 4))
+    throw std::runtime_error(what + ": bad magic");
+  DatasetHeader h;
+  get(f, h.version, what);
+  if (h.version < kDatasetMinVersion || h.version > kDatasetVersion)
+    throw std::runtime_error(what + ": unsupported version " +
+                             std::to_string(h.version));
+  get(f, h.count, what);
+  // A corrupt/truncated header must not drive a huge reserve(): every
+  // sample needs at least kMinSampleBytes, so the claimed count is
+  // bounded by the bytes actually present after the prelude.
+  const std::uint64_t payload =
+      file_bytes > kDatasetHeaderBytes ? file_bytes - kDatasetHeaderBytes : 0;
+  if (h.count > payload / kMinSampleBytes)
+    throw std::runtime_error(
+        what + ": implausible sample count " + std::to_string(h.count) +
+        " for a " + std::to_string(file_bytes) + "-byte file");
+  return h;
+}
+
+void write_dataset_stream(std::ostream& f,
+                          const std::vector<Sample>& samples) {
+  write_dataset_header(f, static_cast<std::uint64_t>(samples.size()));
+  for (const auto& s : samples) write_sample(f, s);
+}
+
+std::vector<Sample> read_dataset_stream(std::istream& f,
+                                        std::uint64_t file_bytes,
+                                        const std::string& what) {
+  const DatasetHeader h = read_dataset_header(f, file_bytes, what);
+  std::vector<Sample> samples;
+  samples.reserve(h.count);
+  for (std::uint64_t i = 0; i < h.count; ++i) {
+    Sample s = read_sample(f, h.version, what);
+    s.validate();
+    samples.push_back(std::move(s));
+  }
+  return samples;
+}
+
+void atomic_write_stream(const std::string& path,
+                         const std::function<void(std::ostream&)>& write) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
+    if (!f)
+      throw std::runtime_error("atomic_write_file: cannot open " + tmp);
+    try {
+      write(f);
+    } catch (...) {
+      f.close();
+      std::error_code ec;
+      std::filesystem::remove(tmp, ec);
+      throw;
+    }
+    f.flush();
+    if (!f) {
+      f.close();
+      std::error_code ec;
+      std::filesystem::remove(tmp, ec);
+      throw std::runtime_error("atomic_write_file: write failed on " + tmp);
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::error_code ec2;
+    std::filesystem::remove(tmp, ec2);
+    throw std::runtime_error("atomic_write_file: cannot rename " + tmp +
+                             " -> " + path + " (" + ec.message() + ")");
+  }
+}
+
+void atomic_write_file(const std::string& path, std::string_view bytes) {
+  atomic_write_stream(path, [bytes](std::ostream& f) {
+    f.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  });
+}
+
+}  // namespace rnx::data::io

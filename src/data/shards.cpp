@@ -1,0 +1,242 @@
+#include "data/shards.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <string_view>
+#include <utility>
+
+#include "data/sample_io.hpp"
+
+namespace rnx::data {
+
+namespace {
+
+constexpr char kManifestMagic[4] = {'R', 'N', 'X', 'M'};
+// A manifest is a few dozen bytes per shard; anything near this bound
+// is certainly corruption, so refuse the allocation.
+constexpr std::uint64_t kMaxManifestBodyBytes = 1ull << 26;
+
+template <typename T>
+void put(std::ostream& f, const T& v) {
+  f.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+template <typename T>
+void get(std::istream& f, T& v, const std::string& what) {
+  f.read(reinterpret_cast<char*>(&v), sizeof(T));
+  if (!f) throw ManifestError(what + ": truncated manifest");
+}
+
+std::filesystem::path shard_file_path(const std::string& dir,
+                                      const std::string& file) {
+  return dir.empty() ? std::filesystem::path(file)
+                     : std::filesystem::path(dir) / file;
+}
+
+std::string shard_file_name(const std::string& stem, std::size_t index) {
+  return stem + ".shard-" + std::to_string(index) + ".rnxd";
+}
+
+}  // namespace
+
+bool is_manifest_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return false;
+  char magic[4] = {};
+  f.read(magic, sizeof(magic));
+  return f &&
+         std::string_view(magic, 4) == std::string_view(kManifestMagic, 4);
+}
+
+// ---- ShardWriter ----------------------------------------------------------
+
+ShardWriter::ShardWriter(std::string manifest_path,
+                         std::size_t samples_per_shard, std::uint64_t seed,
+                         std::uint64_t config_digest)
+    : manifest_path_(std::move(manifest_path)),
+      samples_per_shard_(samples_per_shard == 0 ? 1 : samples_per_shard),
+      body_(std::ios::binary) {
+  const std::filesystem::path p(manifest_path_);
+  dir_ = p.parent_path().string();
+  stem_ = p.stem().string();
+  if (stem_.empty())
+    throw std::invalid_argument("ShardWriter: empty manifest file name: " +
+                                manifest_path_);
+  if (!dir_.empty()) std::filesystem::create_directories(dir_);
+  manifest_.seed = seed;
+  manifest_.config_digest = config_digest;
+}
+
+void ShardWriter::add(const Sample& s) {
+  if (finished_)
+    throw std::logic_error("ShardWriter::add: writer already finished");
+  io::write_sample(body_, s);
+  if (++in_shard_ >= samples_per_shard_) flush_shard();
+}
+
+void ShardWriter::flush_shard() {
+  if (in_shard_ == 0) return;
+  // A shard file is a complete .rnxd dataset: header + the buffered
+  // samples.  Checksum exactly the bytes that hit disk — chained FNV
+  // over header then body, no concatenated copy of the shard.
+  std::ostringstream header(std::ios::binary);
+  io::write_dataset_header(header, in_shard_);
+  const std::string head = header.str();
+  const std::string_view body = body_.view();
+
+  ShardInfo info;
+  info.file = shard_file_name(stem_, manifest_.shards.size());
+  info.samples = in_shard_;
+  info.checksum = io::fnv1a64(body, io::fnv1a64(head));
+  io::atomic_write_stream(shard_file_path(dir_, info.file).string(),
+                          [&](std::ostream& f) {
+                            f.write(head.data(),
+                                    static_cast<std::streamsize>(head.size()));
+                            f.write(body.data(),
+                                    static_cast<std::streamsize>(body.size()));
+                          });
+
+  manifest_.total_samples += in_shard_;
+  manifest_.shards.push_back(std::move(info));
+  body_.str(std::string());
+  body_.clear();
+  in_shard_ = 0;
+}
+
+ShardManifest ShardWriter::finish() {
+  if (finished_)
+    throw std::logic_error("ShardWriter::finish: already finished");
+  flush_shard();
+  finished_ = true;
+
+  std::ostringstream b(std::ios::binary);
+  put(b, manifest_.seed);
+  put(b, manifest_.config_digest);
+  put(b, manifest_.total_samples);
+  put(b, static_cast<std::uint64_t>(manifest_.shards.size()));
+  for (const auto& s : manifest_.shards) {
+    put(b, static_cast<std::uint32_t>(s.file.size()));
+    b.write(s.file.data(), static_cast<std::streamsize>(s.file.size()));
+    put(b, s.samples);
+    put(b, s.checksum);
+  }
+  const std::string body = b.str();
+
+  std::ostringstream f(std::ios::binary);
+  f.write(kManifestMagic, sizeof(kManifestMagic));
+  put(f, kManifestVersion);
+  put(f, static_cast<std::uint64_t>(body.size()));
+  put(f, io::fnv1a64(body));
+  f.write(body.data(), static_cast<std::streamsize>(body.size()));
+  io::atomic_write_file(manifest_path_, f.str());
+  return manifest_;
+}
+
+// ---- ShardedReader --------------------------------------------------------
+
+ShardedReader::ShardedReader(std::string manifest_path)
+    : manifest_path_(std::move(manifest_path)) {
+  dir_ = std::filesystem::path(manifest_path_).parent_path().string();
+  const std::string what = "ShardedReader(" + manifest_path_ + ")";
+  std::ifstream f(manifest_path_, std::ios::binary);
+  if (!f) throw ManifestError(what + ": cannot open manifest");
+  char magic[4];
+  f.read(magic, sizeof(magic));
+  if (!f ||
+      std::string_view(magic, 4) != std::string_view(kManifestMagic, 4))
+    throw ManifestError(what + ": bad magic (not a .rnxm manifest)");
+  get(f, manifest_.version, what);
+  if (manifest_.version < kMinManifestVersion ||
+      manifest_.version > kManifestVersion)
+    throw ManifestError(what + ": unsupported manifest version " +
+                        std::to_string(manifest_.version));
+  std::uint64_t body_size = 0, checksum = 0;
+  get(f, body_size, what);
+  get(f, checksum, what);
+  if (body_size == 0 || body_size > kMaxManifestBodyBytes)
+    throw ManifestError(what + ": corrupt header (body size " +
+                        std::to_string(body_size) + ")");
+  std::string body(body_size, '\0');
+  f.read(body.data(), static_cast<std::streamsize>(body_size));
+  if (!f) throw ManifestError(what + ": truncated manifest");
+  if (io::fnv1a64(body) != checksum)
+    throw ManifestError(what + ": manifest checksum mismatch (corrupt)");
+
+  std::istringstream bs(body, std::ios::binary);
+  get(bs, manifest_.seed, what);
+  get(bs, manifest_.config_digest, what);
+  get(bs, manifest_.total_samples, what);
+  std::uint64_t num_shards = 0;
+  get(bs, num_shards, what);
+  if (num_shards > (1ull << 20))
+    throw ManifestError(what + ": implausible shard count " +
+                        std::to_string(num_shards));
+  std::uint64_t sum = 0;
+  for (std::uint64_t i = 0; i < num_shards; ++i) {
+    ShardInfo info;
+    std::uint32_t len = 0;
+    get(bs, len, what);
+    if (len == 0 || len > (1u << 12))
+      throw ManifestError(what + ": implausible shard file name length");
+    info.file.resize(len);
+    bs.read(info.file.data(), len);
+    if (!bs) throw ManifestError(what + ": truncated manifest");
+    get(bs, info.samples, what);
+    get(bs, info.checksum, what);
+    sum += info.samples;
+    manifest_.shards.push_back(std::move(info));
+  }
+  if (sum != manifest_.total_samples)
+    throw ManifestError(what + ": shard sample counts sum to " +
+                        std::to_string(sum) + ", manifest claims " +
+                        std::to_string(manifest_.total_samples));
+}
+
+std::string ShardedReader::shard_path(std::size_t i) const {
+  return shard_file_path(dir_, manifest_.shards.at(i).file).string();
+}
+
+Dataset ShardedReader::load_shard(std::size_t i) const {
+  const ShardInfo& info = manifest_.shards.at(i);
+  const std::string path = shard_path(i);
+  std::ifstream f(path, std::ios::binary);
+  if (!f)
+    throw MissingShardError("ShardedReader: missing shard file " + path +
+                            " (named by " + manifest_path_ + ")");
+  // One buffer for the whole shard: pre-sized read, checksum in place,
+  // then MOVE into the parse stream — transient memory stays O(shard),
+  // the store's residency contract.
+  std::error_code ec;
+  const std::uintmax_t size = std::filesystem::file_size(path, ec);
+  if (ec)
+    throw MissingShardError("ShardedReader: cannot stat shard " + path +
+                            " (" + ec.message() + ")");
+  std::string bytes(size, '\0');
+  f.read(bytes.data(), static_cast<std::streamsize>(size));
+  if (!f || f.gcount() != static_cast<std::streamsize>(size))
+    throw ShardChecksumError("ShardedReader: short read on shard " + path);
+  if (io::fnv1a64(bytes) != info.checksum)
+    throw ShardChecksumError("ShardedReader: checksum mismatch for shard " +
+                             path + " (file corrupt or replaced)");
+  const std::uint64_t total = bytes.size();
+  std::istringstream in(std::move(bytes), std::ios::binary);
+  Dataset d(io::read_dataset_stream(in, total,
+                                    "ShardedReader(" + path + ")"));
+  if (d.size() != info.samples)
+    throw ShardChecksumError(
+        "ShardedReader: shard " + path + " holds " +
+        std::to_string(d.size()) + " samples, manifest claims " +
+        std::to_string(info.samples));
+  return d;
+}
+
+Dataset ShardedReader::load_all() const {
+  std::vector<Sample> all;
+  all.reserve(manifest_.total_samples);
+  for (std::size_t i = 0; i < num_shards(); ++i) {
+    Dataset d = load_shard(i);
+    for (auto& s : d.release_samples()) all.push_back(std::move(s));
+  }
+  return Dataset(std::move(all));
+}
+
+}  // namespace rnx::data

@@ -1,0 +1,133 @@
+// Pull-based sample streams (DESIGN.md §D).
+//
+// SampleSource is the unit training/eval consume: a resettable,
+// fixed-size pass over samples.  The in-memory Dataset adapts trivially
+// (DatasetSource); StreamingShardSource pulls a sharded on-disk store
+// (data/shards.hpp) through a background prefetch thread and a
+// util::BoundedQueue, so the consumer's peak residency is bounded by
+// one shard plus the prefetch depth — datasets larger than RAM train
+// fine.
+//
+// Ownership: next() hands out shared_ptr<const Sample>.  The streaming
+// source allocates each sample once and forgets it (the consumer's
+// reference is the only one); DatasetSource aliases the dataset's
+// storage with a non-owning pointer, so no copies happen on the
+// in-memory path.  stable_addresses() tells consumers whether those
+// pointers outlive the pass AND stay bound to the same content — the
+// gate for address-keyed plan caching (core::PlanCache): caching
+// transient streaming addresses would serve stale plans once an
+// allocator reuses a freed sample's address.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+
+#include "data/dataset.hpp"
+#include "data/shards.hpp"
+#include "util/bounded_queue.hpp"
+
+namespace rnx::data {
+
+class SampleSource {
+ public:
+  virtual ~SampleSource() = default;
+
+  /// Samples per pass (known up front for every source — the manifest
+  /// records the total).
+  [[nodiscard]] virtual std::size_t size() const = 0;
+
+  /// Begin a new pass.  Must be called before the first next() of every
+  /// pass, including the first.
+  virtual void reset() = 0;
+
+  /// The next sample of the pass, nullptr once exhausted.  Rethrows a
+  /// background I/O error (corrupt shard, missing file) at the point of
+  /// consumption.
+  [[nodiscard]] virtual std::shared_ptr<const Sample> next() = 0;
+
+  /// True when returned pointers stay valid and content-stable for the
+  /// source's whole lifetime (in-memory datasets).  False for streaming
+  /// sources whose sample objects die after the consumer drops them —
+  /// consumers must not key address-based caches on those.
+  [[nodiscard]] virtual bool stable_addresses() const noexcept {
+    return false;
+  }
+};
+
+/// In-memory adapter: one pass = the dataset in index order, zero-copy.
+class DatasetSource final : public SampleSource {
+ public:
+  /// `ds` must outlive the source.
+  explicit DatasetSource(const Dataset& ds) : ds_(&ds) {}
+
+  [[nodiscard]] std::size_t size() const override { return ds_->size(); }
+  void reset() override { pos_ = 0; }
+  [[nodiscard]] std::shared_ptr<const Sample> next() override {
+    if (pos_ >= ds_->size()) return nullptr;
+    // Non-owning alias into the dataset's storage (empty control block).
+    return std::shared_ptr<const Sample>(std::shared_ptr<void>(),
+                                         &(*ds_)[pos_++]);
+  }
+  [[nodiscard]] bool stable_addresses() const noexcept override {
+    return true;
+  }
+
+ private:
+  const Dataset* ds_;
+  std::size_t pos_ = 0;
+};
+
+/// Streaming pull over a sharded store: a background producer loads
+/// shards in order and feeds samples through a bounded queue of depth
+/// `prefetch`.  Peak resident samples <= one shard + prefetch + what
+/// the consumer currently holds (instrumented: peak_live_samples()).
+class StreamingShardSource final : public SampleSource {
+ public:
+  explicit StreamingShardSource(std::string manifest_path,
+                                std::size_t prefetch = 64);
+  ~StreamingShardSource() override;
+  StreamingShardSource(const StreamingShardSource&) = delete;
+  StreamingShardSource& operator=(const StreamingShardSource&) = delete;
+
+  [[nodiscard]] std::size_t size() const override {
+    return static_cast<std::size_t>(reader_.total_samples());
+  }
+  void reset() override;
+  [[nodiscard]] std::shared_ptr<const Sample> next() override;
+
+  [[nodiscard]] const ShardedReader& reader() const noexcept {
+    return reader_;
+  }
+  /// High-water mark of simultaneously resident samples produced by
+  /// this source (loaded-but-unconsumed + consumer-held).  The
+  /// residency-bound test pins this against shard size + prefetch.
+  [[nodiscard]] std::size_t peak_live_samples() const noexcept;
+
+ private:
+  // Survives the source so late-dropped samples can still decrement.
+  struct Gauge {
+    std::atomic<std::int64_t> live{0};
+    std::atomic<std::int64_t> peak{0};
+    void add(std::int64_t n) {
+      const std::int64_t now = live.fetch_add(n) + n;
+      std::int64_t prev = peak.load();
+      while (now > prev && !peak.compare_exchange_weak(prev, now)) {
+      }
+    }
+  };
+
+  void start();
+  void stop();
+  void produce();
+
+  ShardedReader reader_;
+  std::size_t prefetch_;
+  std::shared_ptr<Gauge> gauge_ = std::make_shared<Gauge>();
+  std::unique_ptr<util::BoundedQueue<std::shared_ptr<const Sample>>> queue_;
+  std::thread producer_;
+  std::exception_ptr error_;  ///< producer -> consumer, ordered by close()
+};
+
+}  // namespace rnx::data

@@ -1,12 +1,16 @@
 #include "eval/metrics.hpp"
 
 #include <cmath>
+#include <memory>
 #include <ostream>
 #include <stdexcept>
 
 #include "core/plan.hpp"
+#include "core/plan_cache.hpp"
+#include "data/source.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 
 namespace rnx::eval {
 
@@ -39,6 +43,66 @@ PairedPredictions predict_dataset(const core::Model& model,
                               : scaler.target_to_jitter(pred(row, 0)));
     }
   }
+  return pp;
+}
+
+PairedPredictions predict_source(
+    core::Model& model, data::SampleSource& src, const data::Scaler& scaler,
+    std::uint64_t min_delivered, core::PredictionTarget target,
+    util::ThreadPool* pool,
+    const std::function<void(std::size_t, const data::Sample&,
+                             const nn::Tensor&)>& per_sample) {
+  const bool delay = target == core::PredictionTarget::kDelay;
+
+  // Transient streaming samples must not populate an address-keyed plan
+  // cache (a recycled address would serve a stale plan); detach for the
+  // pass and restore on every exit path.
+  const core::PlanCacheScope cache_scope(model);
+  if (!src.stable_addresses()) model.set_plan_cache(nullptr);
+
+  src.reset();
+  const std::size_t lanes = pool ? pool->size() : 1;
+  const std::size_t window = std::max<std::size_t>(4 * lanes, 8);
+  std::vector<std::shared_ptr<const data::Sample>> hold;
+  hold.reserve(window);
+  PairedPredictions pp;
+  std::size_t base_index = 0;
+
+  const auto flush = [&] {
+    if (hold.empty()) return;
+    const std::size_t n = hold.size();
+    std::vector<const data::Sample*> ptrs(n);
+    for (std::size_t i = 0; i < n; ++i) ptrs[i] = hold[i].get();
+    std::vector<std::vector<nn::Index>> valid_rows(n);
+    std::vector<char> skip(n, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      valid_rows[i] = core::valid_label_rows(*ptrs[i], min_delivered, target);
+      // With a per-sample consumer every sample needs its predictions;
+      // metrics-only passes skip label-less samples as predict_dataset
+      // does.
+      skip[i] = (!per_sample && valid_rows[i].empty()) ? 1 : 0;
+    }
+    const std::vector<nn::Tensor> preds =
+        model.forward_batch(ptrs, scaler, pool, nullptr, &skip);
+    for (std::size_t i = 0; i < n; ++i) {
+      const data::Sample& s = *ptrs[i];
+      if (per_sample) per_sample(base_index + i, s, preds[i]);
+      for (const auto row : valid_rows[i]) {
+        pp.truth.push_back(delay ? s.paths[row].mean_delay_s
+                                 : s.paths[row].jitter_s2);
+        pp.pred.push_back(delay ? scaler.target_to_delay(preds[i](row, 0))
+                                : scaler.target_to_jitter(preds[i](row, 0)));
+      }
+    }
+    base_index += n;
+    hold.clear();
+  };
+
+  while (auto sp = src.next()) {
+    hold.push_back(std::move(sp));
+    if (hold.size() == window) flush();
+  }
+  flush();
   return pp;
 }
 

@@ -6,11 +6,16 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "core/model.hpp"
 #include "data/dataset.hpp"
+
+namespace rnx::data {
+class SampleSource;
+}
 
 namespace rnx::eval {
 
@@ -32,6 +37,25 @@ struct PairedPredictions {
     const data::Scaler& scaler, std::uint64_t min_delivered,
     core::PredictionTarget target = core::PredictionTarget::kDelay,
     util::ThreadPool* pool = nullptr);
+
+/// Streaming predict over one pass of a SampleSource (DESIGN.md §D):
+/// samples are pulled in bounded windows, batched through
+/// Model::forward_batch and pooled in sample order, so the result is
+/// identical to predict_dataset on the same samples while residency
+/// stays O(window + prefetch).  `model` is taken non-const because the
+/// pass runs plan-cache-DETACHED when the source's sample addresses are
+/// transient (an address-keyed cache entry must never outlive its
+/// sample); the cache is restored on return.  With `per_sample` set,
+/// every sample gets a prediction (no label-based skipping) and the
+/// callback fires in sample order with (index, sample, predictions) —
+/// the CSV export hook.
+[[nodiscard]] PairedPredictions predict_source(
+    core::Model& model, data::SampleSource& src, const data::Scaler& scaler,
+    std::uint64_t min_delivered,
+    core::PredictionTarget target = core::PredictionTarget::kDelay,
+    util::ThreadPool* pool = nullptr,
+    const std::function<void(std::size_t, const data::Sample&,
+                             const nn::Tensor&)>& per_sample = nullptr);
 
 /// Signed relative errors (pred - truth) / truth.
 [[nodiscard]] std::vector<double> relative_errors(

@@ -11,6 +11,11 @@
 // close() wakes every waiting consumer; items already queued still drain
 // (pop returns them before reporting empty), so a producer can close the
 // queue as its end-of-stream marker without losing the tail.
+//
+// Producers that must not drop (the dataset prefetch thread feeding
+// streaming training, DESIGN.md §D) use the blocking push(): it waits
+// for space instead of refusing, and returns false only once the queue
+// is closed — the consumer's abandon signal.
 #pragma once
 
 #include <condition_variable>
@@ -44,27 +49,54 @@ class BoundedQueue {
     return true;
   }
 
+  /// Enqueue, waiting until space frees up.  Returns false — and drops
+  /// the item — only when the queue is closed (before or while
+  /// waiting): the producer's signal that the consumer is gone.
+  bool push(T item) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_space_.wait(lock,
+                     [&] { return closed_ || items_.size() < capacity_; });
+      if (closed_) return false;
+      items_.push_back(std::move(item));
+    }
+    cv_.notify_one();
+    return true;
+  }
+
   /// Dequeue without blocking; std::nullopt when nothing is queued.
   std::optional<T> try_pop() {
-    const std::lock_guard<std::mutex> lock(mu_);
-    return pop_locked();
+    std::optional<T> out;
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      out = pop_locked();
+    }
+    if (out) cv_space_.notify_one();
+    return out;
   }
 
   /// Dequeue, waiting until an item arrives.  Returns std::nullopt only
   /// once the queue is closed *and* drained.
   std::optional<T> pop() {
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, [&] { return closed_ || !items_.empty(); });
-    return pop_locked();
+    std::optional<T> out;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] { return closed_ || !items_.empty(); });
+      out = pop_locked();
+    }
+    if (out) cv_space_.notify_one();
+    return out;
   }
 
-  /// Mark end-of-stream: future pushes fail, waiting consumers wake.
+  /// Mark end-of-stream: future pushes fail, waiting producers and
+  /// consumers wake.
   void close() {
     {
       const std::lock_guard<std::mutex> lock(mu_);
       closed_ = true;
     }
     cv_.notify_all();
+    cv_space_.notify_all();
   }
 
   [[nodiscard]] bool closed() const {
@@ -87,7 +119,8 @@ class BoundedQueue {
 
   const std::size_t capacity_;
   mutable std::mutex mu_;
-  std::condition_variable cv_;
+  std::condition_variable cv_;        ///< items available / closed
+  std::condition_variable cv_space_;  ///< space available / closed
   std::deque<T> items_;
   bool closed_ = false;
 };

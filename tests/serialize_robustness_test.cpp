@@ -1,8 +1,9 @@
-// Corrupt-input robustness of the weight serializer: a damaged .rnxw
-// must fail with a descriptive error — never a multi-gigabyte
-// allocation from an unchecked name length, and never the misleading
+// Corrupt-input robustness of the serializers: a damaged .rnxw or
+// .rnxd must fail with a descriptive error — never a multi-gigabyte
+// allocation from an unchecked length field, and never the misleading
 // "unknown parameter" that an unchecked partial name read used to
-// produce.
+// produce.  Dataset writes must additionally be atomic: a failed save
+// never clobbers a previously good file.
 #include <gtest/gtest.h>
 
 #include <cstdint>
@@ -11,8 +12,11 @@
 #include <sstream>
 #include <string>
 
+#include "data/dataset.hpp"
+#include "data/generator.hpp"
 #include "nn/layers.hpp"
 #include "nn/serialize.hpp"
+#include "topo/zoo.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -107,6 +111,81 @@ TEST(SerializeRobustness, PathOverloadNamesTheFile) {
         << e.what();
   }
   std::filesystem::remove(path);
+}
+
+// ---- dataset (.rnxd) header robustness --------------------------------------
+
+namespace {
+// A syntactically valid .rnxd prelude claiming `count` samples, with no
+// sample payload behind it.
+void write_dataset_header_only(const std::string& path,
+                               std::uint64_t count) {
+  std::ofstream f(path, std::ios::binary);
+  f.write("RNXD", 4);
+  put(f, std::uint32_t{2});  // current version
+  put(f, count);
+}
+}  // namespace
+
+TEST(DatasetRobustness, ImplausibleSampleCountRejectedBeforeAllocation) {
+  const std::string path = "/tmp/rnx_dataset_huge_count.rnxd";
+  // 2^60 claimed samples in a 16-byte file: must be rejected on the
+  // header bound (remaining bytes / min sample size), not attempted as
+  // a multi-GB reserve() followed by a slow truncation error.
+  write_dataset_header_only(path, 1ull << 60);
+  try {
+    (void)rnx::data::Dataset::load(path);
+    FAIL() << "corrupt sample count accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("implausible sample count"),
+              std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find(path), std::string::npos)
+        << e.what();
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(DatasetRobustness, CountMustFitRemainingBytes) {
+  const std::string path = "/tmp/rnx_dataset_overcount.rnxd";
+  // Even a modest over-claim must fail the same bound: 1000 samples
+  // cannot fit in an empty payload.
+  write_dataset_header_only(path, 1000);
+  EXPECT_THROW((void)rnx::data::Dataset::load(path), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+TEST(DatasetRobustness, SaveIsAtomic) {
+  namespace fs = std::filesystem;
+  using rnx::data::Dataset;
+  const std::string dir = "/tmp/rnx_atomic_save_test";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const std::string path = dir + "/ds.rnxd";
+
+  rnx::data::GeneratorConfig cfg;
+  cfg.target_packets = 5'000;
+  const Dataset ds(
+      rnx::data::generate_dataset(rnx::topo::ring(4), 2, cfg, 3));
+  ds.save(path);
+  // No temp residue after a successful save, and the file loads.
+  EXPECT_FALSE(fs::exists(path + ".tmp"));
+  EXPECT_EQ(Dataset::load(path).size(), 2u);
+
+  // A failing save (unwritable target directory) must throw without
+  // touching anything at the destination.
+  EXPECT_THROW(ds.save(dir + "/no_such_dir/ds.rnxd"), std::runtime_error);
+  EXPECT_FALSE(fs::exists(dir + "/no_such_dir"));
+
+  // Overwrite keeps the previous file intact until the rename: after a
+  // successful second save the content is the new dataset, with no
+  // temp file left behind.
+  const Dataset ds2(
+      rnx::data::generate_dataset(rnx::topo::ring(4), 3, cfg, 5));
+  ds2.save(path);
+  EXPECT_FALSE(fs::exists(path + ".tmp"));
+  EXPECT_EQ(Dataset::load(path).size(), 3u);
+  fs::remove_all(dir);
 }
 
 TEST(SerializeRobustness, StreamRoundTripIsBitwise) {

@@ -4,18 +4,37 @@
 //   rnx_datagen --topo nsfnet --count 50 --p-tiny 0.5 --csv out.csv
 //   rnx_datagen --topo nsfnet --count 50 --policy drr --traffic onoff
 //               --priority-classes 3 --out bursty.rnxd
+//   rnx_datagen --topo mix --count 5000 --threads 0 --shards 16
+//               --out corpus.rnxm
 //
 // Topologies: geant2, nsfnet, ring<N>, line<N>, rand<N>x<M> (N nodes,
-// M undirected edges; seeded by --seed).  Scenario knobs (DESIGN.md §S):
-// --policy / --traffic fix one scheduling policy and traffic process for
-// the whole dataset; --mixed-scenarios draws the pair per sample instead.
+// M undirected edges; seeded by --seed), or mix (per-sample random
+// topology from {geant2, nsfnet, random_connected, barabasi_albert}
+// with randomized size — the cross-topology generalization corpus).
+// Scenario knobs (DESIGN.md §S): --policy / --traffic fix one
+// scheduling policy and traffic process for the whole dataset;
+// --mixed-scenarios draws the pair per sample instead.
+//
+// --threads fans the simulation out over parallel lanes; output is
+// bitwise-identical for ANY thread count (ordered commit, DESIGN.md
+// §D).  --shards writes a sharded store (.rnxm manifest + .rnxd shard
+// files) streamingly — peak memory one shard, so corpus size is
+// disk-bound, not RAM-bound.  --digests dumps one FNV-1a digest per
+// sample; identical digests across thread counts / shard layouts is
+// the equivalence CI pins.
+#include <cstdio>
+#include <fstream>
 #include <iostream>
+#include <optional>
 
 #include "cli.hpp"
 #include "data/dataset.hpp"
 #include "data/generator.hpp"
+#include "data/sample_io.hpp"
+#include "data/shards.hpp"
 #include "sim/scenario.hpp"
 #include "topo/zoo.hpp"
+#include "util/table.hpp"
 #include "util/timer.hpp"
 
 namespace {
@@ -41,6 +60,13 @@ rnx::topo::Topology parse_topology(const std::string& name,
   throw std::invalid_argument("unknown topology: " + name);
 }
 
+std::string hex_digest(std::uint64_t d) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(d));
+  return buf;
+}
+
 }  // namespace
 
 int run(int argc, char** argv) {
@@ -49,13 +75,21 @@ int run(int argc, char** argv) {
       argc, argv,
       {"topo", "count", "seed", "out", "csv", "p-tiny", "packets",
        "util-lo", "util-hi", "fixed-routing", "policy", "traffic",
-       "priority-classes", "mixed-scenarios"},
+       "priority-classes", "mixed-scenarios", "threads", "shards",
+       "digests"},
       "usage: rnx_datagen --topo geant2 --count 100 --out ds.rnxd\n"
-      "  --topo NAME      geant2 | nsfnet | ringN | lineN | randNxM\n"
+      "  --topo NAME      geant2 | nsfnet | ringN | lineN | randNxM | mix\n"
+      "                   (mix = per-sample random topology/size)\n"
       "  --count N        samples to generate (default 100)\n"
       "  --seed S         dataset RNG seed (default 1)\n"
-      "  --out FILE       binary dataset output (.rnxd)\n"
+      "  --out FILE       binary dataset output (.rnxd; with --shards, the\n"
+      "                   .rnxm manifest of a sharded store)\n"
       "  --csv FILE       also export per-path CSV\n"
+      "  --digests FILE   one FNV-1a digest per sample (hex, in order) —\n"
+      "                   identical for any --threads/--shards layout\n"
+      "  --threads N      parallel simulation lanes (0 = all cores),\n"
+      "                   default 1; output bitwise-identical regardless\n"
+      "  --shards N       write N on-disk shards + manifest, streamingly\n"
       "  --p-tiny P       P(node gets a 1-packet queue), default 0.5\n"
       "  --packets N      simulated packets per sample, default 100000\n"
       "  --util-lo/hi U   target max-utilization range, default 0.4/0.95\n"
@@ -66,8 +100,17 @@ int run(int argc, char** argv) {
       "  --mixed-scenarios     draw (policy, traffic) per sample");
 
   const auto seed = static_cast<std::uint64_t>(args.get("seed", 1.0));
-  const topo::Topology topo =
-      parse_topology(args.get("topo", std::string("geant2")), seed);
+  const std::string topo_name = args.get("topo", std::string("geant2"));
+  data::TopologySampler sampler;
+  std::string topo_label;
+  if (topo_name == "mix") {
+    sampler = data::mixed_topology();
+    topo_label = "mix";
+  } else {
+    topo::Topology base = parse_topology(topo_name, seed);
+    topo_label = base.name();
+    sampler = data::fixed_topology(std::move(base));
+  }
 
   data::GeneratorConfig cfg;
   cfg.p_tiny_queue = args.get("p-tiny", 0.5);
@@ -98,29 +141,95 @@ int run(int argc, char** argv) {
   cfg.validate();
 
   const std::size_t count = args.get("count", std::size_t{100});
-  std::cout << "generating " << count << " samples on " << topo.name()
+  const std::size_t threads = args.get("threads", std::size_t{1});
+  const std::size_t shards = args.get("shards", std::size_t{0});
+  const std::string out = args.get("out", std::string());
+  if (shards > 0 && out.empty()) {
+    std::cerr << "error: --shards needs --out (the manifest path)\n";
+    return 2;
+  }
+
+  std::optional<std::ofstream> digests;
+  if (const auto dig = args.get("digests", std::string()); !dig.empty()) {
+    digests.emplace(dig);
+    if (!*digests) {
+      std::cerr << "error: cannot open " << dig << "\n";
+      return 1;
+    }
+  }
+  std::optional<util::CsvWriter> csv;
+  if (const auto path = args.get("csv", std::string()); !path.empty())
+    csv.emplace(path, data::dataset_csv_header());
+
+  std::cout << "generating " << count << " samples on " << topo_label
             << " (seed " << seed << ", policy " << sim::to_string(*policy)
             << ", traffic " << sim::to_string(*traffic)
-            << (cfg.mixed_scenarios ? ", mixed" : "") << ")...\n";
-  util::Stopwatch watch;
-  data::Dataset ds(data::generate_dataset(
-      topo, count, cfg, seed, [](std::size_t done, std::size_t total) {
-        if (done % 25 == 0 || done == total)
-          std::cout << "  " << done << "/" << total << "\n";
-      }));
-  std::cout << "done in " << watch.seconds() << " s (" << ds.total_paths()
-            << " paths)\n";
+            << (cfg.mixed_scenarios ? ", mixed" : "") << ", threads "
+            << threads;
+  if (shards > 0) std::cout << ", shards " << shards;
+  std::cout << ")...\n";
 
-  if (const auto out = args.get("out", std::string()); !out.empty()) {
-    ds.save(out);
-    std::cout << "dataset written: " << out << "\n";
+  const auto progress = [](std::size_t done, std::size_t total) {
+    if (done % 25 == 0 || done == total)
+      std::cout << "  " << done << "/" << total << "\n";
+  };
+  util::Stopwatch watch;
+  std::size_t total_paths = 0;
+  const auto feed_side_outputs = [&](std::size_t i, const data::Sample& s) {
+    total_paths += s.paths.size();
+    if (digests) *digests << hex_digest(data::io::sample_digest(s)) << "\n";
+    if (csv) data::append_csv_rows(*csv, s, i);
+  };
+
+  if (shards > 0) {
+    const std::size_t per_shard = (count + shards - 1) / shards;
+    data::ShardWriter writer(out, std::max<std::size_t>(per_shard, 1), seed,
+                             data::config_digest(cfg));
+    data::generate_dataset_stream(
+        sampler, count, cfg, seed, threads,
+        [&](std::size_t i, data::Sample s) {
+          feed_side_outputs(i, s);
+          writer.add(s);
+        },
+        progress);
+    const data::ShardManifest manifest = writer.finish();
+    std::cout << "done in " << watch.seconds() << " s (" << total_paths
+              << " paths)\n";
+    std::cout << "sharded store written: " << out << " ("
+              << manifest.shards.size() << " shards, "
+              << manifest.total_samples << " samples)\n";
+  } else {
+    std::vector<data::Sample> samples(count);
+    data::generate_dataset_stream(
+        sampler, count, cfg, seed, threads,
+        [&](std::size_t i, data::Sample s) {
+          feed_side_outputs(i, s);
+          samples[i] = std::move(s);
+        },
+        progress);
+    const data::Dataset ds(std::move(samples));
+    std::cout << "done in " << watch.seconds() << " s (" << total_paths
+              << " paths)\n";
+    if (!out.empty()) {
+      ds.save(out);
+      std::cout << "dataset written: " << out << "\n";
+    }
   }
-  if (const auto csv = args.get("csv", std::string()); !csv.empty()) {
-    ds.export_csv(csv);
-    std::cout << "csv written: " << csv << "\n";
+  if (csv) std::cout << "csv written: " << csv->path() << "\n";
+  if (digests) {
+    // The digest file is the determinism artifact CI diffs — a silently
+    // truncated one (disk full) must fail the run, not pass as empty.
+    digests->flush();
+    if (!*digests) {
+      std::cerr << "error: write failed on "
+                << args.get("digests", std::string()) << "\n";
+      return 1;
+    }
+    std::cout << "digests written: " << args.get("digests", std::string())
+              << "\n";
   }
-  if (!args.has("out") && !args.has("csv"))
-    std::cout << "(no --out/--csv given: dry run)\n";
+  if (!args.has("out") && !args.has("csv") && !args.has("digests"))
+    std::cout << "(no --out/--csv/--digests given: dry run)\n";
   return 0;
 }
 

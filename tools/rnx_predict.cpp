@@ -8,14 +8,88 @@
 // reproduce `rnx_train --load --eval --scaler-from <train-set>` exactly.
 // Labeled datasets additionally get the regression metric table; --csv
 // dumps one row per path for external tooling.
+//
+// --data also accepts a sharded .rnxm manifest (DESIGN.md §D): samples
+// then stream shard-by-shard through eval::predict_source — CSV rows
+// and metrics are produced without ever materializing the dataset, and
+// the model runs plan-cache-detached (streamed sample addresses are
+// transient, so address-keyed plan entries would go stale).
 #include <fstream>
 #include <iostream>
+#include <optional>
 
 #include "cli.hpp"
+#include "data/source.hpp"
 #include "eval/metrics.hpp"
 #include "serve/inference.hpp"
 
 namespace {
+
+// Streaming path: drive the bundle's model directly (no InferenceEngine
+// — its persistent plan cache is exactly what transient samples must
+// not touch).  Output format matches the monolithic path line for line.
+int run_streaming(const std::string& bundle_path,
+                  const std::string& data_path, const std::string& csv_path,
+                  std::size_t threads, bool metrics) {
+  using namespace rnx;
+  serve::ModelBundle bundle = serve::load_bundle(bundle_path);
+  std::cout << "bundle: " << bundle_path << " (" << bundle.model->name()
+            << ", target " << core::to_string(bundle.target)
+            << ", state_dim " << bundle.model->config().state_dim
+            << ", iterations " << bundle.model->config().iterations
+            << ")\n";
+
+  if (threads == 0) threads = util::ThreadPool::hardware_threads();
+  std::optional<util::ThreadPool> pool;
+  if (threads > 1) pool.emplace(threads);
+
+  data::StreamingShardSource src(data_path);
+  std::cout << "predicting " << src.size() << " samples (streaming "
+            << src.reader().num_shards() << " shards)...\n";
+
+  std::optional<std::ofstream> csv;
+  const bool delay = bundle.target == core::PredictionTarget::kDelay;
+  if (!csv_path.empty()) {
+    csv.emplace(csv_path);
+    if (!*csv) {
+      std::cerr << "error: cannot open " << csv_path << "\n";
+      return 1;
+    }
+    *csv << "sample,src,dst,prediction,"
+         << (delay ? "mean_delay_s" : "jitter_s2") << ",delivered\n";
+  }
+  const auto per_sample = [&](std::size_t si, const data::Sample& s,
+                              const nn::Tensor& pred) {
+    for (std::size_t pi = 0; pi < s.paths.size(); ++pi) {
+      const auto& p = s.paths[pi];
+      const double value =
+          delay ? bundle.scaler.target_to_delay(
+                      pred(static_cast<nn::Index>(pi), 0))
+                : bundle.scaler.target_to_jitter(
+                      pred(static_cast<nn::Index>(pi), 0));
+      *csv << si << ',' << p.src << ',' << p.dst << ',' << value << ','
+           << (delay ? p.mean_delay_s : p.jitter_s2) << ',' << p.delivered
+           << "\n";
+    }
+  };
+
+  const auto pp = eval::predict_source(
+      *bundle.model, src, bundle.scaler, bundle.min_delivered, bundle.target,
+      pool ? &*pool : nullptr,
+      csv ? std::function<void(std::size_t, const data::Sample&,
+                               const nn::Tensor&)>(per_sample)
+          : nullptr);
+  if (csv) std::cout << "csv written: " << csv_path << "\n";
+
+  if (metrics) {
+    if (pp.size() == 0) {
+      std::cout << "(no label-valid paths: skipping metrics)\n";
+      return 0;
+    }
+    eval::print_summary(std::cout, eval::summarize(pp), bundle.target);
+  }
+  return 0;
+}
 
 int run(int argc, char** argv) {
   using namespace rnx;
@@ -23,7 +97,8 @@ int run(int argc, char** argv) {
       argc, argv, {"bundle", "data", "csv", "threads", "no-metrics"},
       "usage: rnx_predict --bundle model.rnxb --data ds.rnxd [options]\n"
       "  --bundle FILE   model bundle (.rnxb) from rnx_train --save-bundle\n"
-      "  --data FILE     scenarios to predict (.rnxd)\n"
+      "  --data FILE     scenarios to predict (.rnxd, or a sharded .rnxm\n"
+      "                  manifest — streamed shard by shard)\n"
       "  --csv FILE      write per-path predictions as CSV\n"
       "  --threads N     batch fan-out lanes (0 = all cores), default 1\n"
       "  --no-metrics    skip the label-based metric table");
@@ -34,6 +109,12 @@ int run(int argc, char** argv) {
     std::cerr << "error: need --bundle and --data\n";
     return 2;
   }
+
+  if (data::is_manifest_file(data_path))
+    return run_streaming(bundle_path, data_path,
+                         args.get("csv", std::string()),
+                         args.get("threads", std::size_t{1}),
+                         !args.has("no-metrics"));
 
   serve::InferenceEngine engine(bundle_path,
                                 args.get("threads", std::size_t{1}));

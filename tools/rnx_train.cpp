@@ -10,6 +10,12 @@
 // weights AND the fitted scaler moments (plus config/target) as one
 // .rnxb artifact, so deployment (rnx_predict, serve::InferenceEngine)
 // never re-fits statistics; bare --save writes weights only.
+//
+// Every dataset flag accepts either a monolithic .rnxd file or a
+// sharded-store .rnxm manifest (detected by magic, DESIGN.md §D).
+// Manifests stream: scaler fitting, training and evaluation pull
+// shard-by-shard through a background prefetcher, so the dataset never
+// fully materializes — corpora larger than RAM train fine.
 #include <iostream>
 #include <memory>
 #include <optional>
@@ -18,6 +24,7 @@
 #include "core/routenet.hpp"
 #include "core/routenet_ext.hpp"
 #include "core/trainer.hpp"
+#include "data/source.hpp"
 #include "eval/metrics.hpp"
 #include "serve/bundle.hpp"
 
@@ -32,8 +39,9 @@ int run(int argc, char** argv) {
        "load", "scaler-from", "seed", "threads", "quiet",
        "scenario-features"},
       "usage: rnx_train --train ds.rnxd [--eval test.rnxd] [options]\n"
-      "  --train FILE      training dataset (.rnxd)\n"
-      "  --eval FILE       evaluation dataset (.rnxd)\n"
+      "  --train FILE      training dataset (.rnxd, or a sharded .rnxm\n"
+      "                    manifest — streamed, never fully in memory)\n"
+      "  --eval FILE       evaluation dataset (.rnxd or .rnxm)\n"
       "  --model M         ext (default) | orig\n"
       "  --target T        regression target: delay (default) | jitter\n"
       "  --epochs N        default 30\n"
@@ -84,7 +92,9 @@ int run(int argc, char** argv) {
   }
   const std::size_t min_delivered = args.get("min-delivered", std::size_t{10});
 
-  // Resolve the dataset that defines the scaler.
+  // Resolve the dataset that defines the scaler.  Manifests (.rnxm)
+  // stream shard-by-shard; monolithic files load once and are reused
+  // for training when --train names the same file.
   const std::string train_path = args.get("train", std::string());
   const std::string scaler_path =
       args.get("scaler-from", train_path);
@@ -92,9 +102,15 @@ int run(int argc, char** argv) {
     std::cerr << "error: need --train or --scaler-from\n";
     return 2;
   }
-  const data::Dataset scaler_ds = data::Dataset::load(scaler_path);
-  const data::Scaler scaler =
-      data::Scaler::fit(scaler_ds.samples(), min_delivered);
+  std::optional<data::Dataset> scaler_ds;  // monolithic scaler set only
+  const data::Scaler scaler = [&] {
+    if (data::is_manifest_file(scaler_path)) {
+      data::StreamingShardSource src(scaler_path);
+      return data::Scaler::fit(src, min_delivered);
+    }
+    scaler_ds.emplace(data::Dataset::load(scaler_path));
+    return data::Scaler::fit(scaler_ds->samples(), min_delivered);
+  }();
 
   if (args.has("load")) {
     model->load_weights(args.get("load", std::string()));
@@ -105,9 +121,6 @@ int run(int argc, char** argv) {
       std::cerr << "error: need --train (or --load)\n";
       return 2;
     }
-    const data::Dataset train =
-        train_path == scaler_path ? scaler_ds
-                                  : data::Dataset::load(train_path);
     core::TrainConfig tc;
     tc.epochs = args.get("epochs", std::size_t{30});
     tc.lr = args.get("lr", 2e-3);
@@ -118,12 +131,30 @@ int run(int argc, char** argv) {
     tc.threads = threads;
     tc.verbose = !args.has("quiet");
     core::Trainer trainer(*model, tc);
-    std::cout << "training " << model->name() << " on " << train.size()
-              << " samples (target: " << core::to_string(*target)
-              << ")...\n";
-    const auto history = trainer.fit(train, scaler);
-    std::cout << "train loss " << history.front().train_loss << " -> "
-              << history.back().train_loss << "\n";
+    std::vector<core::EpochRecord> history;
+    if (data::is_manifest_file(train_path)) {
+      data::StreamingShardSource train_src(train_path);
+      std::cout << "training " << model->name() << " on "
+                << train_src.size() << " samples (target: "
+                << core::to_string(*target) << ", streaming "
+                << train_src.reader().num_shards() << " shards)...\n";
+      history = trainer.fit_stream(train_src, scaler);
+    } else {
+      const data::Dataset train =
+          train_path == scaler_path && scaler_ds
+              ? std::move(*scaler_ds)
+              : data::Dataset::load(train_path);
+      std::cout << "training " << model->name() << " on " << train.size()
+                << " samples (target: " << core::to_string(*target)
+                << ")...\n";
+      history = trainer.fit(train, scaler);
+    }
+    if (history.empty())
+      std::cout << "no epochs trained (--epochs 0): weights stay at "
+                   "initialization\n";
+    else
+      std::cout << "train loss " << history.front().train_loss << " -> "
+                << history.back().train_loss << "\n";
   }
 
   if (args.has("save")) {
@@ -138,12 +169,20 @@ int run(int argc, char** argv) {
   }
 
   if (args.has("eval")) {
-    const data::Dataset test =
-        data::Dataset::load(args.get("eval", std::string()));
-    const auto pp =
-        eval::predict_dataset(*model, test, scaler, min_delivered, *target,
-                              pool ? &*pool : nullptr);
-    eval::print_summary(std::cout, eval::summarize(pp), *target);
+    const std::string eval_path = args.get("eval", std::string());
+    if (data::is_manifest_file(eval_path)) {
+      data::StreamingShardSource test(eval_path);
+      const auto pp =
+          eval::predict_source(*model, test, scaler, min_delivered, *target,
+                               pool ? &*pool : nullptr);
+      eval::print_summary(std::cout, eval::summarize(pp), *target);
+    } else {
+      const data::Dataset test = data::Dataset::load(eval_path);
+      const auto pp =
+          eval::predict_dataset(*model, test, scaler, min_delivered, *target,
+                                pool ? &*pool : nullptr);
+      eval::print_summary(std::cout, eval::summarize(pp), *target);
+    }
   }
   return 0;
 }
