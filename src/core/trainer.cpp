@@ -1,15 +1,21 @@
 #include "core/trainer.hpp"
 
+#include <array>
 #include <cmath>
+#include <filesystem>
 #include <limits>
 #include <memory>
 #include <numeric>
 #include <span>
+#include <sstream>
 
+#include "core/checkpoint.hpp"
 #include "core/plan.hpp"
+#include "data/sample_io.hpp"
 #include "data/source.hpp"
 #include "nn/ops.hpp"
 #include "util/log.hpp"
+#include "util/rng.hpp"
 #include "util/timer.hpp"
 
 namespace rnx::core {
@@ -118,6 +124,15 @@ class BatchEngine {
     return loss_count_ ? loss_sum_ / static_cast<double>(loss_count_) : 0.0;
   }
 
+  // In-epoch loss accumulators, exposed so a mid-epoch checkpoint can
+  // carry them and a resume can put them back (begin_epoch zeroes them).
+  [[nodiscard]] double epoch_loss_sum() const { return loss_sum_; }
+  [[nodiscard]] std::uint64_t epoch_loss_count() const { return loss_count_; }
+  void restore_epoch_loss(double sum, std::uint64_t count) {
+    loss_sum_ = sum;
+    loss_count_ = static_cast<std::size_t>(count);
+  }
+
  private:
   // Per-sample gradient slots for one batch (reused across batches).
   struct SampleSlot {
@@ -138,6 +153,118 @@ class BatchEngine {
   double loss_sum_ = 0.0;
   std::size_t loss_count_ = 0;
 };
+
+// ---- crash-safe checkpointing (DESIGN.md §R) ------------------------------
+
+// Everything the training trajectory depends on, folded into one digest.
+// Resuming under ANY changed hyperparameter or dataset size is refused.
+// Deliberately EXCLUDED: epochs (extending a finished run is legitimate)
+// and threads (the lane count never changes the weights — DESIGN.md §T).
+std::uint64_t train_digest(const Model& model, const TrainConfig& cfg,
+                           bool streaming, std::uint64_t train_size) {
+  std::ostringstream b(std::ios::binary);
+  const auto put = [&b](const auto& v) {
+    b.write(reinterpret_cast<const char*>(&v), sizeof(v));
+  };
+  const ModelConfig& mc = model.config();
+  put(static_cast<std::uint8_t>(model.kind()));
+  put(static_cast<std::uint64_t>(mc.state_dim));
+  put(static_cast<std::uint64_t>(mc.readout_hidden));
+  put(static_cast<std::uint64_t>(mc.iterations));
+  put(static_cast<std::uint8_t>(mc.node_rule));
+  put(static_cast<std::uint8_t>(mc.node_mean_aggregation));
+  put(static_cast<std::uint8_t>(mc.fused_gru));
+  put(static_cast<std::uint8_t>(mc.scenario_features));
+  put(mc.init_seed);
+  put(static_cast<std::uint64_t>(cfg.batch_samples));
+  put(cfg.lr);
+  put(cfg.lr_decay);
+  put(cfg.clip_norm);
+  put(cfg.min_delivered);
+  put(static_cast<std::uint8_t>(cfg.target));
+  put(cfg.seed);
+  put(static_cast<std::uint64_t>(cfg.patience));
+  put(static_cast<std::uint8_t>(streaming));
+  put(train_size);
+  return data::io::fnv1a64(b.view());
+}
+
+// The scaler feeds every forward pass; a checkpointed run resumed under
+// different moments would silently train a different function.  Bitwise
+// equality, not tolerance — both runs fit the scaler from the same data.
+void verify_scaler(const TrainCheckpoint& ck, const data::Scaler& scaler) {
+  const std::array<data::Moments, 5> now = {
+      scaler.traffic_moments(), scaler.capacity_moments(),
+      scaler.queue_moments(), scaler.log_delay_moments(),
+      scaler.log_jitter_moments()};
+  static constexpr const char* kChannels[5] = {
+      "traffic", "capacity", "queue", "log_delay", "log_jitter"};
+  for (std::size_t i = 0; i < now.size(); ++i)
+    if (now[i].mean != ck.scaler_moments[i].mean ||
+        now[i].stddev != ck.scaler_moments[i].stddev)
+      throw CheckpointError(
+          std::string("resume refused: scaler ") + kChannels[i] +
+          " moments differ from the checkpointed run (did the training "
+          "set change?)");
+}
+
+// Snapshot the model + optimizer + scaler into `ck` (params in
+// named_params() order, which is also the optimizer's params() order —
+// trainable() builds one from the other).
+void capture_train_state(const Model& model, const nn::Adam& opt,
+                         const data::Scaler& scaler, TrainCheckpoint& ck) {
+  ck.lr = opt.lr();
+  ck.adam_t = opt.steps_taken();
+  ck.scaler_moments = {scaler.traffic_moments(), scaler.capacity_moments(),
+                       scaler.queue_moments(), scaler.log_delay_moments(),
+                       scaler.log_jitter_moments()};
+  const nn::NamedParams named = model.named_params();
+  const std::vector<nn::Tensor>& m = opt.first_moments();
+  const std::vector<nn::Tensor>& v = opt.second_moments();
+  ck.params.reserve(named.size());
+  for (std::size_t i = 0; i < named.size(); ++i) {
+    TrainCheckpoint::ParamState p;
+    p.name = named[i].first;
+    p.value = named[i].second.value();
+    p.m = m[i];
+    p.v = v[i];
+    ck.params.push_back(std::move(p));
+  }
+}
+
+// Put a checkpoint's weights + optimizer state back, with strict
+// positional name/shape matching (a digest match already guarantees the
+// same architecture; this catches file-level corruption that survived
+// the checksum odds).
+void restore_train_state(Model& model, nn::Adam& opt,
+                         const TrainCheckpoint& ck) {
+  nn::NamedParams named = model.named_params();
+  if (named.size() != ck.params.size())
+    throw CheckpointError("resume refused: checkpoint holds " +
+                          std::to_string(ck.params.size()) +
+                          " parameters, model has " +
+                          std::to_string(named.size()));
+  std::vector<nn::Tensor> m, v;
+  m.reserve(named.size());
+  v.reserve(named.size());
+  for (std::size_t i = 0; i < named.size(); ++i) {
+    const TrainCheckpoint::ParamState& p = ck.params[i];
+    if (p.name != named[i].first)
+      throw CheckpointError("resume refused: parameter " +
+                            std::to_string(i) + " is '" + p.name +
+                            "' in the checkpoint, '" + named[i].first +
+                            "' in the model");
+    nn::Tensor& dst = named[i].second.mutable_value();
+    if (p.value.rows() != dst.rows() || p.value.cols() != dst.cols())
+      throw CheckpointError("resume refused: shape mismatch for '" +
+                            p.name + "'");
+    dst = p.value;
+    m.push_back(p.m);
+    v.push_back(p.v);
+  }
+  opt.restore_state(ck.adam_t, std::move(m), std::move(v));
+  opt.set_lr(ck.lr);
+}
 
 }  // namespace
 
@@ -179,17 +306,88 @@ std::vector<EpochRecord> Trainer::fit(const data::Dataset& train,
   const PlanCacheScope cache_scope(model_);
   if (cfg_.use_plan_cache) model_.set_plan_cache(&plan_cache);
 
-  BatchEngine engine(model_, cfg_, opt_, pool_ ? &*pool_ : nullptr,
-                     cfg_.use_plan_cache ? &plan_cache : nullptr);
-
   std::vector<EpochRecord> history;
   double best_val = std::numeric_limits<double>::infinity();
   std::size_t since_best = 0;
   std::vector<const data::Sample*> batch_ptrs;
   batch_ptrs.reserve(batch);
 
-  for (std::size_t epoch = 0; epoch < cfg_.epochs; ++epoch) {
+  interrupted_ = false;
+  const bool ckpt_on = !cfg_.checkpoint_dir.empty();
+  const std::string ckpt_path =
+      ckpt_on ? checkpoint_file(cfg_.checkpoint_dir) : std::string();
+  const std::uint64_t digest =
+      train_digest(model_, cfg_, /*streaming=*/false, train.size());
+
+  std::size_t start_epoch = 0;
+  std::uint64_t resume_batches = 0;
+  double resume_loss_sum = 0.0;
+  std::uint64_t resume_loss_count = 0;
+  if (ckpt_on && cfg_.resume && std::filesystem::exists(ckpt_path)) {
+    const TrainCheckpoint ck = load_checkpoint(ckpt_path);
+    if (ck.streaming)
+      throw CheckpointError("resume refused: " + ckpt_path +
+                            " was written by fit_stream, not fit");
+    if (ck.config_digest != digest)
+      throw CheckpointError(
+          "resume refused: " + ckpt_path +
+          " was written under a different model/train config or dataset "
+          "size — delete the checkpoint to start over");
+    verify_scaler(ck, scaler);
+    restore_train_state(model_, opt_, ck);
+    // The checkpoint carries the shuffle stream as of the epoch's START;
+    // re-running Fisher-Yates from it reproduces the exact epoch order.
+    shuffle_rng = util::RngStream::from_state(ck.shuffle_state);
+    start_epoch = static_cast<std::size_t>(ck.epoch);
+    // The permutation CHAINS across epochs: epoch e shuffles the array
+    // epoch e-1 produced, so the stream state alone is not enough —
+    // rebuild the array by replaying the earlier epochs' shuffles from
+    // the run seed (cheap: O(epochs * n); the digest check above pinned
+    // the seed, so the replay is the original run's prefix verbatim).
+    util::RngStream replay(cfg_.seed);
+    for (std::size_t e = 0; e < start_epoch && e < cfg_.epochs; ++e)
+      for (std::size_t i = order.size(); i > 1; --i)
+        std::swap(order[i - 1],
+                  order[static_cast<std::size_t>(replay.uniform_int(
+                      0, static_cast<std::int64_t>(i) - 1))]);
+    resume_batches = ck.batch_in_epoch;
+    resume_loss_sum = ck.loss_sum;
+    resume_loss_count = ck.loss_count;
+    best_val = ck.best_val;
+    since_best = static_cast<std::size_t>(ck.since_best);
+    if (cfg_.verbose)
+      util::log_info(model_.name(), ": resumed from ", ckpt_path,
+                     " at epoch ", start_epoch, ", batch ", resume_batches);
+  }
+
+  // Construct the engine AFTER any resume restore: lane replicas deep-copy
+  // the model's weights at construction, so building it earlier would run
+  // the first resumed batch with stale (initial) weights on lanes 1+.
+  BatchEngine engine(model_, cfg_, opt_, pool_ ? &*pool_ : nullptr,
+                     cfg_.use_plan_cache ? &plan_cache : nullptr);
+
+  const auto snapshot = [&](std::uint64_t epoch, std::uint64_t batch_done,
+                            const std::array<std::uint64_t, 4>& rng_state,
+                            double loss_sum, std::uint64_t loss_count) {
+    TrainCheckpoint ck;
+    ck.streaming = false;
+    ck.config_digest = digest;
+    ck.epoch = epoch;
+    ck.batch_in_epoch = batch_done;
+    ck.shuffle_state = rng_state;
+    ck.loss_sum = loss_sum;
+    ck.loss_count = loss_count;
+    ck.best_val = best_val;
+    ck.since_best = since_best;
+    capture_train_state(model_, opt_, scaler, ck);
+    save_checkpoint(ckpt_path, ck);
+  };
+
+  for (std::size_t epoch = start_epoch; epoch < cfg_.epochs; ++epoch) {
     util::Stopwatch watch;
+    // Shuffle stream state at the epoch's start: what a mid-epoch
+    // checkpoint stores so resume can replay this epoch's exact order.
+    const std::array<std::uint64_t, 4> epoch_rng = shuffle_rng.state();
     // Deterministic Fisher-Yates reshuffle each epoch.
     for (std::size_t i = order.size(); i > 1; --i)
       std::swap(order[i - 1],
@@ -197,12 +395,34 @@ std::vector<EpochRecord> Trainer::fit(const data::Dataset& train,
                     0, static_cast<std::int64_t>(i) - 1))]);
 
     engine.begin_epoch();
-    for (std::size_t start = 0; start < order.size(); start += batch) {
+    std::uint64_t batches_done = 0;
+    if (epoch == start_epoch && resume_batches > 0) {
+      // Already-trained batches of the interrupted epoch: skip them and
+      // put back the loss accumulators they contributed.
+      batches_done = resume_batches;
+      engine.restore_epoch_loss(resume_loss_sum, resume_loss_count);
+    }
+    for (std::size_t start = static_cast<std::size_t>(batches_done) * batch;
+         start < order.size(); start += batch) {
       const std::size_t fill = std::min(batch, order.size() - start);
       batch_ptrs.clear();
       for (std::size_t i = 0; i < fill; ++i)
         batch_ptrs.push_back(&train[order[start + i]]);
       engine.process_batch(batch_ptrs, scaler);
+      ++batches_done;
+      const bool stop = cfg_.stop_requested && cfg_.stop_requested();
+      if (ckpt_on && (stop || (cfg_.checkpoint_every != 0 &&
+                               batches_done % cfg_.checkpoint_every == 0)))
+        snapshot(epoch, batches_done, epoch_rng, engine.epoch_loss_sum(),
+                 engine.epoch_loss_count());
+      if (stop) {
+        interrupted_ = true;
+        if (cfg_.verbose)
+          util::log_info(model_.name(), ": stop requested at epoch ", epoch,
+                         ", batch ", batches_done,
+                         ckpt_on ? " (checkpoint written)" : "");
+        return history;
+      }
     }
     opt_.set_lr(opt_.lr() * cfg_.lr_decay);
 
@@ -219,6 +439,7 @@ std::vector<EpochRecord> Trainer::fit(const data::Dataset& train,
                      val ? std::to_string(rec.val_loss) : std::string(),
                      " (", rec.seconds, "s)");
 
+    bool early_stop = false;
     if (val && cfg_.patience > 0) {
       if (rec.val_loss < best_val - 1e-9) {
         best_val = rec.val_loss;
@@ -226,9 +447,17 @@ std::vector<EpochRecord> Trainer::fit(const data::Dataset& train,
       } else if (++since_best >= cfg_.patience) {
         if (cfg_.verbose)
           util::log_info(model_.name(), ": early stop at epoch ", epoch);
-        break;
+        early_stop = true;
       }
     }
+    // End-of-epoch checkpoint: cursor at the NEXT epoch's start (post-
+    // decay lr, next epoch's shuffle state, zeroed accumulators).  Early
+    // stop and natural completion both park the cursor at cfg_.epochs,
+    // so resuming a finished run retrains nothing.
+    if (ckpt_on)
+      snapshot(early_stop ? cfg_.epochs : epoch + 1, 0, shuffle_rng.state(),
+               0.0, 0);
+    if (early_stop) break;
   }
   return history;
 }
@@ -247,9 +476,6 @@ std::vector<EpochRecord> Trainer::fit_stream(data::SampleSource& train,
   const PlanCacheScope cache_scope(model_);
   model_.set_plan_cache(cacheable ? &plan_cache : nullptr);
 
-  BatchEngine engine(model_, cfg_, opt_, pool_ ? &*pool_ : nullptr,
-                     cacheable ? &plan_cache : nullptr);
-
   std::vector<EpochRecord> history;
   double best_val = std::numeric_limits<double>::infinity();
   std::size_t since_best = 0;
@@ -260,17 +486,110 @@ std::vector<EpochRecord> Trainer::fit_stream(data::SampleSource& train,
   hold.reserve(batch);
   batch_ptrs.reserve(batch);
 
-  for (std::size_t epoch = 0; epoch < cfg_.epochs; ++epoch) {
+  interrupted_ = false;
+  const bool ckpt_on = !cfg_.checkpoint_dir.empty();
+  const std::string ckpt_path =
+      ckpt_on ? checkpoint_file(cfg_.checkpoint_dir) : std::string();
+  // A source has no size before its first pass; the stream identity is
+  // carried by the source itself (the sharded store's own digest guards
+  // dataset/config drift at that layer).
+  const std::uint64_t digest =
+      train_digest(model_, cfg_, /*streaming=*/true, 0);
+
+  std::size_t start_epoch = 0;
+  std::uint64_t resume_samples = 0;
+  double resume_loss_sum = 0.0;
+  std::uint64_t resume_loss_count = 0;
+  if (ckpt_on && cfg_.resume && std::filesystem::exists(ckpt_path)) {
+    const TrainCheckpoint ck = load_checkpoint(ckpt_path);
+    if (!ck.streaming)
+      throw CheckpointError("resume refused: " + ckpt_path +
+                            " was written by fit, not fit_stream");
+    if (ck.config_digest != digest)
+      throw CheckpointError(
+          "resume refused: " + ckpt_path +
+          " was written under a different model/train config — delete the "
+          "checkpoint to start over");
+    verify_scaler(ck, scaler);
+    restore_train_state(model_, opt_, ck);
+    start_epoch = static_cast<std::size_t>(ck.epoch);
+    resume_samples = ck.samples_done;
+    resume_loss_sum = ck.loss_sum;
+    resume_loss_count = ck.loss_count;
+    best_val = ck.best_val;
+    since_best = static_cast<std::size_t>(ck.since_best);
+    if (cfg_.verbose)
+      util::log_info(model_.name(), ": resumed from ", ckpt_path,
+                     " at epoch ", start_epoch, ", sample ", resume_samples);
+  }
+
+  // After the resume restore, for the same reason as in fit(): lane
+  // replicas snapshot the weights when the engine is built.
+  BatchEngine engine(model_, cfg_, opt_, pool_ ? &*pool_ : nullptr,
+                     cacheable ? &plan_cache : nullptr);
+
+  const auto snapshot = [&](std::uint64_t epoch, std::uint64_t samples_done,
+                            std::uint64_t batch_done, double loss_sum,
+                            std::uint64_t loss_count) {
+    TrainCheckpoint ck;
+    ck.streaming = true;
+    ck.config_digest = digest;
+    ck.epoch = epoch;
+    ck.batch_in_epoch = batch_done;
+    ck.samples_done = samples_done;
+    ck.loss_sum = loss_sum;
+    ck.loss_count = loss_count;
+    ck.best_val = best_val;
+    ck.since_best = since_best;
+    capture_train_state(model_, opt_, scaler, ck);
+    save_checkpoint(ckpt_path, ck);
+  };
+
+  for (std::size_t epoch = start_epoch; epoch < cfg_.epochs; ++epoch) {
     util::Stopwatch watch;
     train.reset();
     engine.begin_epoch();
+    std::uint64_t samples_done = 0;
+    std::uint64_t batches_done = 0;
+    if (epoch == start_epoch && resume_samples > 0) {
+      // The source replays the same deterministic order every pass, so
+      // the cursor is just a count: pull and discard the prefix the
+      // interrupted run already trained on.
+      while (samples_done < resume_samples) {
+        auto sp = train.next();
+        if (!sp)
+          throw CheckpointError(
+              "resume refused: stream ended after " +
+              std::to_string(samples_done) + " samples, checkpoint cursor "
+              "is at " + std::to_string(resume_samples) +
+              " (did the training store change?)");
+        ++samples_done;
+      }
+      batches_done = samples_done / batch;  // cursor sits on a boundary
+      engine.restore_epoch_loss(resume_loss_sum, resume_loss_count);
+    }
     while (auto sp = train.next()) {
       batch_ptrs.push_back(sp.get());
       hold.push_back(std::move(sp));
+      ++samples_done;
       if (batch_ptrs.size() == batch) {
         engine.process_batch(batch_ptrs, scaler);
         batch_ptrs.clear();
         hold.clear();
+        ++batches_done;
+        const bool stop = cfg_.stop_requested && cfg_.stop_requested();
+        if (ckpt_on && (stop || (cfg_.checkpoint_every != 0 &&
+                                 batches_done % cfg_.checkpoint_every == 0)))
+          snapshot(epoch, samples_done, batches_done,
+                   engine.epoch_loss_sum(), engine.epoch_loss_count());
+        if (stop) {
+          interrupted_ = true;
+          if (cfg_.verbose)
+            util::log_info(model_.name(), ": stop requested at epoch ",
+                           epoch, ", sample ", samples_done,
+                           ckpt_on ? " (checkpoint written)" : "");
+          return history;
+        }
       }
     }
     engine.process_batch(batch_ptrs, scaler);
@@ -291,6 +610,7 @@ std::vector<EpochRecord> Trainer::fit_stream(data::SampleSource& train,
                      val ? std::to_string(rec.val_loss) : std::string(),
                      " (", rec.seconds, "s, streaming)");
 
+    bool early_stop = false;
     if (val && cfg_.patience > 0) {
       if (rec.val_loss < best_val - 1e-9) {
         best_val = rec.val_loss;
@@ -298,9 +618,12 @@ std::vector<EpochRecord> Trainer::fit_stream(data::SampleSource& train,
       } else if (++since_best >= cfg_.patience) {
         if (cfg_.verbose)
           util::log_info(model_.name(), ": early stop at epoch ", epoch);
-        break;
+        early_stop = true;
       }
     }
+    if (ckpt_on)
+      snapshot(early_stop ? cfg_.epochs : epoch + 1, 0, 0, 0.0, 0);
+    if (early_stop) break;
   }
   return history;
 }

@@ -17,7 +17,9 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "core/model.hpp"
@@ -46,6 +48,22 @@ struct TrainConfig {
   std::size_t threads = 1;         ///< data-parallel lanes (0 or 1 = serial)
   bool use_plan_cache = true;      ///< memoize build_plan across epochs
   bool verbose = true;
+
+  // -- crash-safe checkpointing (DESIGN.md §R) ------------------------
+  /// Directory for the .rnxc checkpoint; empty disables checkpointing.
+  std::string checkpoint_dir;
+  /// Optimizer steps between checkpoints (0 = end-of-epoch only).
+  std::size_t checkpoint_every = 1;
+  /// Resume from checkpoint_dir's checkpoint if one exists.  The
+  /// checkpointed config digest and scaler must match this run's
+  /// (CheckpointError otherwise); the resumed trajectory is then
+  /// bitwise-identical to the uninterrupted one.
+  bool resume = false;
+  /// Polled after every optimizer step; returning true finalizes one
+  /// last checkpoint (if enabled) and exits fit cleanly with
+  /// Trainer::interrupted() set — how SIGINT/SIGTERM stop training
+  /// without losing the batch in flight.
+  std::function<bool()> stop_requested;
 };
 
 struct EpochRecord {
@@ -99,11 +117,17 @@ class Trainer {
       const data::Scaler& scaler, std::uint64_t min_delivered,
       PredictionTarget target = PredictionTarget::kDelay);
 
+  /// True when the last fit/fit_stream returned because stop_requested
+  /// fired (vs. running to completion) — the tools map this to the
+  /// conventional 128+signum exit code.
+  [[nodiscard]] bool interrupted() const noexcept { return interrupted_; }
+
  private:
   Model& model_;
   TrainConfig cfg_;
   nn::Adam opt_;
   mutable std::optional<util::ThreadPool> pool_;  ///< lanes > 1 only
+  bool interrupted_ = false;
 };
 
 }  // namespace rnx::core

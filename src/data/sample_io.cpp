@@ -8,6 +8,7 @@
 #include <stdexcept>
 
 #include "sim/scenario.hpp"
+#include "util/fault.hpp"
 
 namespace rnx::data::io {
 
@@ -217,6 +218,10 @@ void atomic_write_stream(const std::string& path,
       throw;
     }
     f.flush();
+    // Injected write failure (io.atomic.write): poison the stream so
+    // the REAL short-write detection below fires — chaos tests exercise
+    // the same cleanup branch a full disk does.
+    if (util::fault_fires("io.atomic.write")) f.setstate(std::ios::badbit);
     if (!f) {
       f.close();
       std::error_code ec;
@@ -225,7 +230,10 @@ void atomic_write_stream(const std::string& path,
     }
   }
   std::error_code ec;
-  std::filesystem::rename(tmp, path, ec);
+  if (util::fault_fires("io.atomic.rename"))
+    ec = std::make_error_code(std::errc::io_error);  // injected rename failure
+  else
+    std::filesystem::rename(tmp, path, ec);
   if (ec) {
     std::error_code ec2;
     std::filesystem::remove(tmp, ec2);
@@ -238,6 +246,29 @@ void atomic_write_file(const std::string& path, std::string_view bytes) {
   atomic_write_stream(path, [bytes](std::ostream& f) {
     f.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
   });
+}
+
+std::size_t remove_stale_temps(const std::string& dir) {
+  namespace fs = std::filesystem;
+  static constexpr std::string_view kRnxExtensions[] = {
+      ".rnxd", ".rnxm", ".rnxb", ".rnxw", ".rnxc"};
+  std::error_code ec;
+  fs::directory_iterator it(dir.empty() ? "." : dir, ec);
+  if (ec) return 0;
+  std::size_t removed = 0;
+  for (const fs::directory_entry& e : it) {
+    if (!e.is_regular_file(ec)) continue;
+    const fs::path& p = e.path();
+    if (p.extension() != ".tmp") continue;
+    const std::string inner = p.stem().extension().string();
+    bool known = false;
+    for (const std::string_view ext : kRnxExtensions)
+      if (inner == ext) known = true;
+    if (!known) continue;
+    std::error_code rec;
+    if (fs::remove(p, rec)) ++removed;
+  }
+  return removed;
 }
 
 }  // namespace rnx::data::io

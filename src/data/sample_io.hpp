@@ -102,4 +102,12 @@ void atomic_write_file(const std::string& path, std::string_view bytes);
 void atomic_write_stream(const std::string& path,
                          const std::function<void(std::ostream&)>& write);
 
+/// Remove leftover "*.tmp" files of interrupted atomic writes from `dir`
+/// (non-recursive).  Only names whose stem carries a known rnx extension
+/// (.rnxd/.rnxm/.rnxb/.rnxw/.rnxc) are touched — a crash between open
+/// and rename is the ONLY writer of such names, so deleting them is
+/// always safe.  Returns the number removed; a missing/unreadable dir
+/// removes nothing.
+std::size_t remove_stale_temps(const std::string& dir);
+
 }  // namespace rnx::data::io

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "data/sample_io.hpp"
+#include "util/fault.hpp"
 
 namespace rnx::data {
 
@@ -158,6 +159,13 @@ ShardedReader::ShardedReader(std::string manifest_path)
   std::string body(body_size, '\0');
   f.read(body.data(), static_cast<std::streamsize>(body_size));
   if (!f) throw ManifestError(what + ": truncated manifest");
+  // Injected bit rot (io.manifest.bitflip): corrupt one deterministic
+  // bit BEFORE the checksum verify, so the normal detection path fires.
+  if (util::fault_fires("io.manifest.bitflip")) {
+    const std::uint64_t k =
+        util::FaultInjector::instance().fired("io.manifest.bitflip");
+    body[(k * 131) % body.size()] ^= static_cast<char>(1u << (k % 8));
+  }
   if (io::fnv1a64(body) != checksum)
     throw ManifestError(what + ": manifest checksum mismatch (corrupt)");
 
@@ -214,6 +222,15 @@ Dataset ShardedReader::load_shard(std::size_t i) const {
   f.read(bytes.data(), static_cast<std::streamsize>(size));
   if (!f || f.gcount() != static_cast<std::streamsize>(size))
     throw ShardChecksumError("ShardedReader: short read on shard " + path);
+  // Injected faults fire BEFORE the checksum verify: a short read and a
+  // flipped bit must both surface through the real integrity check.
+  if (!bytes.empty() && util::fault_fires("io.shard.truncate"))
+    bytes.resize(bytes.size() / 2);
+  if (!bytes.empty() && util::fault_fires("io.shard.bitflip")) {
+    const std::uint64_t k =
+        util::FaultInjector::instance().fired("io.shard.bitflip");
+    bytes[(k * 769) % bytes.size()] ^= static_cast<char>(1u << (k % 8));
+  }
   if (io::fnv1a64(bytes) != info.checksum)
     throw ShardChecksumError("ShardedReader: checksum mismatch for shard " +
                              path + " (file corrupt or replaced)");

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "util/fault.hpp"
+
 namespace rnx::data {
 
 StreamingShardSource::StreamingShardSource(std::string manifest_path,
@@ -37,6 +39,10 @@ void StreamingShardSource::reset() {
 void StreamingShardSource::produce() {
   try {
     for (std::size_t i = 0; i < reader_.num_shards(); ++i) {
+      // Injected producer crash (source.producer): throws on THIS
+      // thread; the catch below parks it for the consumer — the same
+      // ordering a real mid-stream shard failure takes.
+      util::FaultInjector::instance().maybe_throw("source.producer");
       Dataset shard = reader_.load_shard(i);
       std::vector<Sample> samples = shard.release_samples();
       // The whole shard is resident from load until each sample's last

@@ -2,6 +2,8 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <string>
+#include <utility>
 
 namespace rnx::nn {
 
@@ -68,6 +70,26 @@ Adam::Adam(std::vector<Var> params, double lr, double beta1, double beta2,
     m_.emplace_back(p.value().rows(), p.value().cols());
     v_.emplace_back(p.value().rows(), p.value().cols());
   }
+}
+
+void Adam::restore_state(std::uint64_t t, std::vector<Tensor> m,
+                         std::vector<Tensor> v) {
+  if (m.size() != params_.size() || v.size() != params_.size())
+    throw std::invalid_argument("Adam::restore_state: moment count " +
+                                std::to_string(m.size()) + "/" +
+                                std::to_string(v.size()) + " != parameter count " +
+                                std::to_string(params_.size()));
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    const auto& p = params_[i].value();
+    if (m[i].rows() != p.rows() || m[i].cols() != p.cols() ||
+        v[i].rows() != p.rows() || v[i].cols() != p.cols())
+      throw std::invalid_argument(
+          "Adam::restore_state: moment shape mismatch at parameter " +
+          std::to_string(i));
+  }
+  t_ = t;
+  m_ = std::move(m);
+  v_ = std::move(v);
 }
 
 void Adam::step() {

@@ -61,6 +61,20 @@ class Adam final : public Optimizer {
   [[nodiscard]] double lr() const noexcept { return lr_; }
   [[nodiscard]] std::uint64_t steps_taken() const noexcept { return t_; }
 
+  /// Moment estimates, aligned with params() — exposed so the trainer's
+  /// crash-safe checkpoint can persist the full optimizer state.
+  [[nodiscard]] const std::vector<Tensor>& first_moments() const noexcept {
+    return m_;
+  }
+  [[nodiscard]] const std::vector<Tensor>& second_moments() const noexcept {
+    return v_;
+  }
+  /// Restore a checkpointed state.  `m`/`v` must match params() in count
+  /// and shapes (std::invalid_argument otherwise); resumed training then
+  /// continues bitwise-identically to the uninterrupted run.
+  void restore_state(std::uint64_t t, std::vector<Tensor> m,
+                     std::vector<Tensor> v);
+
  private:
   double lr_, beta1_, beta2_, eps_;
   std::uint64_t t_ = 0;

@@ -19,6 +19,8 @@ enum class ServeError : std::uint8_t {
   kOverloaded,     ///< queue at max depth: request shed at admission
   kUnknownModel,   ///< registry routing: no bundle under that name
   kShutdown,       ///< scheduler is (or went) down
+  kDraining,       ///< graceful drain in progress: new work refused
+  kDeadlineExceeded,  ///< deadline already unmeetable at admission
 };
 
 [[nodiscard]] constexpr const char* to_string(ServeError e) noexcept {
@@ -27,6 +29,8 @@ enum class ServeError : std::uint8_t {
     case ServeError::kOverloaded: return "overloaded";
     case ServeError::kUnknownModel: return "unknown-model";
     case ServeError::kShutdown: return "shutdown";
+    case ServeError::kDraining: return "draining";
+    case ServeError::kDeadlineExceeded: return "deadline-exceeded";
   }
   return "invalid";
 }
@@ -46,6 +50,23 @@ class UnknownModelError : public std::runtime_error {
 class ShutdownError : public std::runtime_error {
  public:
   explicit ShutdownError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// An admitted request's deadline passed before its batch executed; the
+/// scheduler resolved the future without paying the forward pass
+/// (counted `expired`).
+class DeadlineExceededError : public std::runtime_error {
+ public:
+  explicit DeadlineExceededError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// The caller cancelled an admitted request (Submitted::request_cancel)
+/// before the scheduler started executing it (counted `cancelled`).
+class CancelledError : public std::runtime_error {
+ public:
+  explicit CancelledError(const std::string& what)
       : std::runtime_error(what) {}
 };
 

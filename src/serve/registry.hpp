@@ -12,15 +12,22 @@
 //    lanes, however many bundles it serves (per-engine pools would
 //    oversubscribe the host).
 //
-// Lifecycle: register every bundle first, then serve.  add() is not
-// synchronized against concurrent lookups; after setup, all access
-// (find/at from any number of scheduler or caller threads) is read-only
-// and safe.  Lookup by unknown name is a typed UnknownModelError, so a
+// Lifecycle: registration and lookup are mutex-synchronized, so bundles
+// can be added — and hot-swapped via swap_bundle() — while schedulers
+// serve.  Lookup by unknown name is a typed UnknownModelError, so a
 // routing typo is distinguishable from every other failure.
+//
+// Hot reload (DESIGN.md §R): swap_bundle() fully constructs the new
+// engine BEFORE publishing it under the name, so no lookup can ever see
+// a torn bundle.  Requests that resolved the old engine keep it alive
+// through their shared_ptr (BatchScheduler's registry path co-owns the
+// engine per request); the old engine is retired, and drain() blocks
+// until every retired engine's last in-flight request has released it.
 #pragma once
 
 #include <cstddef>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -48,8 +55,36 @@ class ModelRegistry {
   /// Load the bundle at `path` and register it under `name`.
   InferenceEngine& add(std::string name, const std::string& path);
 
-  /// The engine serving `name`, or nullptr when unregistered.
+  /// Atomic hot reload: replace the engine serving `name` with one
+  /// freshly built from `bundle`.  The new engine is fully constructed
+  /// before it becomes visible; lookups before the swap resolve the old
+  /// engine (kept alive by their shared_ptr), lookups after it resolve
+  /// the new one — never a torn state.  The old engine moves to the
+  /// retired list until its last holder releases it (see drain()).
+  /// Throws std::invalid_argument when `name` is not registered.
+  void swap_bundle(std::string_view name, ModelBundle bundle);
+  /// Load the bundle at `path` and swap it in under `name`.
+  void swap_bundle(std::string_view name, const std::string& path);
+
+  /// Block until every retired engine (from swap_bundle) has been
+  /// released by its last in-flight request, then discard them.  Call
+  /// after BatchScheduler::drain() — or any time — to bound the memory
+  /// of repeated hot reloads.
+  void drain();
+  /// Retired engines still held by at least one in-flight request.
+  [[nodiscard]] std::size_t retired_alive() const;
+
+  /// The engine serving `name`, or nullptr when unregistered.  The raw
+  /// pointer is stable only until a swap_bundle for the name retires the
+  /// engine AND its last co-owner releases it; serving paths that must
+  /// survive hot reloads use find_shared().
   [[nodiscard]] const InferenceEngine* find(
+      std::string_view name) const noexcept;
+  /// The engine serving `name` with shared ownership (nullptr when
+  /// unregistered): the holder pins the engine across a concurrent
+  /// swap_bundle — what BatchScheduler's registry path stores per
+  /// request.
+  [[nodiscard]] std::shared_ptr<const InferenceEngine> find_shared(
       std::string_view name) const noexcept;
   /// As find(), but an unknown name throws UnknownModelError naming the
   /// registered bundles.
@@ -57,7 +92,7 @@ class ModelRegistry {
 
   /// Registered names, in registration order.
   [[nodiscard]] std::vector<std::string> names() const;
-  [[nodiscard]] std::size_t size() const noexcept { return engines_.size(); }
+  [[nodiscard]] std::size_t size() const;
 
   /// The shared fan-out pool (nullptr when threads == 1).
   [[nodiscard]] util::ThreadPool* pool() const noexcept {
@@ -72,10 +107,17 @@ class ModelRegistry {
   void clear_plan_cache() { cache_->clear(); }
 
  private:
+  [[nodiscard]] std::shared_ptr<InferenceEngine> make_engine(
+      ModelBundle bundle) const;
+
   std::shared_ptr<core::PlanCache> cache_;
   mutable std::optional<util::ThreadPool> pool_;  ///< threads > 1 only
-  std::vector<std::pair<std::string, std::unique_ptr<InferenceEngine>>>
+  mutable std::mutex mu_;  ///< guards engines_ and retired_
+  std::vector<std::pair<std::string, std::shared_ptr<InferenceEngine>>>
       engines_;  ///< registration order; linear scan (registries are small)
+  /// Engines displaced by swap_bundle, observed (not owned) until their
+  /// last in-flight request lets go — drain()'s completion condition.
+  std::vector<std::weak_ptr<InferenceEngine>> retired_;
 };
 
 }  // namespace rnx::serve

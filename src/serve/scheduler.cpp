@@ -6,6 +6,7 @@
 
 #include "serve/inference.hpp"
 #include "serve/registry.hpp"
+#include "util/fault.hpp"
 #include "util/thread_pool.hpp"
 
 namespace rnx::serve {
@@ -33,7 +34,15 @@ BatchScheduler::ClockPoint BatchScheduler::clock_now() const {
 }
 
 Submitted BatchScheduler::submit(const InferenceEngine& engine,
-                                 std::span<const data::Sample> samples) {
+                                 std::span<const data::Sample> samples,
+                                 SubmitOptions opts) {
+  return submit_impl(&engine, nullptr, samples, opts);
+}
+
+Submitted BatchScheduler::submit_impl(
+    const InferenceEngine* engine,
+    std::shared_ptr<const InferenceEngine> keep_alive,
+    std::span<const data::Sample> samples, SubmitOptions opts) {
   Submitted out;
   std::promise<PredictionSet> empty_done;
   bool notify = false;
@@ -46,7 +55,18 @@ Submitted BatchScheduler::submit(const InferenceEngine& engine,
       return out;
     }
     ++stats_.submitted;
-    if (samples.empty()) {
+    if (draining_) {
+      // Graceful drain sheds new arrivals while completing admitted
+      // work; unlike shutdown, these ARE counted (the server is up and
+      // refusing, not gone).
+      out.error = ServeError::kDraining;
+      ++stats_.shed;
+    } else if (opts.deadline.count() < 0) {
+      // Already unmeetable: refuse at admission rather than admitting a
+      // request whose only possible outcome is expiry.
+      out.error = ServeError::kDeadlineExceeded;
+      ++stats_.shed;
+    } else if (samples.empty()) {
       // Nothing to batch: resolve immediately (outside the lock).
       ++stats_.admitted;
       ++stats_.completed;
@@ -56,9 +76,20 @@ Submitted BatchScheduler::submit(const InferenceEngine& engine,
       ++stats_.shed;
     } else {
       ++stats_.admitted;
-      Request req{&engine, samples, std::promise<PredictionSet>(),
-                  clock_now()};
+      Request req{engine,
+                  samples,
+                  std::promise<PredictionSet>(),
+                  clock_now(),
+                  ClockPoint{},
+                  false,
+                  std::make_shared<std::atomic<bool>>(false),
+                  std::move(keep_alive)};
+      if (opts.deadline.count() > 0) {
+        req.has_deadline = true;
+        req.deadline = req.enqueued + opts.deadline;
+      }
       out.result = req.promise.get_future();
+      out.cancel_flag = req.cancelled;
       pending_.push_back(std::move(req));
       stats_.queue_depth = pending_.size();
       stats_.peak_queue_depth =
@@ -73,8 +104,9 @@ Submitted BatchScheduler::submit(const InferenceEngine& engine,
 
 Submitted BatchScheduler::submit(const ModelRegistry& registry,
                                  std::string_view model,
-                                 std::span<const data::Sample> samples) {
-  const InferenceEngine* engine = registry.find(model);
+                                 std::span<const data::Sample> samples,
+                                 SubmitOptions opts) {
+  std::shared_ptr<const InferenceEngine> engine = registry.find_shared(model);
   if (engine == nullptr) {
     const std::lock_guard<std::mutex> lock(mu_);
     Submitted out;
@@ -89,11 +121,13 @@ Submitted BatchScheduler::submit(const ModelRegistry& registry,
     out.error = ServeError::kUnknownModel;
     return out;
   }
-  return submit(*engine, samples);
+  const InferenceEngine* raw = engine.get();
+  return submit_impl(raw, std::move(engine), samples, opts);
 }
 
 bool BatchScheduler::front_ready_locked(ClockPoint now) const {
   if (pending_.empty()) return false;
+  if (draining_) return true;  // no lingering while draining
   if (now - pending_.front().enqueued >= cfg_.max_linger) return true;
   const InferenceEngine* engine = pending_.front().engine;
   std::size_t samples = 0;
@@ -122,7 +156,61 @@ BatchScheduler::Batch BatchScheduler::take_front_locked() {
   stats_.batch_samples += samples;
   stats_.peak_batch_samples =
       std::max<std::uint64_t>(stats_.peak_batch_samples, samples);
+  executing_ += out.size();  // released at the end of execute()
   return out;
+}
+
+std::vector<BatchScheduler::DeadRequest> BatchScheduler::collect_dead_locked(
+    ClockPoint now) {
+  std::vector<DeadRequest> dead;
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    const bool cancel =
+        it->cancelled && it->cancelled->load(std::memory_order_relaxed);
+    const bool expired = !cancel && it->has_deadline && now >= it->deadline;
+    if (!cancel && !expired) {
+      ++it;
+      continue;
+    }
+    dead.push_back({std::move(*it), cancel});
+    it = pending_.erase(it);
+  }
+  if (!dead.empty()) {
+    stats_.queue_depth = pending_.size();
+    // Counters commit under the lock BEFORE the promises resolve (same
+    // discipline as execute); executing_ bridges the gap for drain().
+    for (const DeadRequest& d : dead)
+      d.was_cancelled ? ++stats_.cancelled : ++stats_.expired;
+    executing_ += dead.size();
+  }
+  return dead;
+}
+
+void BatchScheduler::resolve_dead(std::vector<DeadRequest>& dead) {
+  if (dead.empty()) return;
+  for (DeadRequest& d : dead) {
+    if (d.was_cancelled) {
+      d.req.promise.set_exception(std::make_exception_ptr(CancelledError(
+          "BatchScheduler: request cancelled before execution")));
+    } else {
+      d.req.promise.set_exception(std::make_exception_ptr(
+          DeadlineExceededError("BatchScheduler: deadline exceeded before "
+                                "execution (request expired in queue)")));
+    }
+  }
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    executing_ -= dead.size();
+  }
+  drained_cv_.notify_all();
+}
+
+void BatchScheduler::reap() {
+  std::vector<DeadRequest> dead;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    dead = collect_dead_locked(clock_now());
+  }
+  resolve_dead(dead);
 }
 
 void BatchScheduler::execute(Batch batch) {
@@ -135,10 +223,21 @@ void BatchScheduler::execute(Batch batch) {
   for (const Request& r : batch)
     for (const data::Sample& s : r.samples) ptrs.push_back(&s);
 
+  // Injected execution faults (serve.execute[.slow]): a stalled model —
+  // param microseconds, default 1ms — and a whole-batch failure, both at
+  // the point a real engine would stall or throw.
+  if (util::fault_fires("serve.execute.slow")) {
+    const std::uint64_t us =
+        util::FaultInjector::instance().param("serve.execute.slow");
+    std::this_thread::sleep_for(std::chrono::microseconds(us ? us : 1000));
+  }
   PredictionSet values;
   std::vector<std::exception_ptr> errors;
   std::exception_ptr batch_error;
   try {
+    if (util::fault_fires("serve.execute"))
+      throw util::FaultInjectedError(
+          "injected whole-batch execution failure (serve.execute)");
     values = engine->predict_ptrs(ptrs, pool_, &errors);
   } catch (...) {
     // Whole-batch failure (not a per-sample forward error): every
@@ -190,10 +289,19 @@ void BatchScheduler::execute(Batch batch) {
     }
     off += k;
   }
+
+  // Every future in the batch is now resolved: release the executing_
+  // hold taken in take_front_locked so drain() can observe completion.
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    executing_ -= batch.size();
+  }
+  drained_cv_.notify_all();
 }
 
 std::size_t BatchScheduler::pump() {
   std::size_t executed = 0;
+  reap();
   for (;;) {
     Batch batch;
     {
@@ -209,6 +317,7 @@ std::size_t BatchScheduler::pump() {
 
 std::size_t BatchScheduler::flush() {
   std::size_t executed = 0;
+  reap();
   for (;;) {
     Batch batch;
     {
@@ -225,6 +334,7 @@ std::size_t BatchScheduler::flush() {
 void BatchScheduler::help_until(const std::future<PredictionSet>& fut) {
   using namespace std::chrono_literals;
   while (fut.wait_for(0s) != std::future_status::ready) {
+    reap();  // fut itself may be expired/cancelled — reap resolves it
     Batch batch;
     {
       const std::lock_guard<std::mutex> lock(mu_);
@@ -240,6 +350,23 @@ void BatchScheduler::help_until(const std::future<PredictionSet>& fut) {
   }
 }
 
+void BatchScheduler::drain() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) return;
+    draining_ = true;
+  }
+  cv_.notify_all();  // wake the drainer: lingering is over
+  // Execute everything admitted.  With a drainer thread this races it
+  // benignly (flush is documented safe alongside it); in manual mode
+  // this IS the drain.  Expired/cancelled requests resolve typed.
+  flush();
+  std::unique_lock<std::mutex> lock(mu_);
+  drained_cv_.wait(lock, [&] {
+    return shutdown_ || (pending_.empty() && executing_ == 0);
+  });
+}
+
 void BatchScheduler::shutdown() {
   std::deque<Request> orphans;
   {
@@ -250,6 +377,7 @@ void BatchScheduler::shutdown() {
     stats_.cancelled += orphans.size();
   }
   cv_.notify_all();
+  drained_cv_.notify_all();
   if (drainer_.joinable()) drainer_.join();
   for (Request& r : orphans)
     r.promise.set_exception(std::make_exception_ptr(ShutdownError(
@@ -265,8 +393,21 @@ void BatchScheduler::drain_loop() {
       continue;
     }
     const ClockPoint now = std::chrono::steady_clock::now();
+    std::vector<DeadRequest> dead = collect_dead_locked(now);
+    if (!dead.empty()) {
+      lock.unlock();
+      resolve_dead(dead);
+      lock.lock();
+      continue;
+    }
     if (!front_ready_locked(now)) {
-      cv_.wait_until(lock, pending_.front().enqueued + cfg_.max_linger);
+      // Wake for whichever comes first: the front's linger cut or the
+      // earliest pending deadline (an expired request must resolve on
+      // time even when no new submission arrives to nudge the drainer).
+      ClockPoint wake = pending_.front().enqueued + cfg_.max_linger;
+      for (const Request& r : pending_)
+        if (r.has_deadline && r.deadline < wake) wake = r.deadline;
+      cv_.wait_until(lock, wake);
       continue;
     }
     Batch batch = take_front_locked();

@@ -41,12 +41,14 @@
 // shedding are asserted exactly, with no sleeps and no flakiness.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <span>
 #include <string_view>
@@ -87,14 +89,35 @@ struct SchedulerConfig {
   std::function<std::chrono::steady_clock::time_point()> now;
 };
 
+/// Per-request submission options.
+struct SubmitOptions {
+  /// Completion deadline, measured from admission on the scheduler's
+  /// clock; zero means none.  A request whose deadline passes before its
+  /// batch starts executing resolves with DeadlineExceededError (counted
+  /// `expired`) WITHOUT paying the forward pass; a negative deadline is
+  /// unmeetable and is shed at admission with kDeadlineExceeded.  Once a
+  /// batch starts executing it always completes (expiry is checked at
+  /// scheduling points, never mid-forward).
+  std::chrono::microseconds deadline{0};
+};
+
 /// Admission handle: `error == ServeError::kNone` means the request was
 /// admitted and `result` will resolve; otherwise the request was refused
 /// and `result` is invalid.
 struct Submitted {
   ServeError error = ServeError::kNone;
   std::future<PredictionSet> result;
+  /// Cooperative cancellation flag; set for admitted non-empty requests.
+  std::shared_ptr<std::atomic<bool>> cancel_flag;
   [[nodiscard]] bool admitted() const noexcept {
     return error == ServeError::kNone;
+  }
+  /// Ask the scheduler to drop this request.  Honored at the next
+  /// scheduling point if the request is still queued (future resolves
+  /// with CancelledError, counted `cancelled`); a request already
+  /// executing completes normally.  Never blocks; safe to call twice.
+  void request_cancel() const noexcept {
+    if (cancel_flag) cancel_flag->store(true, std::memory_order_relaxed);
   }
 };
 
@@ -110,18 +133,26 @@ class BatchScheduler {
   BatchScheduler& operator=(const BatchScheduler&) = delete;
 
   /// Enqueue `samples` against `engine`.  Never blocks; a full queue
-  /// sheds with kOverloaded, a downed scheduler with kShutdown.  The
-  /// caller keeps `samples` alive and unmodified until the future
-  /// resolves (the batch references them in place — plan-cache keying
-  /// is by sample address).  An empty span completes immediately.
+  /// sheds with kOverloaded, a downed scheduler with kShutdown, a
+  /// draining one with kDraining.  The caller keeps `samples` alive and
+  /// unmodified until the future resolves (the batch references them in
+  /// place — plan-cache keying is by sample address).  An empty span
+  /// completes immediately.
   [[nodiscard]] Submitted submit(const InferenceEngine& engine,
-                                 std::span<const data::Sample> samples);
+                                 std::span<const data::Sample> samples,
+                                 SubmitOptions opts = {});
 
   /// Registry-routed submission: resolves `model` by name and sheds with
-  /// kUnknownModel when the registry holds no such bundle.
+  /// kUnknownModel when the registry holds no such bundle.  The request
+  /// keeps the resolved engine alive (shared ownership), so a concurrent
+  /// ModelRegistry::swap_bundle never tears an in-flight batch: requests
+  /// admitted before the swap finish on the old engine, requests after
+  /// it run on the new one, and batches never mix the two (batching is
+  /// by engine identity).
   [[nodiscard]] Submitted submit(const ModelRegistry& registry,
                                  std::string_view model,
-                                 std::span<const data::Sample> samples);
+                                 std::span<const data::Sample> samples,
+                                 SubmitOptions opts = {});
 
   /// Execute every batch that is *ready* (full cut or expired linger)
   /// right now; returns the number of batches executed.  The manual
@@ -139,6 +170,16 @@ class BatchScheduler {
   /// rides on this so concurrent batch calls make progress on each
   /// other's work instead of serializing.
   void help_until(const std::future<PredictionSet>& fut);
+
+  /// Graceful drain: stop admitting (new submissions shed with
+  /// kDraining), execute every already-admitted request — expired or
+  /// cancelled ones resolve with their typed error, the rest complete
+  /// normally — and return once every admitted future has been resolved
+  /// (zero lost futures).  Works in both drainer-thread and manual
+  /// modes; idempotent.  The scheduler stays in the draining state
+  /// afterwards — the graceful half of shutdown(), which remains the
+  /// terminal call.
+  void drain();
 
   /// Stop accepting work, join the drainer, and fail every pending
   /// request with ShutdownError (counted as cancelled).  Idempotent;
@@ -158,15 +199,40 @@ class BatchScheduler {
     std::span<const data::Sample> samples;
     std::promise<PredictionSet> promise;
     ClockPoint enqueued;
+    ClockPoint deadline{};
+    bool has_deadline = false;
+    std::shared_ptr<std::atomic<bool>> cancelled;
+    /// Registry-routed requests co-own their engine so a hot swap can
+    /// never free it under an in-flight batch (null on the engine path,
+    /// where the caller owns the engine).
+    std::shared_ptr<const InferenceEngine> keep_alive;
   };
   using Batch = std::vector<Request>;
+  /// A request swept out of the queue before execution, with why.
+  struct DeadRequest {
+    Request req;
+    bool was_cancelled = false;  ///< else: deadline expired
+  };
 
+  [[nodiscard]] Submitted submit_impl(
+      const InferenceEngine* engine,
+      std::shared_ptr<const InferenceEngine> keep_alive,
+      std::span<const data::Sample> samples, SubmitOptions opts);
   [[nodiscard]] ClockPoint clock_now() const;
-  /// True when the front batch may execute at `now` (full or linger cut).
+  /// True when the front batch may execute at `now` (full or linger cut;
+  /// while draining, any pending request is ready).
   [[nodiscard]] bool front_ready_locked(ClockPoint now) const;
   /// Pop the front batch (maximal same-engine run within the sample
   /// bound); empty when nothing is pending.
   [[nodiscard]] Batch take_front_locked();
+  /// Sweep cancelled/expired requests out of the queue (counters
+  /// committed under the lock; callers resolve them via resolve_dead).
+  [[nodiscard]] std::vector<DeadRequest> collect_dead_locked(ClockPoint now);
+  /// Resolve swept requests with their typed error, outside the lock.
+  void resolve_dead(std::vector<DeadRequest>& dead);
+  /// collect + resolve in one step; every scheduling entry point calls
+  /// this first so expiry/cancellation is observed before batching.
+  void reap();
   /// Run one batch and resolve its promises; updates counters.
   void execute(Batch batch);
   void drain_loop();
@@ -176,8 +242,14 @@ class BatchScheduler {
 
   mutable std::mutex mu_;
   std::condition_variable cv_;  ///< wakes the drainer thread
+  std::condition_variable drained_cv_;  ///< drain() completion signal
   std::deque<Request> pending_;
   bool shutdown_ = false;
+  bool draining_ = false;
+  /// Requests taken from the queue whose futures are not yet resolved —
+  /// bridges the gap between the counter commit and the promise
+  /// resolution so drain() cannot return with a future still pending.
+  std::size_t executing_ = 0;
   ServeStats stats_;  ///< counters under mu_ (plan_cache filled per snapshot)
   std::thread drainer_;
 };

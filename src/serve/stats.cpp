@@ -9,7 +9,7 @@ void print_stats(std::ostream& os, const ServeStats& s) {
      << "  requests   submitted " << s.submitted << ", admitted "
      << s.admitted << ", shed " << s.shed << ", completed " << s.completed
      << ", failed " << s.failed << ", cancelled " << s.cancelled
-     << ", in-flight " << s.in_flight() << "\n"
+     << ", expired " << s.expired << ", in-flight " << s.in_flight() << "\n"
      << "  batches    " << s.batches << " (" << s.batch_samples
      << " samples, mean " << s.mean_batch_samples() << ", peak "
      << s.peak_batch_samples << ")\n"

@@ -6,7 +6,7 @@
 // tests pin directly:
 //
 //   submitted == admitted + shed
-//   admitted  == completed + failed + cancelled + in_flight()
+//   admitted  == completed + failed + cancelled + expired + in_flight()
 //
 // Latency is measured with the scheduler's injected clock from request
 // admission to request completion, so under the deterministic test rig
@@ -29,7 +29,10 @@ struct ServeStats {
   std::uint64_t shed = 0;       ///< refused at admission (queue full)
   std::uint64_t completed = 0;  ///< future resolved with predictions
   std::uint64_t failed = 0;     ///< future resolved with a forward error
-  std::uint64_t cancelled = 0;  ///< failed with ShutdownError at shutdown
+  std::uint64_t cancelled = 0;  ///< ShutdownError at shutdown, or a
+                                ///< caller's request_cancel() honored
+  std::uint64_t expired = 0;    ///< deadline passed before execution
+                                ///< (DeadlineExceededError, no forward)
 
   // -- batching --------------------------------------------------------
   std::uint64_t batches = 0;        ///< executed micro-batches
@@ -49,7 +52,7 @@ struct ServeStats {
 
   /// Requests admitted but not yet resolved.
   [[nodiscard]] std::uint64_t in_flight() const noexcept {
-    return admitted - completed - failed - cancelled;
+    return admitted - completed - failed - cancelled - expired;
   }
   /// Mean admission-to-completion latency over resolved requests.
   [[nodiscard]] double mean_latency_us() const noexcept {

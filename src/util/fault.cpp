@@ -1,0 +1,223 @@
+#include "util/fault.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace rnx::util {
+
+namespace {
+
+struct Rule {
+  enum class Kind : std::uint8_t { kNth, kEvery, kProb, kAlways };
+  std::string pattern;  ///< site name, optionally ending in '*'
+  Kind kind = Kind::kAlways;
+  std::uint64_t n = 1;          ///< nth / every operand
+  double p = 0.0;               ///< prob operand
+  std::uint64_t seed = 1;       ///< prob stream seed
+  std::uint64_t limit = ~0ull;  ///< max firings
+  std::uint64_t param = 0;      ///< site-defined payload
+  RngStream rng{1};
+  std::uint64_t hits = 0;
+  std::uint64_t fired = 0;
+
+  [[nodiscard]] bool matches(std::string_view site) const noexcept {
+    if (!pattern.empty() && pattern.back() == '*')
+      return site.substr(0, pattern.size() - 1) ==
+             std::string_view(pattern).substr(0, pattern.size() - 1);
+    return site == pattern;
+  }
+};
+
+std::uint64_t parse_u64(const std::string& s, const std::string& ctx) {
+  if (s.empty() || s.find_first_not_of("0123456789") != std::string::npos)
+    throw std::invalid_argument("FaultInjector: bad integer '" + s +
+                                "' in " + ctx);
+  return std::stoull(s);
+}
+
+double parse_prob(const std::string& s, const std::string& ctx) {
+  std::size_t used = 0;
+  double v = -1.0;
+  try {
+    v = std::stod(s, &used);
+  } catch (const std::exception&) {
+    used = 0;
+  }
+  if (used != s.size() || v < 0.0 || v > 1.0)
+    throw std::invalid_argument("FaultInjector: bad probability '" + s +
+                                "' in " + ctx + " (need [0,1])");
+  return v;
+}
+
+Rule parse_rule(const std::string& entry) {
+  const auto eq = entry.find('=');
+  if (eq == std::string::npos || eq == 0 || eq + 1 == entry.size())
+    throw std::invalid_argument("FaultInjector: rule '" + entry +
+                                "' is not <site>=<directive>[,...]");
+  Rule r;
+  r.pattern = entry.substr(0, eq);
+  std::string rest = entry.substr(eq + 1);
+  bool first = true;
+  while (!rest.empty()) {
+    const auto comma = rest.find(',');
+    const std::string tok = rest.substr(0, comma);
+    rest = comma == std::string::npos ? std::string() : rest.substr(comma + 1);
+    const auto colon = tok.find(':');
+    const std::string key = tok.substr(0, colon);
+    const std::string arg =
+        colon == std::string::npos ? std::string() : tok.substr(colon + 1);
+    if (first) {
+      first = false;
+      if (key == "nth") {
+        r.kind = Rule::Kind::kNth;
+        r.n = parse_u64(arg, entry);
+        if (r.n == 0)
+          throw std::invalid_argument("FaultInjector: nth:0 in " + entry);
+      } else if (key == "every") {
+        r.kind = Rule::Kind::kEvery;
+        r.n = parse_u64(arg, entry);
+        if (r.n == 0)
+          throw std::invalid_argument("FaultInjector: every:0 in " + entry);
+      } else if (key == "prob") {
+        r.kind = Rule::Kind::kProb;
+        r.p = parse_prob(arg, entry);
+      } else if (key == "always") {
+        r.kind = Rule::Kind::kAlways;
+      } else {
+        throw std::invalid_argument("FaultInjector: unknown directive '" +
+                                    key + "' in " + entry);
+      }
+      continue;
+    }
+    if (key == "limit") {
+      r.limit = parse_u64(arg, entry);
+    } else if (key == "param") {
+      r.param = parse_u64(arg, entry);
+    } else if (key == "seed") {
+      r.seed = parse_u64(arg, entry);
+    } else {
+      throw std::invalid_argument("FaultInjector: unknown modifier '" + key +
+                                  "' in " + entry);
+    }
+  }
+  r.rng = RngStream(r.seed);
+  return r;
+}
+
+std::vector<Rule> parse_spec(const std::string& spec) {
+  std::vector<Rule> rules;
+  std::string rest = spec;
+  while (!rest.empty()) {
+    const auto semi = rest.find(';');
+    const std::string entry = rest.substr(0, semi);
+    rest = semi == std::string::npos ? std::string() : rest.substr(semi + 1);
+    if (entry.empty()) continue;
+    rules.push_back(parse_rule(entry));
+  }
+  return rules;
+}
+
+}  // namespace
+
+struct FaultInjector::Impl {
+  std::atomic<bool> armed{false};
+  mutable std::mutex mu;
+  std::vector<Rule> rules;  ///< spec order; first match wins
+
+  Rule* match(std::string_view site) {
+    for (Rule& r : rules)
+      if (r.matches(site)) return &r;
+    return nullptr;
+  }
+  const Rule* match(std::string_view site) const {
+    for (const Rule& r : rules)
+      if (r.matches(site)) return &r;
+    return nullptr;
+  }
+};
+
+FaultInjector::FaultInjector() : impl_(new Impl) {
+  if (const char* spec = std::getenv("RNX_FAULT_SPEC");
+      spec != nullptr && spec[0] != '\0') {
+    try {
+      configure(spec);
+    } catch (const std::exception& e) {
+      // A chaos run whose spec silently failed to parse would test
+      // nothing; fail the process loudly instead.
+      std::fprintf(stderr, "fatal: RNX_FAULT_SPEC: %s\n", e.what());
+      std::abort();
+    }
+  }
+}
+
+FaultInjector& FaultInjector::instance() {
+  static FaultInjector* singleton = new FaultInjector();
+  return *singleton;
+}
+
+void FaultInjector::configure(const std::string& spec) {
+  std::vector<Rule> rules = parse_spec(spec);  // may throw; state untouched
+  const std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->rules = std::move(rules);
+  impl_->armed.store(!impl_->rules.empty(), std::memory_order_relaxed);
+}
+
+void FaultInjector::reset() {
+  const std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->rules.clear();
+  impl_->armed.store(false, std::memory_order_relaxed);
+}
+
+bool FaultInjector::enabled() const noexcept {
+  return impl_->armed.load(std::memory_order_relaxed);
+}
+
+bool FaultInjector::fire(std::string_view site) {
+  if (!enabled()) return false;
+  const std::lock_guard<std::mutex> lock(impl_->mu);
+  Rule* r = impl_->match(site);
+  if (r == nullptr) return false;
+  ++r->hits;
+  bool f = false;
+  switch (r->kind) {
+    case Rule::Kind::kNth: f = r->hits == r->n; break;
+    case Rule::Kind::kEvery: f = r->hits % r->n == 0; break;
+    case Rule::Kind::kProb: f = r->rng.bernoulli(r->p); break;
+    case Rule::Kind::kAlways: f = true; break;
+  }
+  if (f && r->fired >= r->limit) f = false;
+  if (f) ++r->fired;
+  return f;
+}
+
+void FaultInjector::maybe_throw(std::string_view site) {
+  if (enabled() && fire(site))
+    throw FaultInjectedError("injected fault at site '" + std::string(site) +
+                             "'");
+}
+
+std::uint64_t FaultInjector::param(std::string_view site) const {
+  const std::lock_guard<std::mutex> lock(impl_->mu);
+  const Rule* r = impl_->match(site);
+  return r != nullptr ? r->param : 0;
+}
+
+std::uint64_t FaultInjector::hits(std::string_view site) const {
+  const std::lock_guard<std::mutex> lock(impl_->mu);
+  const Rule* r = impl_->match(site);
+  return r != nullptr ? r->hits : 0;
+}
+
+std::uint64_t FaultInjector::fired(std::string_view site) const {
+  const std::lock_guard<std::mutex> lock(impl_->mu);
+  const Rule* r = impl_->match(site);
+  return r != nullptr ? r->fired : 0;
+}
+
+}  // namespace rnx::util

@@ -1,0 +1,38 @@
+#include "util/signal.hpp"
+
+#include <atomic>
+#include <csignal>
+
+namespace rnx::util {
+
+namespace {
+
+std::atomic<int> g_signal{0};
+static_assert(std::atomic<int>::is_always_lock_free,
+              "signal handler needs a lock-free flag");
+
+void rnx_on_signal(int signum) {
+  g_signal.store(signum, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+void install_interrupt_handlers() noexcept {
+  std::signal(SIGINT, rnx_on_signal);
+  std::signal(SIGTERM, rnx_on_signal);
+}
+
+bool interrupt_requested() noexcept {
+  return g_signal.load(std::memory_order_relaxed) != 0;
+}
+
+int interrupt_exit_code() noexcept {
+  const int s = g_signal.load(std::memory_order_relaxed);
+  return 128 + (s == 0 ? SIGINT : s);
+}
+
+void clear_interrupt() noexcept {
+  g_signal.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace rnx::util

@@ -1,0 +1,30 @@
+// Cooperative SIGINT/SIGTERM handling for the CLI tools (DESIGN.md §R).
+//
+// The handlers only set a flag; the tools poll it at safe boundaries —
+// rnx_train between optimizer batches (where it finalizes a checkpoint),
+// rnx_datagen between committed samples (where it finalizes the shard +
+// manifest), rnx_serve between submissions (where it drains the
+// scheduler).  Every on-disk artifact goes through the atomic
+// write-temp-then-rename path, so an interrupted run leaves either the
+// previous artifact or the new one — never a torn file — and exits with
+// the conventional 128+signal code (130 for SIGINT).
+#pragma once
+
+namespace rnx::util {
+
+/// Install SIGINT and SIGTERM handlers that record the signal instead of
+/// killing the process.  Idempotent.
+void install_interrupt_handlers() noexcept;
+
+/// True once a handled signal arrived.
+[[nodiscard]] bool interrupt_requested() noexcept;
+
+/// Conventional exit code for the received signal (128 + signum); 130
+/// when nothing arrived (callers only consult this after
+/// interrupt_requested()).
+[[nodiscard]] int interrupt_exit_code() noexcept;
+
+/// Re-arm (tests).
+void clear_interrupt() noexcept;
+
+}  // namespace rnx::util

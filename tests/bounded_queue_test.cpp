@@ -1,0 +1,81 @@
+// BoundedQueue shutdown-path regression tests.  The load-bearing one is
+// CloseWakesBlockedPush: a producer parked in the blocking push() must
+// wake and observe `false` when the consumer closes the queue —
+// otherwise every streaming-training shutdown with a full prefetch
+// queue deadlocks (the consumer stops popping, the producer never gets
+// space, and join() hangs forever).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <optional>
+#include <thread>
+
+#include "util/bounded_queue.hpp"
+
+namespace {
+
+using rnx::util::BoundedQueue;
+
+TEST(BoundedQueue, CloseWakesBlockedPush) {
+  BoundedQueue<int> q(1);
+  ASSERT_TRUE(q.try_push(1));  // queue is now full
+
+  std::atomic<bool> returned{false};
+  std::thread producer([&] {
+    const bool accepted = q.push(2);  // blocks: no space, nobody popping
+    EXPECT_FALSE(accepted);           // close(), not space, woke us
+    returned = true;
+  });
+
+  // Give the producer time to actually park on the space condvar.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(returned.load());
+
+  q.close();
+  producer.join();
+  EXPECT_TRUE(returned.load());
+
+  // The tail that was queued before close() still drains...
+  EXPECT_EQ(q.pop(), std::optional<int>(1));
+  // ...and only then does pop report end-of-stream.
+  EXPECT_EQ(q.pop(), std::nullopt);
+}
+
+TEST(BoundedQueue, CloseWakesBlockedPop) {
+  BoundedQueue<int> q(4);
+  std::atomic<bool> returned{false};
+  std::thread consumer([&] {
+    EXPECT_EQ(q.pop(), std::nullopt);  // blocks until close
+    returned = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(returned.load());
+  q.close();
+  consumer.join();
+  EXPECT_TRUE(returned.load());
+}
+
+TEST(BoundedQueue, PushRefusedAfterClose) {
+  BoundedQueue<int> q(4);
+  ASSERT_TRUE(q.push(1));
+  q.close();
+  EXPECT_FALSE(q.push(2));      // blocking push fails immediately
+  EXPECT_FALSE(q.try_push(3));  // and so does the non-blocking one
+  EXPECT_EQ(q.size(), 1u);      // neither leaked an item in
+}
+
+TEST(BoundedQueue, BlockedPushCompletesWhenSpaceFrees) {
+  BoundedQueue<int> q(1);
+  ASSERT_TRUE(q.try_push(1));
+  std::atomic<bool> accepted{false};
+  std::thread producer([&] { accepted = q.push(2); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(accepted.load());
+  EXPECT_EQ(q.pop(), std::optional<int>(1));  // frees the slot
+  producer.join();
+  EXPECT_TRUE(accepted.load());
+  EXPECT_EQ(q.pop(), std::optional<int>(2));  // the unblocked item landed
+}
+
+}  // namespace

@@ -1,0 +1,160 @@
+// FaultInjector unit tests (DESIGN.md §R): spec grammar, firing
+// directives, modifiers, prefix matching, counters, and the disarmed
+// fast path.  The injector is a process-wide singleton, so every test
+// disarms it on teardown — a leaked rule would silently poison later
+// tests in the same binary.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "util/fault.hpp"
+
+namespace {
+
+using rnx::util::fault_fires;
+using rnx::util::FaultInjectedError;
+using rnx::util::FaultInjector;
+
+class FaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FaultInjector::instance().reset(); }
+  void TearDown() override { FaultInjector::instance().reset(); }
+};
+
+TEST_F(FaultTest, DisarmedByDefault) {
+  FaultInjector& fi = FaultInjector::instance();
+  EXPECT_FALSE(fi.enabled());
+  EXPECT_FALSE(fault_fires("io.atomic.write"));
+  // Disarmed hits are not even counted — the zero-cost contract.
+  EXPECT_EQ(fi.hits("io.atomic.write"), 0u);
+  EXPECT_EQ(fi.param("io.atomic.write"), 0u);
+}
+
+TEST_F(FaultTest, NthFiresOnExactlyTheKthHit) {
+  FaultInjector& fi = FaultInjector::instance();
+  fi.configure("site.a=nth:3");
+  EXPECT_TRUE(fi.enabled());
+  EXPECT_FALSE(fi.fire("site.a"));
+  EXPECT_FALSE(fi.fire("site.a"));
+  EXPECT_TRUE(fi.fire("site.a"));
+  EXPECT_FALSE(fi.fire("site.a"));
+  EXPECT_FALSE(fi.fire("site.a"));
+  EXPECT_EQ(fi.hits("site.a"), 5u);
+  EXPECT_EQ(fi.fired("site.a"), 1u);
+}
+
+TEST_F(FaultTest, EveryFiresPeriodically) {
+  FaultInjector& fi = FaultInjector::instance();
+  fi.configure("s=every:3");
+  std::vector<bool> fired;
+  for (int i = 0; i < 9; ++i) fired.push_back(fi.fire("s"));
+  const std::vector<bool> want = {false, false, true, false, false,
+                                  true, false, false, true};
+  EXPECT_EQ(fired, want);
+  EXPECT_EQ(fi.fired("s"), 3u);
+}
+
+TEST_F(FaultTest, AlwaysWithLimitStopsAfterMFirings) {
+  FaultInjector& fi = FaultInjector::instance();
+  fi.configure("s=always,limit:2");
+  EXPECT_TRUE(fi.fire("s"));
+  EXPECT_TRUE(fi.fire("s"));
+  EXPECT_FALSE(fi.fire("s"));
+  EXPECT_FALSE(fi.fire("s"));
+  EXPECT_EQ(fi.fired("s"), 2u);
+  EXPECT_EQ(fi.hits("s"), 4u);
+}
+
+TEST_F(FaultTest, ProbEndpointsAndSeededReplay) {
+  FaultInjector& fi = FaultInjector::instance();
+  fi.configure("s=prob:1.0");
+  for (int i = 0; i < 8; ++i) EXPECT_TRUE(fi.fire("s"));
+  fi.configure("s=prob:0.0");
+  for (int i = 0; i < 8; ++i) EXPECT_FALSE(fi.fire("s"));
+
+  // Same seed => same Bernoulli sequence: the replayability contract.
+  fi.configure("s=prob:0.5,seed:9");
+  std::vector<bool> first;
+  for (int i = 0; i < 64; ++i) first.push_back(fi.fire("s"));
+  fi.configure("s=prob:0.5,seed:9");
+  std::vector<bool> second;
+  for (int i = 0; i < 64; ++i) second.push_back(fi.fire("s"));
+  EXPECT_EQ(first, second);
+  // And it is a real coin, not a constant.
+  std::size_t ones = 0;
+  for (const bool b : first) ones += b;
+  EXPECT_GT(ones, 0u);
+  EXPECT_LT(ones, first.size());
+}
+
+TEST_F(FaultTest, PrefixRuleArmsEveryMatchingSite) {
+  FaultInjector& fi = FaultInjector::instance();
+  fi.configure("io.*=always");
+  EXPECT_TRUE(fi.fire("io.atomic.write"));
+  EXPECT_TRUE(fi.fire("io.shard.bitflip"));
+  EXPECT_FALSE(fi.fire("serve.execute"));
+}
+
+TEST_F(FaultTest, ParamPayloadIsVisibleToTheSite) {
+  FaultInjector& fi = FaultInjector::instance();
+  fi.configure("serve.execute.slow=always,param:1500");
+  EXPECT_EQ(fi.param("serve.execute.slow"), 1500u);
+  EXPECT_EQ(fi.param("serve.execute"), 0u);  // no rule, no payload
+}
+
+TEST_F(FaultTest, MultiRuleSpecsAreIndependent) {
+  FaultInjector& fi = FaultInjector::instance();
+  fi.configure("a=nth:1;b=nth:2");
+  EXPECT_TRUE(fi.fire("a"));
+  EXPECT_FALSE(fi.fire("b"));
+  EXPECT_TRUE(fi.fire("b"));
+}
+
+TEST_F(FaultTest, MaybeThrowNamesTheSite) {
+  FaultInjector& fi = FaultInjector::instance();
+  fi.configure("source.producer=always");
+  try {
+    fi.maybe_throw("source.producer");
+    FAIL() << "armed site did not throw";
+  } catch (const FaultInjectedError& e) {
+    EXPECT_NE(std::string(e.what()).find("source.producer"),
+              std::string::npos)
+        << e.what();
+  }
+  // Disarmed site: maybe_throw is a no-op.
+  fi.reset();
+  EXPECT_NO_THROW(fi.maybe_throw("source.producer"));
+}
+
+TEST_F(FaultTest, ResetDisarmsAndClearsCounters) {
+  FaultInjector& fi = FaultInjector::instance();
+  fi.configure("s=always");
+  EXPECT_TRUE(fi.fire("s"));
+  fi.reset();
+  EXPECT_FALSE(fi.enabled());
+  EXPECT_FALSE(fi.fire("s"));
+  EXPECT_EQ(fi.hits("s"), 0u);
+  EXPECT_EQ(fi.fired("s"), 0u);
+}
+
+TEST_F(FaultTest, EmptySpecDisarms) {
+  FaultInjector& fi = FaultInjector::instance();
+  fi.configure("s=always");
+  fi.configure("");
+  EXPECT_FALSE(fi.enabled());
+}
+
+TEST_F(FaultTest, BadSpecsThrowAndLeaveInjectorDisarmed) {
+  FaultInjector& fi = FaultInjector::instance();
+  EXPECT_THROW(fi.configure("s"), std::invalid_argument);           // no '='
+  EXPECT_THROW(fi.configure("s=nth:0"), std::invalid_argument);    // 1-based
+  EXPECT_THROW(fi.configure("s=every:0"), std::invalid_argument);
+  EXPECT_THROW(fi.configure("s=sometimes"), std::invalid_argument);
+  EXPECT_THROW(fi.configure("s=prob:1.5"), std::invalid_argument);
+  EXPECT_THROW(fi.configure("s=prob:abc"), std::invalid_argument);
+  EXPECT_THROW(fi.configure("s=nth:2,bogus:1"), std::invalid_argument);
+  EXPECT_FALSE(fi.enabled());
+}
+
+}  // namespace

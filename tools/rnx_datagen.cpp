@@ -23,6 +23,7 @@
 // sample; identical digests across thread counts / shard layouts is
 // the equivalence CI pins.
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <optional>
@@ -34,10 +35,16 @@
 #include "data/shards.hpp"
 #include "sim/scenario.hpp"
 #include "topo/zoo.hpp"
+#include "util/signal.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 
 namespace {
+
+/// Thrown out of the sample sink when SIGINT/SIGTERM lands: unwinds the
+/// generator (which joins its lanes), after which the committed prefix
+/// is finalized as a valid, smaller dataset.
+struct Interrupted {};
 
 rnx::topo::Topology parse_topology(const std::string& name,
                                    std::uint64_t seed) {
@@ -173,25 +180,45 @@ int run(int argc, char** argv) {
     if (done % 25 == 0 || done == total)
       std::cout << "  " << done << "/" << total << "\n";
   };
+  // Interrupt discipline: handlers latch the signal; the sink (ordered,
+  // serialized) polls it between samples and unwinds, so the store is
+  // finalized from the committed prefix — every artifact on disk stays
+  // complete and loadable, just shorter.  Stale *.tmp twins from an
+  // earlier hard crash are swept before generating.
+  util::install_interrupt_handlers();
+  if (!out.empty())
+    data::io::remove_stale_temps(
+        std::filesystem::path(out).parent_path().string());
+
   util::Stopwatch watch;
   std::size_t total_paths = 0;
+  std::size_t committed = 0;
+  bool interrupted = false;
   const auto feed_side_outputs = [&](std::size_t i, const data::Sample& s) {
+    if (util::interrupt_requested()) throw Interrupted{};
     total_paths += s.paths.size();
     if (digests) *digests << hex_digest(data::io::sample_digest(s)) << "\n";
     if (csv) data::append_csv_rows(*csv, s, i);
+    committed = i + 1;
   };
 
   if (shards > 0) {
     const std::size_t per_shard = (count + shards - 1) / shards;
     data::ShardWriter writer(out, std::max<std::size_t>(per_shard, 1), seed,
                              data::config_digest(cfg));
-    data::generate_dataset_stream(
-        sampler, count, cfg, seed, threads,
-        [&](std::size_t i, data::Sample s) {
-          feed_side_outputs(i, s);
-          writer.add(s);
-        },
-        progress);
+    try {
+      data::generate_dataset_stream(
+          sampler, count, cfg, seed, threads,
+          [&](std::size_t i, data::Sample s) {
+            feed_side_outputs(i, s);
+            writer.add(s);
+          },
+          progress);
+    } catch (const Interrupted&) {
+      interrupted = true;
+    }
+    // finish() flushes the buffered partial shard and writes the
+    // manifest atomically: interrupted or not, the store is valid.
     const data::ShardManifest manifest = writer.finish();
     std::cout << "done in " << watch.seconds() << " s (" << total_paths
               << " paths)\n";
@@ -200,21 +227,29 @@ int run(int argc, char** argv) {
               << manifest.total_samples << " samples)\n";
   } else {
     std::vector<data::Sample> samples(count);
-    data::generate_dataset_stream(
-        sampler, count, cfg, seed, threads,
-        [&](std::size_t i, data::Sample s) {
-          feed_side_outputs(i, s);
-          samples[i] = std::move(s);
-        },
-        progress);
+    try {
+      data::generate_dataset_stream(
+          sampler, count, cfg, seed, threads,
+          [&](std::size_t i, data::Sample s) {
+            feed_side_outputs(i, s);
+            samples[i] = std::move(s);
+          },
+          progress);
+    } catch (const Interrupted&) {
+      interrupted = true;
+      samples.resize(committed);  // ordered commit: the prefix is whole
+    }
     const data::Dataset ds(std::move(samples));
     std::cout << "done in " << watch.seconds() << " s (" << total_paths
               << " paths)\n";
-    if (!out.empty()) {
+    if (!out.empty() && (!interrupted || !ds.empty())) {
       ds.save(out);
       std::cout << "dataset written: " << out << "\n";
     }
   }
+  if (interrupted)
+    std::cout << "interrupted: committed prefix finalized (" << committed
+              << "/" << count << " samples)\n";
   if (csv) std::cout << "csv written: " << csv->path() << "\n";
   if (digests) {
     // The digest file is the determinism artifact CI diffs — a silently
@@ -230,7 +265,7 @@ int run(int argc, char** argv) {
   }
   if (!args.has("out") && !args.has("csv") && !args.has("digests"))
     std::cout << "(no --out/--csv/--digests given: dry run)\n";
-  return 0;
+  return interrupted ? util::interrupt_exit_code() : 0;
 }
 
 int main(int argc, char** argv) {

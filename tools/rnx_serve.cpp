@@ -13,8 +13,20 @@
 // throughput; --verify additionally rechecks every response bitwise
 // against direct InferenceEngine::predict, which is the scheduler's
 // determinism contract (DESIGN.md §B2).  Exits 1 on any mismatch.
+//
+// Degradation rig (DESIGN.md §R): --deadline-ms attaches a completion
+// deadline to every request (expired ones resolve with
+// DeadlineExceededError, never a lost future); SIGINT/SIGTERM — or
+// --term-after N, which raises SIGTERM deterministically after N
+// requests for CI replay — stops the producer and drains gracefully:
+// admitted requests complete, late ones shed with kDraining, and the
+// final ServeStats snapshot is printed before exiting 128+signum.
+// Either way the run self-checks the conservation laws
+// (submitted == admitted + shed; every admitted future resolved) and
+// exits 1 when they do not hold.
 #include <algorithm>
 #include <chrono>
+#include <csignal>
 #include <iostream>
 #include <map>
 #include <thread>
@@ -27,6 +39,7 @@
 #include "serve/scheduler.hpp"
 #include "util/bounded_queue.hpp"
 #include "util/rng.hpp"
+#include "util/signal.hpp"
 #include "util/stats.hpp"
 #include "util/timer.hpp"
 
@@ -43,7 +56,8 @@ int run(int argc, char** argv) {
   const cli::Args args(
       argc, argv,
       {"bundle", "data", "requests", "clients", "threads", "max-batch",
-       "linger-us", "queue-depth", "seed", "verify"},
+       "linger-us", "queue-depth", "seed", "verify", "deadline-ms",
+       "term-after"},
       "usage: rnx_serve --bundle NAME=FILE [--bundle NAME=FILE ...] "
       "--data ds.rnxd [options]\n"
       "  --bundle NAME=FILE  register bundle FILE as model NAME\n"
@@ -56,7 +70,14 @@ int run(int argc, char** argv) {
       "  --linger-us L       micro-batch linger in us (default 100)\n"
       "  --queue-depth Q     admission bound in requests (default 1024)\n"
       "  --seed S            request routing seed (default 1)\n"
-      "  --verify            recheck every response bitwise vs predict()");
+      "  --deadline-ms D     per-request completion deadline (0 = none);\n"
+      "                      expired requests resolve with a typed error\n"
+      "  --term-after N      raise SIGTERM after issuing N requests — the\n"
+      "                      deterministic drain-path replay for CI\n"
+      "  --verify            recheck every response bitwise vs predict()\n"
+      "\n"
+      "SIGINT/SIGTERM drain gracefully: admitted requests complete, new\n"
+      "ones shed, final stats print, exit 128+signum.");
 
   const std::vector<std::string> bundle_specs = args.all("bundle");
   const std::string data_path = args.get("data", std::string());
@@ -101,6 +122,12 @@ int run(int argc, char** argv) {
       std::chrono::microseconds(args.get("linger-us", std::size_t{100}));
   serve::BatchScheduler scheduler(cfg, registry.pool());
 
+  serve::SubmitOptions submit_opts;
+  submit_opts.deadline = std::chrono::duration_cast<std::chrono::microseconds>(
+      std::chrono::milliseconds(args.get("deadline-ms", std::size_t{0})));
+  const std::size_t term_after = args.get("term-after", std::size_t{0});
+  util::install_interrupt_handlers();
+
   // Deterministic workload: one stream draws every request's route.
   const std::size_t requests = args.get("requests", std::size_t{256});
   const std::size_t clients = std::max<std::size_t>(
@@ -125,7 +152,11 @@ int run(int argc, char** argv) {
     std::vector<double> latency_us;
     std::vector<std::size_t> answered;  ///< plan indices, for --verify
     std::vector<std::vector<double>> responses;
+    std::size_t admitted = 0;  ///< futures handed out — all must resolve
+    std::size_t resolved = 0;  ///< futures that delivered value OR error
     std::size_t shed = 0;
+    std::size_t expired = 0;    ///< DeadlineExceededError resolutions
+    std::size_t cancelled = 0;  ///< Cancelled/ShutdownError resolutions
     std::size_t failed = 0;
     std::string first_error;
   };
@@ -141,18 +172,36 @@ int run(int argc, char** argv) {
       while (const std::optional<std::size_t> idx = feed.pop()) {
         const RequestPlan& r = plan[*idx];
         const auto t0 = std::chrono::steady_clock::now();
-        serve::Submitted sub = scheduler.submit(
-            registry, names[r.model], std::span(&ds[r.sample], 1));
+        serve::Submitted sub =
+            scheduler.submit(registry, names[r.model],
+                             std::span(&ds[r.sample], 1), submit_opts);
         if (!sub.admitted()) {
           ++log.shed;
           continue;
         }
+        ++log.admitted;
         serve::PredictionSet got;
         try {
           got = sub.result.get();
+          ++log.resolved;
+        } catch (const serve::DeadlineExceededError&) {
+          // The deadline passed while queued: typed, counted, and the
+          // forward pass was never paid — degradation, not failure.
+          ++log.resolved;
+          ++log.expired;
+          continue;
+        } catch (const serve::CancelledError&) {
+          ++log.resolved;
+          ++log.cancelled;
+          continue;
+        } catch (const serve::ShutdownError&) {
+          ++log.resolved;
+          ++log.cancelled;
+          continue;
         } catch (const std::exception& e) {
           // A failed request (e.g. feature-gating) is a reportable
           // outcome for the harness, not a process abort.
+          ++log.resolved;
           if (log.failed++ == 0) log.first_error = e.what();
           continue;
         }
@@ -166,10 +215,28 @@ int run(int argc, char** argv) {
       }
     });
 
-  for (std::size_t i = 0; i < requests; ++i)
-    while (!feed.try_push(i)) std::this_thread::yield();
+  std::size_t issued = 0;
+  for (std::size_t i = 0; i < requests; ++i) {
+    if (term_after != 0 && issued >= term_after &&
+        !util::interrupt_requested())
+      std::raise(SIGTERM);  // the deterministic CI stand-in for operator ^C
+    if (util::interrupt_requested()) break;
+    bool pushed = false;
+    while (!(pushed = feed.try_push(i)) && !util::interrupt_requested())
+      std::this_thread::yield();
+    if (!pushed) break;
+    ++issued;
+  }
+  // Graceful drain on signal (or normal end-of-workload): stop feeding,
+  // let clients finish their in-hand requests, then drain the scheduler
+  // so every admitted future resolves before stats print.
   feed.close();
   for (std::thread& w : workers) w.join();
+  const bool interrupted = util::interrupt_requested();
+  if (interrupted)
+    std::cout << "signal received after " << issued << "/" << requests
+              << " requests: draining scheduler...\n";
+  scheduler.drain();
   const double wall_s = wall.seconds();
 
   serve::ServeStats stats = scheduler.stats();
@@ -177,11 +244,16 @@ int run(int argc, char** argv) {
   serve::print_stats(std::cout, stats);
 
   std::vector<double> lat;
-  std::size_t shed = 0, failed = 0;
+  std::size_t admitted = 0, resolved = 0, shed = 0, expired = 0,
+              cancelled = 0, failed = 0;
   std::string first_error;
   for (const ClientLog& log : logs) {
     lat.insert(lat.end(), log.latency_us.begin(), log.latency_us.end());
+    admitted += log.admitted;
+    resolved += log.resolved;
     shed += log.shed;
+    expired += log.expired;
+    cancelled += log.cancelled;
     failed += log.failed;
     if (first_error.empty()) first_error = log.first_error;
   }
@@ -190,7 +262,8 @@ int run(int argc, char** argv) {
               << ")\n";
   std::sort(lat.begin(), lat.end());
   std::cout << "client side: " << lat.size() << " answered, " << shed
-            << " shed, wall " << wall_s << " s, throughput "
+            << " shed, " << expired << " expired, " << cancelled
+            << " cancelled, wall " << wall_s << " s, throughput "
             << (wall_s > 0 ? static_cast<double>(lat.size()) / wall_s : 0)
             << " req/s\n"
             << "latency p50 "
@@ -216,6 +289,37 @@ int run(int argc, char** argv) {
     std::cout << "verify: " << mismatches
               << " mismatches vs direct predict()\n";
     if (mismatches != 0) return 1;
+  }
+
+  // Conservation self-checks (DESIGN.md §R): every submission is
+  // accounted for, and every admitted future resolved — a violation
+  // means the scheduler lost a request, which no exit path may mask.
+  bool conserved = true;
+  if (stats.submitted != stats.admitted + stats.shed) {
+    std::cerr << "CONSERVATION VIOLATION: submitted " << stats.submitted
+              << " != admitted " << stats.admitted << " + shed "
+              << stats.shed << "\n";
+    conserved = false;
+  }
+  if (stats.admitted != admitted) {
+    std::cerr << "CONSERVATION VIOLATION: scheduler admitted "
+              << stats.admitted << " != client-side admitted " << admitted
+              << "\n";
+    conserved = false;
+  }
+  if (resolved != admitted) {
+    std::cerr << "CONSERVATION VIOLATION: " << (admitted - resolved)
+              << " admitted future(s) never resolved (admitted " << admitted
+              << ", resolved " << resolved << ")\n";
+    conserved = false;
+  }
+  if (!conserved) return 1;
+  std::cout << "conservation: ok (submitted == admitted + shed; "
+               "all futures resolved)\n";
+  if (interrupted) {
+    std::cout << "drained after signal; exiting "
+              << util::interrupt_exit_code() << "\n";
+    return util::interrupt_exit_code();
   }
   return 0;
 }

@@ -24,9 +24,11 @@
 #include "core/routenet.hpp"
 #include "core/routenet_ext.hpp"
 #include "core/trainer.hpp"
+#include "data/sample_io.hpp"
 #include "data/source.hpp"
 #include "eval/metrics.hpp"
 #include "serve/bundle.hpp"
+#include "util/signal.hpp"
 
 namespace {
 
@@ -37,7 +39,7 @@ int run(int argc, char** argv) {
       {"train", "eval", "model", "target", "epochs", "lr", "batch",
        "state-dim", "iterations", "min-delivered", "save", "save-bundle",
        "load", "scaler-from", "seed", "threads", "quiet",
-       "scenario-features"},
+       "scenario-features", "checkpoint-dir", "checkpoint-every", "resume"},
       "usage: rnx_train --train ds.rnxd [--eval test.rnxd] [options]\n"
       "  --train FILE      training dataset (.rnxd, or a sharded .rnxm\n"
       "                    manifest — streamed, never fully in memory)\n"
@@ -62,6 +64,15 @@ int run(int argc, char** argv) {
       "  --scenario-features  feed scheduling-policy / flow-class /\n"
       "                    traffic-process inputs (needs a scenario-\n"
       "                    recording dataset; persisted in the bundle)\n"
+      "  --checkpoint-dir D   write a crash-safe .rnxc checkpoint to D\n"
+      "                    (atomically, every --checkpoint-every batches\n"
+      "                    and at each epoch end); SIGINT/SIGTERM also\n"
+      "                    finalize one before exiting with code 130/143\n"
+      "  --checkpoint-every N optimizer steps between checkpoints,\n"
+      "                    default 25 (0 = epoch boundaries only)\n"
+      "  --resume          resume from --checkpoint-dir's checkpoint; the\n"
+      "                    resumed run is bitwise-identical to an\n"
+      "                    uninterrupted one\n"
       "  --quiet           suppress per-epoch logs");
 
   // Data-parallel lanes, shared by training and evaluation.
@@ -130,6 +141,20 @@ int run(int argc, char** argv) {
     tc.seed = args.get("seed", std::size_t{42});
     tc.threads = threads;
     tc.verbose = !args.has("quiet");
+    tc.checkpoint_dir = args.get("checkpoint-dir", std::string());
+    tc.checkpoint_every = args.get("checkpoint-every", std::size_t{25});
+    tc.resume = args.has("resume");
+    if (!tc.checkpoint_dir.empty()) {
+      // A crash between flush and rename leaves a *.tmp twin behind;
+      // sweep it so the directory always holds exactly the real files.
+      const std::size_t stale =
+          data::io::remove_stale_temps(tc.checkpoint_dir);
+      if (stale != 0 && tc.verbose)
+        std::cout << "removed " << stale << " stale temp file(s) from "
+                  << tc.checkpoint_dir << "\n";
+      util::install_interrupt_handlers();
+      tc.stop_requested = [] { return util::interrupt_requested(); };
+    }
     core::Trainer trainer(*model, tc);
     std::vector<core::EpochRecord> history;
     if (data::is_manifest_file(train_path)) {
@@ -148,6 +173,13 @@ int run(int argc, char** argv) {
                 << " samples (target: " << core::to_string(*target)
                 << ")...\n";
       history = trainer.fit(train, scaler);
+    }
+    if (trainer.interrupted()) {
+      // The signal landed at a batch boundary and a final checkpoint was
+      // written; conventional 128+signum exit, nothing half-saved.
+      std::cout << "interrupted: checkpoint finalized in "
+                << tc.checkpoint_dir << "; rerun with --resume to continue\n";
+      return util::interrupt_exit_code();
     }
     if (history.empty())
       std::cout << "no epochs trained (--epochs 0): weights stay at "
