@@ -31,13 +31,11 @@ int main() {
   const core::MpPlan ext_plan = core::build_plan(sample, true);
 
   std::size_t ext_node_positions = 0, ext_link_positions = 0;
-  std::size_t ext_elems = 0;
-  for (const auto& p : ext_plan.positions) {
-    (p.is_node ? ext_node_positions : ext_link_positions) += 1;
-    ext_elems += p.path_rows.size();
-  }
-  std::size_t orig_elems = 0;
-  for (const auto& p : orig_plan.positions) orig_elems += p.path_rows.size();
+  for (std::size_t i = 0; i < ext_plan.num_positions(); ++i)
+    (ext_plan.position(i).is_node ? ext_node_positions : ext_link_positions) +=
+        1;
+  const std::size_t ext_elems = ext_plan.total_entries();
+  const std::size_t orig_elems = orig_plan.total_entries();
 
   util::Table structure({"quantity", "original", "extended"});
   structure
@@ -48,12 +46,12 @@ int main() {
       .add_row({"node entities", "0 (not modelled)",
                 util::Table::cell(ext_plan.num_nodes)})
       .add_row({"RNN_P sequence positions",
-                util::Table::cell(orig_plan.positions.size()),
-                util::Table::cell(ext_plan.positions.size())})
+                util::Table::cell(orig_plan.num_positions()),
+                util::Table::cell(ext_plan.num_positions())})
       .add_row({"  of which node positions", "0",
                 util::Table::cell(ext_node_positions)})
       .add_row({"  of which link positions",
-                util::Table::cell(orig_plan.positions.size()),
+                util::Table::cell(orig_plan.num_positions()),
                 util::Table::cell(ext_link_positions)})
       .add_row({"sequence elements (sum over paths)",
                 util::Table::cell(orig_elems), util::Table::cell(ext_elems)})
@@ -63,8 +61,8 @@ int main() {
 
   // The interleaving invariant of Fig. 1: node1-link1-node2-link2-...
   bool interleaved = true;
-  for (std::size_t i = 0; i < ext_plan.positions.size(); ++i)
-    interleaved &= (ext_plan.positions[i].is_node == (i % 2 == 0));
+  for (std::size_t i = 0; i < ext_plan.num_positions(); ++i)
+    interleaved &= (ext_plan.position(i).is_node == (i % 2 == 0));
   std::cout << "\ninterleaving node-link-node-link holds: "
             << (interleaved ? "YES" : "NO") << "\n\n";
 

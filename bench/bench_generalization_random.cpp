@@ -14,6 +14,7 @@ int main() {
   using namespace rnx;
   benchcfg::print_banner(
       "Extension: generalization to random unseen topologies");
+  benchcfg::BenchResult result("generalization_random");
 
   eval::Fig2Config base = benchcfg::default_fig2_config();
   base.train_samples = benchcfg::scaled(benchcfg::quick_mode() ? 12 : 40);
@@ -41,6 +42,9 @@ int main() {
                  util::Table::cell(seen.median_ape * 100, 2) + " %",
                  util::Table::cell(seen.mape * 100, 2) + " %",
                  util::Table::cell(seen.pearson, 3)});
+  result.add("geant2_seen_median_ape", seen.median_ape);
+  result.add("geant2_seen_mape", seen.mape);
+  result.add("geant2_seen_pearson", seen.pearson);
 
   const std::size_t eval_n = benchcfg::quick_mode() ? 3 : 6;
   struct Shape {
@@ -61,10 +65,19 @@ int main() {
                    util::Table::cell(s.median_ape * 100, 2) + " %",
                    util::Table::cell(s.mape * 100, 2) + " %",
                    util::Table::cell(s.pearson, 3)});
+    const std::string tag = "random_n" + std::to_string(n);
+    result.add(tag + "_median_ape", s.median_ape);
+    result.add(tag + "_mape", s.mape);
+    result.add(tag + "_pearson", s.pearson);
   }
   table.print(std::cout);
   std::cout << "\nexpected shape: graceful degradation with topology-size\n"
                "distance from the 24-node training distribution; correlation\n"
                "stays clearly positive everywhere (the GNN transfers).\n";
+  result.set_config("GEANT2-trained ExtendedRouteNet, " +
+                    std::to_string(ds.train.size()) + " train samples, " +
+                    std::to_string(base.train.epochs) +
+                    " epochs; random_connected eval at n=10/16/24/32");
+  result.write();
   return 0;
 }

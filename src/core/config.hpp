@@ -68,6 +68,19 @@ struct ModelConfig {
   /// trained with this on refuse pre-scenario (v1) datasets with a
   /// descriptive error instead of silently reading zeros.
   bool scenario_features = false;
+  /// Feed scale-invariant inputs instead of raw z-scored rates
+  /// (DESIGN.md §G): column 0 becomes per-link utilization (summed path
+  /// traffic / capacity), per-path traffic over the bottleneck capacity,
+  /// and per-node queue occupancy fraction — all dimensionless, so a
+  /// model trained on small topologies transfers to much larger ones
+  /// ("Scaling Graph-based Deep Learning models to larger networks",
+  /// PAPERS.md).  Persisted in the bundle (v3); v1/v2 bundles imply off.
+  bool scale_invariant_features = false;
+  /// Normalize the link aggregation by the number of contributing
+  /// (path, position) messages — the symmetric twin of
+  /// node_mean_aggregation for the link update's segment_sum.  Default
+  /// off: the forward is bitwise-unchanged unless enabled.
+  bool link_mean_aggregation = false;
   std::uint64_t init_seed = 42;     ///< weight initialization stream
 };
 

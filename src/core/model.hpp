@@ -23,7 +23,7 @@ class ThreadPool;
 
 namespace rnx::core {
 
-struct MpPlan;
+class MpPlan;
 class PlanCache;
 
 /// Intermediate and final products of one forward pass, exposed for
@@ -142,27 +142,33 @@ class PlanCacheScope {
 // -- shared state builders (implemented in plan.cpp's TU neighbour) ------
 
 /// (P x H) initial path states: column 0 carries the z-scored offered
-/// traffic, the rest zero-padding — RouteNet's feature encoding.  With
-/// `scenario_features` (DESIGN.md §S), column 1 carries the path's
-/// scheduling class scaled to [0, 1] and columns 2..4 a one-hot of the
-/// scenario's traffic process; requires kScenarioFeatureMinDim state
-/// width and a sample that records its scenario (throws
-/// std::runtime_error otherwise — the bundle feature-gating contract).
+/// traffic — or, with cfg.scale_invariant_features, the dimensionless
+/// traffic-over-bottleneck-capacity ratio (DESIGN.md §G) — the rest
+/// zero-padding.  With cfg.scenario_features (DESIGN.md §S), column 1
+/// carries the path's scheduling class scaled to [0, 1] and columns 2..4
+/// a one-hot of the scenario's traffic process; requires
+/// kScenarioFeatureMinDim state width and a sample that records its
+/// scenario (throws std::runtime_error otherwise — the bundle
+/// feature-gating contract).
 [[nodiscard]] nn::Var initial_path_states(const data::Sample& s,
                                           const data::Scaler& sc,
-                                          std::size_t state_dim,
-                                          bool scenario_features = false);
-/// (L x H): column 0 carries the z-scored link capacity; with
-/// `scenario_features`, columns 1..3 a one-hot of the port's scheduling
-/// policy (same gating contract as initial_path_states).
+                                          const ModelConfig& cfg);
+/// (L x H): column 0 carries the z-scored link capacity — or the
+/// per-link utilization under cfg.scale_invariant_features; with
+/// cfg.scenario_features, columns 1..3 a one-hot of the port's
+/// scheduling policy (same gating contract as initial_path_states).
 [[nodiscard]] nn::Var initial_link_states(const data::Sample& s,
                                           const data::Scaler& sc,
-                                          std::size_t state_dim,
-                                          bool scenario_features = false);
+                                          const ModelConfig& cfg);
 /// (N x H): column 0 carries the z-scored queue size — the node feature
-/// this paper introduces.
+/// this paper introduces — or the queue occupancy fraction under
+/// cfg.scale_invariant_features.
 [[nodiscard]] nn::Var initial_node_states(const data::Sample& s,
                                           const data::Scaler& sc,
-                                          std::size_t state_dim);
+                                          const ModelConfig& cfg);
+/// (L x H) constant multiplier of per-link 1/message-count — the
+/// link_mean_aggregation normalizer shared by both forwards.
+[[nodiscard]] nn::Var link_inv_count_var(const MpPlan& plan,
+                                         std::size_t state_dim);
 
 }  // namespace rnx::core

@@ -1,4 +1,4 @@
-// Memoized message-passing plans.
+// Memoized message-passing plans, with an optional byte budget.
 //
 // build_plan() is pure in the sample's topology/routing, yet the seed
 // trainer rebuilt it on every forward() — once per epoch per sample.  The
@@ -12,6 +12,14 @@
 // evaluation pass over a Dataset that outlives the cache — exactly how
 // core::Trainer uses it.
 //
+// Byte budget (DESIGN.md §G): set_byte_budget(B) caps the sum of
+// MpPlan::bytes() over resident entries; inserts that push the total over
+// B evict least-recently-used entries until it fits.  Eviction only drops
+// the cache's reference — pointers already handed out stay valid (shared
+// ownership), so even a plan larger than the whole budget serves its
+// caller and is simply not retained.  Budget 0 (the default) means
+// unlimited: training workloads keep today's keep-everything behavior.
+//
 // Thread-safe: lookups and inserts take an internal mutex; on a miss the
 // plan is built outside the lock, so concurrent misses may build the same
 // plan twice but only one copy is kept (first writer wins; the plans are
@@ -19,6 +27,7 @@
 #pragma once
 
 #include <cstdint>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
@@ -29,32 +38,43 @@ namespace rnx::core {
 
 class PlanCache {
  public:
-  PlanCache() = default;
+  /// byte_budget caps resident plan bytes (0 = unlimited).
+  explicit PlanCache(std::size_t byte_budget = 0)
+      : byte_budget_(byte_budget) {}
   PlanCache(const PlanCache&) = delete;
   PlanCache& operator=(const PlanCache&) = delete;
 
   /// The plan for (sample, use_nodes), building and caching it on a miss.
   /// The returned pointer stays valid independently of later invalidation
-  /// (shared ownership).
+  /// or eviction (shared ownership).
   [[nodiscard]] std::shared_ptr<const MpPlan> get(const data::Sample& sample,
                                                   bool use_nodes);
 
   /// Drop both variants (use_nodes true/false) cached for this sample.
   void invalidate(const data::Sample& sample);
-  /// Drop everything.
+  /// Drop everything (counters and peak_bytes survive; bytes drops to 0).
   void clear();
+  /// Change the byte budget (0 = unlimited); evicts immediately if the
+  /// resident set no longer fits.
+  void set_byte_budget(std::size_t budget);
 
   [[nodiscard]] std::size_t size() const;
   [[nodiscard]] std::uint64_t hits() const;
   [[nodiscard]] std::uint64_t misses() const;
 
-  /// Consistent point-in-time view of all three counters under one lock
-  /// (three separate getters can interleave with concurrent inserts).
-  /// The serving stats snapshot reports this (serve/stats.hpp).
+  /// Consistent point-in-time view of all counters under one lock
+  /// (separate getters can interleave with concurrent inserts).  The
+  /// serving stats snapshot reports this (serve/stats.hpp).  Invariants
+  /// the tests pin: hits + misses == lookups; bytes <= peak_bytes;
+  /// bytes <= budget whenever a budget is set.
   struct Stats {
     std::size_t size = 0;
+    std::uint64_t lookups = 0;
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::size_t bytes = 0;       ///< resident plan bytes right now
+    std::size_t peak_bytes = 0;  ///< high-water mark of bytes
   };
   [[nodiscard]] Stats stats() const;
 
@@ -70,11 +90,26 @@ class PlanCache {
              (k.use_nodes ? 0x9e3779b97f4a7c15ULL : 0);
     }
   };
+  struct Entry {
+    std::shared_ptr<const MpPlan> plan;
+    std::size_t bytes = 0;
+    std::list<Key>::iterator lru;  ///< position in lru_ (front = hottest)
+  };
+
+  /// Drop one entry (map + LRU list + byte accounting).  Requires mu_.
+  void drop_locked(std::unordered_map<Key, Entry, KeyHash>::iterator it);
+  /// Evict LRU entries until bytes_ fits the budget.  Requires mu_.
+  void enforce_budget_locked();
 
   mutable std::mutex mu_;
-  std::unordered_map<Key, std::shared_ptr<const MpPlan>, KeyHash> map_;
-  std::uint64_t hits_ = 0;    // under mu_
-  std::uint64_t misses_ = 0;  // under mu_
+  std::unordered_map<Key, Entry, KeyHash> map_;
+  std::list<Key> lru_;  // front = most recently used
+  std::size_t byte_budget_ = 0;  // 0 = unlimited; under mu_
+  std::size_t bytes_ = 0;        // under mu_
+  std::size_t peak_bytes_ = 0;   // under mu_
+  std::uint64_t hits_ = 0;       // under mu_
+  std::uint64_t misses_ = 0;     // under mu_
+  std::uint64_t evictions_ = 0;  // under mu_
 };
 
 }  // namespace rnx::core

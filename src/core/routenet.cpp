@@ -109,12 +109,17 @@ void require_scenario(const data::Sample& s, std::size_t state_dim) {
 }  // namespace
 
 nn::Var initial_path_states(const data::Sample& s, const data::Scaler& sc,
-                            std::size_t state_dim, bool scenario_features) {
-  nn::Tensor t(s.paths.size(), state_dim);
-  for (std::size_t i = 0; i < s.paths.size(); ++i)
-    t(i, 0) = sc.traffic(s.paths[i].traffic_bps);
-  if (scenario_features) {
-    require_scenario(s, state_dim);
+                            const ModelConfig& cfg) {
+  nn::Tensor t(s.paths.size(), cfg.state_dim);
+  if (cfg.scale_invariant_features) {
+    const std::vector<double> load = data::path_bottleneck_load(s);
+    for (std::size_t i = 0; i < s.paths.size(); ++i) t(i, 0) = load[i];
+  } else {
+    for (std::size_t i = 0; i < s.paths.size(); ++i)
+      t(i, 0) = sc.traffic(s.paths[i].traffic_bps);
+  }
+  if (cfg.scenario_features) {
+    require_scenario(s, cfg.state_dim);
     const double class_span =
         s.scenario.priority_classes > 1
             ? static_cast<double>(s.scenario.priority_classes - 1)
@@ -130,12 +135,17 @@ nn::Var initial_path_states(const data::Sample& s, const data::Scaler& sc,
 }
 
 nn::Var initial_link_states(const data::Sample& s, const data::Scaler& sc,
-                            std::size_t state_dim, bool scenario_features) {
-  nn::Tensor t(s.num_links(), state_dim);
-  for (std::size_t l = 0; l < s.num_links(); ++l)
-    t(l, 0) = sc.capacity(s.link_capacity_bps[l]);
-  if (scenario_features) {
-    require_scenario(s, state_dim);
+                            const ModelConfig& cfg) {
+  nn::Tensor t(s.num_links(), cfg.state_dim);
+  if (cfg.scale_invariant_features) {
+    const std::vector<double> util = data::link_utilization(s);
+    for (std::size_t l = 0; l < s.num_links(); ++l) t(l, 0) = util[l];
+  } else {
+    for (std::size_t l = 0; l < s.num_links(); ++l)
+      t(l, 0) = sc.capacity(s.link_capacity_bps[l]);
+  }
+  if (cfg.scenario_features) {
+    require_scenario(s, cfg.state_dim);
     const std::size_t policy_col =
         1 + static_cast<std::size_t>(s.scenario.policy);
     for (std::size_t l = 0; l < s.num_links(); ++l) t(l, policy_col) = 1.0;
@@ -144,11 +154,34 @@ nn::Var initial_link_states(const data::Sample& s, const data::Scaler& sc,
 }
 
 nn::Var initial_node_states(const data::Sample& s, const data::Scaler& sc,
-                            std::size_t state_dim) {
-  nn::Tensor t(s.num_nodes, state_dim);
-  for (std::size_t n = 0; n < s.num_nodes; ++n)
-    t(n, 0) = sc.queue(s.queue_pkts[n]);
+                            const ModelConfig& cfg) {
+  nn::Tensor t(s.num_nodes, cfg.state_dim);
+  if (cfg.scale_invariant_features) {
+    const std::vector<double> frac = data::node_queue_fraction(s);
+    for (std::size_t n = 0; n < s.num_nodes; ++n) t(n, 0) = frac[n];
+  } else {
+    for (std::size_t n = 0; n < s.num_nodes; ++n)
+      t(n, 0) = sc.queue(s.queue_pkts[n]);
+  }
   return nn::constant(std::move(t));
+}
+
+// Per-link 1/count multiplier for link_mean_aggregation: count = the
+// number of (path, position) messages summed into each link, i.e. the
+// link's occurrences across all paths.
+nn::Var link_inv_count_var(const MpPlan& plan, std::size_t state_dim) {
+  std::vector<double> counts(plan.num_links, 0.0);
+  for (std::size_t p = 0; p < plan.num_positions(); ++p) {
+    const PlanPosition pos = plan.position(p);
+    if (pos.is_node) continue;
+    for (const auto l : pos.elem_ids) counts[l] += 1.0;
+  }
+  nn::Tensor inv(plan.num_links, state_dim);
+  for (std::size_t l = 0; l < plan.num_links; ++l) {
+    const double v = counts[l] > 0.0 ? 1.0 / counts[l] : 0.0;
+    for (std::size_t c = 0; c < state_dim; ++c) inv(l, c) = v;
+  }
+  return nn::constant(std::move(inv));
 }
 
 // ---- original RouteNet ---------------------------------------------------
@@ -180,15 +213,21 @@ ForwardTrace RouteNet::forward_traced(const data::Sample& sample,
                                       const data::Scaler& scaler) const {
   std::shared_ptr<const MpPlan> plan_holder;
   const MpPlan& plan = plan_for(sample, /*use_nodes=*/false, plan_holder);
-  nn::Var h_path = initial_path_states(sample, scaler, cfg_.state_dim,
-                                       cfg_.scenario_features);
-  nn::Var h_link = initial_link_states(sample, scaler, cfg_.state_dim,
-                                       cfg_.scenario_features);
+  nn::Var h_path = initial_path_states(sample, scaler, cfg_);
+  nn::Var h_link = initial_link_states(sample, scaler, cfg_);
+
+  // Optional mean normalization of the link aggregation — the symmetric
+  // twin of node_mean_aggregation (see ModelConfig); off leaves the
+  // forward bitwise-unchanged.
+  nn::Var link_inv_count;
+  if (cfg_.link_mean_aggregation)
+    link_inv_count = link_inv_count_var(plan, cfg_.state_dim);
 
   for (std::size_t iter = 0; iter < cfg_.iterations; ++iter) {
     nn::Var hidden = h_path;
     nn::Var link_msg;  // accumulated per-position messages, (L x H)
-    for (const SeqPosition& pos : plan.positions) {
+    for (std::size_t p = 0; p < plan.num_positions(); ++p) {
+      const PlanPosition pos = plan.position(p);
       const nn::Var x = nn::gather_rows(h_link, pos.elem_ids);
       const nn::Var h = nn::gather_rows(hidden, pos.path_rows);
       const nn::Var h2 = rnn_path_.step(x, h);
@@ -197,7 +236,11 @@ ForwardTrace RouteNet::forward_traced(const data::Sample& sample,
       link_msg = link_msg.defined() ? nn::add(link_msg, msg) : msg;
     }
     h_path = hidden;
-    if (link_msg.defined()) h_link = rnn_link_.step(link_msg, h_link);
+    if (link_msg.defined()) {
+      if (link_inv_count.defined())
+        link_msg = nn::mul(link_msg, link_inv_count);
+      h_link = rnn_link_.step(link_msg, h_link);
+    }
   }
 
   ForwardTrace tr;

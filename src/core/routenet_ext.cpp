@@ -41,11 +41,9 @@ ForwardTrace ExtendedRouteNet::forward_traced(
     const data::Sample& sample, const data::Scaler& scaler) const {
   std::shared_ptr<const MpPlan> plan_holder;
   const MpPlan& plan = plan_for(sample, /*use_nodes=*/true, plan_holder);
-  nn::Var h_path = initial_path_states(sample, scaler, cfg_.state_dim,
-                                       cfg_.scenario_features);
-  nn::Var h_link = initial_link_states(sample, scaler, cfg_.state_dim,
-                                       cfg_.scenario_features);
-  nn::Var h_node = initial_node_states(sample, scaler, cfg_.state_dim);
+  nn::Var h_path = initial_path_states(sample, scaler, cfg_);
+  nn::Var h_link = initial_link_states(sample, scaler, cfg_);
+  nn::Var h_node = initial_node_states(sample, scaler, cfg_);
 
   // Optional mean normalization of the node aggregation (see ModelConfig):
   // per-node 1/count, as a constant (N x H) multiplier.
@@ -60,14 +58,19 @@ ForwardTrace ExtendedRouteNet::forward_traced(
     }
     node_inv_count = nn::constant(std::move(inv));
   }
+  // And the symmetric link-side normalizer (see ModelConfig).
+  nn::Var link_inv_count;
+  if (cfg_.link_mean_aggregation)
+    link_inv_count = link_inv_count_var(plan, cfg_.state_dim);
 
   for (std::size_t iter = 0; iter < cfg_.iterations; ++iter) {
     nn::Var hidden = h_path;
     nn::Var link_msg;  // (L x H) summed positional messages to links
     nn::Var node_msg;  // (N x H) only for the positional-message ablation
-    for (const SeqPosition& pos : plan.positions) {
+    for (std::size_t p = 0; p < plan.num_positions(); ++p) {
       // The interleaved sequence: even positions read node states, odd
       // positions read link states (paper Fig. 1).
+      const PlanPosition pos = plan.position(p);
       const nn::Var x = pos.is_node ? nn::gather_rows(h_node, pos.elem_ids)
                                     : nn::gather_rows(h_link, pos.elem_ids);
       const nn::Var h = nn::gather_rows(hidden, pos.path_rows);
@@ -82,7 +85,11 @@ ForwardTrace ExtendedRouteNet::forward_traced(
       }
     }
     h_path = hidden;
-    if (link_msg.defined()) h_link = rnn_link_.step(link_msg, h_link);
+    if (link_msg.defined()) {
+      if (link_inv_count.defined())
+        link_msg = nn::mul(link_msg, link_inv_count);
+      h_link = rnn_link_.step(link_msg, h_link);
+    }
 
     if (cfg_.node_rule == NodeUpdateRule::kSumPathStates) {
       // The paper's rule: element-wise sum of the (freshly updated)

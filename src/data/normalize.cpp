@@ -1,10 +1,12 @@
 #include "data/normalize.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 #include <string>
 
 #include "data/source.hpp"
+#include "topo/topology.hpp"
 #include "util/stats.hpp"
 
 namespace rnx::data {
@@ -109,6 +111,38 @@ double Scaler::jitter_to_target(double jitter_s2) const {
 
 double Scaler::target_to_jitter(double target) const {
   return std::exp(log_jitter_.denormalize(target));
+}
+
+std::vector<double> link_utilization(const Sample& s) {
+  std::vector<double> load(s.num_links(), 0.0);
+  for (const auto& p : s.paths)
+    for (const auto l : p.links) load[l] += p.traffic_bps;
+  for (std::size_t l = 0; l < load.size(); ++l) {
+    const double cap = s.link_capacity_bps[l];
+    load[l] = cap > 0.0 ? load[l] / cap : 0.0;
+  }
+  return load;
+}
+
+std::vector<double> path_bottleneck_load(const Sample& s) {
+  std::vector<double> out(s.paths.size(), 0.0);
+  for (std::size_t pi = 0; pi < s.paths.size(); ++pi) {
+    const auto& p = s.paths[pi];
+    if (p.links.empty()) continue;
+    double bottleneck = s.link_capacity_bps[p.links.front()];
+    for (const auto l : p.links)
+      bottleneck = std::min(bottleneck, s.link_capacity_bps[l]);
+    out[pi] = bottleneck > 0.0 ? p.traffic_bps / bottleneck : 0.0;
+  }
+  return out;
+}
+
+std::vector<double> node_queue_fraction(const Sample& s) {
+  std::vector<double> out(s.num_nodes, 0.0);
+  for (std::size_t n = 0; n < s.num_nodes; ++n)
+    out[n] = static_cast<double>(s.queue_pkts[n]) /
+             static_cast<double>(topo::kStandardQueuePackets);
+  return out;
 }
 
 }  // namespace rnx::data

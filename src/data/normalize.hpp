@@ -91,4 +91,24 @@ class Scaler {
   Moments traffic_, capacity_, queue_, log_delay_, log_jitter_;
 };
 
+// -- scale-invariant features (DESIGN.md §G) -------------------------------
+//
+// Dimensionless per-entity inputs for the train-small/serve-huge mode
+// (ModelConfig::scale_invariant_features): ratios of sample-local
+// quantities, no fitted statistics involved, so they stay in the same
+// range on a 300-node graph as on the 14-node training topologies.
+
+/// Per-link utilization: sum of the traffic of every path crossing the
+/// link, divided by the link capacity.  One entry per link.
+[[nodiscard]] std::vector<double> link_utilization(const Sample& s);
+
+/// Per-path load: offered traffic over the bottleneck (minimum) capacity
+/// along the path.  One entry per path; 0 for empty paths.
+[[nodiscard]] std::vector<double> path_bottleneck_load(const Sample& s);
+
+/// Per-node queue occupancy fraction: queue_pkts over the standard queue
+/// size (topo::kStandardQueuePackets), i.e. buffer capacity in units of
+/// the default provisioning.  One entry per node.
+[[nodiscard]] std::vector<double> node_queue_fraction(const Sample& s);
+
 }  // namespace rnx::data

@@ -27,7 +27,11 @@ GRUCell::GRUCell(std::size_t input_dim, std::size_t hidden_dim,
 
 Var GRUCell::step(const Var& x, const Var& h) const {
   if (x.cols() != in_ || h.cols() != hid_ || x.rows() != h.rows())
-    throw std::invalid_argument("GRUCell::step: shape mismatch");
+    throw std::invalid_argument(
+        "GRUCell::step (" + name_ + "): shape mismatch: x " +
+        std::to_string(x.rows()) + "x" + std::to_string(x.cols()) + ", h " +
+        std::to_string(h.rows()) + "x" + std::to_string(h.cols()) +
+        ", cell in=" + std::to_string(in_) + " hid=" + std::to_string(hid_));
   return fused_ ? step_fused(x, h) : step_composed(x, h);
 }
 

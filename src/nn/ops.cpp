@@ -255,6 +255,21 @@ Var segment_sum(const Var& a, std::vector<Index> seg,
                    });
 }
 
+Var gather_rows(const Var& a, std::span<const Index> idx) {
+  return gather_rows(a, std::vector<Index>(idx.begin(), idx.end()));
+}
+
+Var scatter_rows(const Var& base, std::span<const Index> idx,
+                 const Var& rows) {
+  return scatter_rows(base, std::vector<Index>(idx.begin(), idx.end()), rows);
+}
+
+Var segment_sum(const Var& a, std::span<const Index> seg,
+                std::size_t num_segments) {
+  return segment_sum(a, std::vector<Index>(seg.begin(), seg.end()),
+                     num_segments);
+}
+
 Var concat_cols(const Var& a, const Var& b) {
   if (a.rows() != b.rows())
     throw std::invalid_argument("concat_cols: row count mismatch");

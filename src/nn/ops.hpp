@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "nn/autograd.hpp"
@@ -50,6 +51,14 @@ using Index = std::uint32_t;
 /// out[s] = sum of a's rows i with seg[i] == s; out has num_segments rows.
 /// Segments may be empty (zero rows).
 [[nodiscard]] Var segment_sum(const Var& a, std::vector<Index> seg,
+                              std::size_t num_segments);
+// Span overloads for arena-backed index sets (core::MpPlan).  The
+// backward closures need owned storage, so each copies the span into a
+// vector — exactly the copy callers used to make themselves.
+[[nodiscard]] Var gather_rows(const Var& a, std::span<const Index> idx);
+[[nodiscard]] Var scatter_rows(const Var& base, std::span<const Index> idx,
+                               const Var& rows);
+[[nodiscard]] Var segment_sum(const Var& a, std::span<const Index> seg,
                               std::size_t num_segments);
 /// [a | b] column concatenation (same row count).
 [[nodiscard]] Var concat_cols(const Var& a, const Var& b);

@@ -65,6 +65,8 @@ void save_bundle(const std::string& path, const core::Model& model,
   write_pod(body, static_cast<std::uint8_t>(mc.node_mean_aggregation));
   write_pod(body, static_cast<std::uint8_t>(mc.fused_gru));
   write_pod(body, static_cast<std::uint8_t>(mc.scenario_features));
+  write_pod(body, static_cast<std::uint8_t>(mc.scale_invariant_features));
+  write_pod(body, static_cast<std::uint8_t>(mc.link_mean_aggregation));
   write_pod(body, mc.init_seed);
   write_moments(body, scaler.traffic_moments());
   write_moments(body, scaler.capacity_moments());
@@ -151,6 +153,15 @@ ModelBundle load_bundle(const std::string& path) {
     std::uint8_t scenario = 0;
     read_pod(body, scenario, "scenario_features");
     mc.scenario_features = scenario != 0;
+  }
+  if (version >= 3) {
+    // v3 feature flags; older bundles imply both off, so v1/v2 files
+    // keep loading (and serving) byte-for-byte as before.
+    std::uint8_t scale_inv = 0, link_mean = 0;
+    read_pod(body, scale_inv, "scale_invariant_features");
+    mc.scale_invariant_features = scale_inv != 0;
+    read_pod(body, link_mean, "link_mean_aggregation");
+    mc.link_mean_aggregation = link_mean != 0;
   }
   read_pod(body, mc.init_seed, "init_seed");
 

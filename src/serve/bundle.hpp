@@ -14,6 +14,8 @@
 //     u64 state_dim, u64 readout_hidden, u64 iterations
 //     u8  node_rule, u8 node_mean_aggregation, u8 fused_gru
 //     u8  scenario_features    (v2+ only; v1 bundles imply 0)
+//     u8  scale_invariant_features, u8 link_mean_aggregation
+//                              (v3+ only; older bundles imply 0)
 //     u64 init_seed
 //     5 x (f64 mean, f64 stddev)  Scaler moments: traffic, capacity,
 //                                 queue, log_delay, log_jitter
@@ -37,7 +39,7 @@
 
 namespace rnx::serve {
 
-inline constexpr std::uint32_t kBundleVersion = 2;
+inline constexpr std::uint32_t kBundleVersion = 3;
 inline constexpr std::uint32_t kMinBundleVersion = 1;
 
 /// A deserialized bundle: the reconstructed model (weights loaded) plus

@@ -105,6 +105,11 @@ class InferenceEngine {
   // -- plan-cache lifetime hooks (see header comment) -------------------
   void invalidate(const data::Sample& sample) const;
   void clear_plan_cache() const;
+  /// Cap resident plan bytes (LRU eviction; 0 = unlimited).  With a
+  /// registry-shared cache this budgets the shared cache.
+  void set_plan_cache_budget(std::size_t bytes) const {
+    plan_cache_->set_byte_budget(bytes);
+  }
   [[nodiscard]] const core::PlanCache& plan_cache() const noexcept {
     return *plan_cache_;
   }

@@ -105,6 +105,10 @@ class ModelRegistry {
   // -- shared plan-cache lifetime hooks (core::PlanCache contract) ------
   void invalidate(const data::Sample& sample) { cache_->invalidate(sample); }
   void clear_plan_cache() { cache_->clear(); }
+  /// Cap the shared cache's resident plan bytes (LRU; 0 = unlimited).
+  void set_plan_cache_budget(std::size_t bytes) {
+    cache_->set_byte_budget(bytes);
+  }
 
  private:
   [[nodiscard]] std::shared_ptr<InferenceEngine> make_engine(

@@ -19,7 +19,9 @@ void print_stats(std::ostream& os, const ServeStats& s) {
      << s.latency_us_max << " us\n"
      << "  plan cache " << s.plan_cache.size << " entries, "
      << s.plan_cache.hits << " hits, " << s.plan_cache.misses
-     << " misses\n";
+     << " misses, " << s.plan_cache.evictions << " evictions, "
+     << s.plan_cache.bytes << " bytes (peak " << s.plan_cache.peak_bytes
+     << ")\n";
 }
 
 }  // namespace rnx::serve

@@ -361,6 +361,88 @@ TEST(Bundle, V1BundlesLoadAndServeBitwiseIdentically) {
   std::filesystem::remove(path);
 }
 
+TEST(Bundle, V3FeatureFlagsRoundTrip) {
+  const std::string path = "/tmp/rnx_bundle_v3_flags.rnxb";
+  const data::Dataset& ds = test_dataset();
+  core::ModelConfig mc = small_config();
+  mc.scale_invariant_features = true;
+  mc.link_mean_aggregation = true;
+  const core::ExtendedRouteNet model(mc);
+  const data::Scaler scaler = data::Scaler::fit(ds.samples(), 5);
+  serve::save_bundle(path, model, scaler, core::PredictionTarget::kDelay, 5);
+  const serve::ModelBundle loaded = serve::load_bundle(path);
+  EXPECT_TRUE(loaded.model->config().scale_invariant_features);
+  EXPECT_TRUE(loaded.model->config().link_mean_aggregation);
+  // And the loaded engine serves the scale-invariant forward bitwise.
+  const serve::InferenceEngine engine(path);
+  const nn::NoGradGuard guard;
+  const nn::Tensor direct = model.forward(ds[0], scaler).value();
+  const std::vector<double> served = engine.predict(ds[0]);
+  ASSERT_EQ(served.size(), static_cast<std::size_t>(direct.rows()));
+  for (std::size_t i = 0; i < served.size(); ++i)
+    EXPECT_EQ(served[i], scaler.target_to_delay(direct(i, 0)));
+  std::filesystem::remove(path);
+}
+
+// Hand-written v2 bundle (scenario byte present, no v3 feature bytes):
+// must load with both v3 flags off and serve bitwise-identically.
+TEST(Bundle, V2BundlesLoadWithV3FlagsOff) {
+  const std::string path = "/tmp/rnx_bundle_v2.rnxb";
+  const data::Dataset& ds = test_dataset();
+  const core::ExtendedRouteNet model(small_config());
+  const data::Scaler scaler = data::Scaler::fit(ds.samples(), 5);
+
+  std::ostringstream body(std::ios::binary);
+  auto put = [&body](const auto& v) {
+    body.write(reinterpret_cast<const char*>(&v), sizeof(v));
+  };
+  put(std::uint8_t{1});   // kind: ext
+  put(std::uint8_t{0});   // target: delay
+  put(std::uint64_t{5});  // min_delivered
+  const core::ModelConfig& mc = model.config();
+  put(static_cast<std::uint64_t>(mc.state_dim));
+  put(static_cast<std::uint64_t>(mc.readout_hidden));
+  put(static_cast<std::uint64_t>(mc.iterations));
+  put(static_cast<std::uint8_t>(mc.node_rule));
+  put(static_cast<std::uint8_t>(mc.node_mean_aggregation ? 1 : 0));
+  put(static_cast<std::uint8_t>(mc.fused_gru ? 1 : 0));
+  put(std::uint8_t{0});  // scenario_features (the v2 addition)
+  put(mc.init_seed);
+  for (const data::Moments* m :
+       {&scaler.traffic_moments(), &scaler.capacity_moments(),
+        &scaler.queue_moments(), &scaler.log_delay_moments(),
+        &scaler.log_jitter_moments()}) {
+    put(m->mean);
+    put(m->stddev);
+  }
+  const nn::NamedParams params = model.named_params();
+  nn::save_params(body, params);
+  const std::string bytes = body.str();
+  {
+    std::ofstream f(path, std::ios::binary);
+    f.write("RNXB", 4);
+    const std::uint32_t version = 2;
+    f.write(reinterpret_cast<const char*>(&version), sizeof(version));
+    const auto size = static_cast<std::uint64_t>(bytes.size());
+    f.write(reinterpret_cast<const char*>(&size), sizeof(size));
+    const std::uint64_t sum = fnv1a64(bytes);
+    f.write(reinterpret_cast<const char*>(&sum), sizeof(sum));
+    f.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  const serve::ModelBundle loaded = serve::load_bundle(path);
+  EXPECT_FALSE(loaded.model->config().scale_invariant_features);
+  EXPECT_FALSE(loaded.model->config().link_mean_aggregation);
+  const serve::InferenceEngine engine(path);
+  const nn::NoGradGuard guard;
+  const nn::Tensor direct = model.forward(ds[0], scaler).value();
+  const std::vector<double> served = engine.predict(ds[0]);
+  ASSERT_EQ(served.size(), static_cast<std::size_t>(direct.rows()));
+  for (std::size_t i = 0; i < served.size(); ++i)
+    EXPECT_EQ(served[i], scaler.target_to_delay(direct(i, 0)));
+  std::filesystem::remove(path);
+}
+
 TEST(Engine, BatchMatchesSingleAndReusesPlans) {
   const std::string path = "/tmp/rnx_bundle_engine_batch.rnxb";
   make_saved_bundle(path);

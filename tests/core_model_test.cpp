@@ -233,6 +233,102 @@ TEST(Training, IterationCountMatters) {
             m4.forward(ds[0], sc).value()(0, 0));
 }
 
+// Single path 0->1->2 on a line: every link receives exactly one
+// path-position message, so mean and sum aggregation coincide.
+data::Sample single_path_sample() {
+  data::Sample s;
+  s.topo_name = "line3";
+  s.num_nodes = 3;
+  s.links = {{0, 1}, {1, 0}, {1, 2}, {2, 1}};
+  s.link_capacity_bps = {1e6, 1e6, 1e6, 1e6};
+  s.queue_pkts = {32, 1, 32};
+  data::PathRecord p0;
+  p0.src = 0;
+  p0.dst = 2;
+  p0.nodes = {0, 1, 2};
+  p0.links = {0, 2};
+  p0.traffic_bps = 1e5;
+  p0.mean_delay_s = 1e-3;
+  p0.delivered = 100;
+  s.paths = {p0};
+  s.validate();
+  return s;
+}
+
+TEST(LinkMeanAggregation, NoOpWhenEachLinkCarriesOneMessage) {
+  const data::Sample s = single_path_sample();
+  const data::Scaler sc = data::Scaler::fit({&s, 1});
+  core::ModelConfig off = tiny_config();
+  core::ModelConfig on = tiny_config();
+  on.link_mean_aggregation = true;
+  const nn::NoGradGuard guard;
+  // Every 1/count factor is exactly 1.0, so both variants of both
+  // architectures agree bitwise.
+  const nn::Tensor a0 = core::RouteNet(off).forward(s, sc).value();
+  const nn::Tensor a1 = core::RouteNet(on).forward(s, sc).value();
+  const nn::Tensor b0 = core::ExtendedRouteNet(off).forward(s, sc).value();
+  const nn::Tensor b1 = core::ExtendedRouteNet(on).forward(s, sc).value();
+  for (std::size_t i = 0; i < a0.size(); ++i)
+    EXPECT_EQ(a0.flat()[i], a1.flat()[i]);
+  for (std::size_t i = 0; i < b0.size(); ++i)
+    EXPECT_EQ(b0.flat()[i], b1.flat()[i]);
+}
+
+TEST(LinkMeanAggregation, ChangesMultiPathForwardAndStaysFinite) {
+  // ring(5) all-pairs routing shares links across paths, so the mean
+  // genuinely rescales messages — outputs must differ from the sum
+  // aggregation yet stay finite.
+  const data::Dataset ds = small_dataset(1);
+  const data::Scaler sc = data::Scaler::fit(ds.samples());
+  core::ModelConfig on = tiny_config();
+  on.link_mean_aggregation = true;
+  const nn::NoGradGuard guard;
+  for (const bool extended : {false, true}) {
+    const std::unique_ptr<core::Model> base = core::make_model(
+        extended ? core::ModelKind::kExtended : core::ModelKind::kOriginal,
+        tiny_config());
+    const std::unique_ptr<core::Model> mean = core::make_model(
+        extended ? core::ModelKind::kExtended : core::ModelKind::kOriginal,
+        on);
+    const nn::Tensor a = base->forward(ds[0], sc).value();
+    const nn::Tensor b = mean->forward(ds[0], sc).value();
+    bool any_diff = false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_TRUE(std::isfinite(b.flat()[i]));
+      any_diff |= a.flat()[i] != b.flat()[i];
+    }
+    EXPECT_TRUE(any_diff) << (extended ? "ext" : "orig");
+  }
+}
+
+TEST(ScaleInvariantFeatures, ForwardIgnoresScalerMoments) {
+  // The whole point of the mode: inputs are sample-local ratios, so the
+  // (normalized) forward no longer depends on which dataset the scaler
+  // was fitted on.
+  const data::Dataset ds = small_dataset(2);
+  const data::Scaler fit_a = data::Scaler::fit({&ds.samples()[0], 1});
+  const data::Scaler fit_b = data::Scaler::fit({&ds.samples()[1], 1});
+  core::ModelConfig si = tiny_config();
+  si.scale_invariant_features = true;
+  const core::ExtendedRouteNet model(si);
+  const nn::NoGradGuard guard;
+  const nn::Tensor pa = model.forward(ds[0], fit_a).value();
+  const nn::Tensor pb = model.forward(ds[0], fit_b).value();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_TRUE(std::isfinite(pa.flat()[i]));
+    EXPECT_EQ(pa.flat()[i], pb.flat()[i]);
+  }
+  // And the features really enter the pass: z-scored vs scale-invariant
+  // inputs give different predictions for the same weights.
+  const core::ExtendedRouteNet plain(tiny_config());
+  const nn::Tensor pz = plain.forward(ds[0], fit_a).value();
+  bool any_diff = false;
+  for (std::size_t i = 0; i < pa.size(); ++i)
+    any_diff |= pa.flat()[i] != pz.flat()[i];
+  EXPECT_TRUE(any_diff);
+}
+
 TEST(Training, SampleLossUndefinedWhenNoValidLabels) {
   const data::Dataset ds = small_dataset(1);
   const data::Scaler sc = data::Scaler::fit(ds.samples());

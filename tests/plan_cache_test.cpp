@@ -2,6 +2,7 @@
 // invalidation, and concurrent access.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 
 #include "core/plan_cache.hpp"
@@ -48,11 +49,14 @@ void expect_plans_equal(const MpPlan& a, const MpPlan& b) {
   EXPECT_EQ(a.num_paths, b.num_paths);
   EXPECT_EQ(a.num_links, b.num_links);
   EXPECT_EQ(a.num_nodes, b.num_nodes);
-  ASSERT_EQ(a.positions.size(), b.positions.size());
-  for (std::size_t i = 0; i < a.positions.size(); ++i) {
-    EXPECT_EQ(a.positions[i].is_node, b.positions[i].is_node);
-    EXPECT_EQ(a.positions[i].path_rows, b.positions[i].path_rows);
-    EXPECT_EQ(a.positions[i].elem_ids, b.positions[i].elem_ids);
+  ASSERT_EQ(a.num_positions(), b.num_positions());
+  for (std::size_t i = 0; i < a.num_positions(); ++i) {
+    const core::PlanPosition pa = a.position(i), pb = b.position(i);
+    EXPECT_EQ(pa.is_node, pb.is_node);
+    EXPECT_TRUE(std::equal(pa.path_rows.begin(), pa.path_rows.end(),
+                           pb.path_rows.begin(), pb.path_rows.end()));
+    EXPECT_TRUE(std::equal(pa.elem_ids.begin(), pa.elem_ids.end(),
+                           pb.elem_ids.begin(), pb.elem_ids.end()));
   }
   EXPECT_EQ(a.inc_path_rows, b.inc_path_rows);
   EXPECT_EQ(a.inc_node_ids, b.inc_node_ids);
@@ -154,6 +158,105 @@ TEST(PlanCache, ModelForwardIdenticalWithAndWithoutCache) {
     EXPECT_EQ(plain.flat()[i], cached1.flat()[i]);
     EXPECT_EQ(cached1.flat()[i], cached2.flat()[i]);
   }
+}
+
+// -- byte budget / LRU eviction (DESIGN.md §G) -----------------------------
+
+TEST(PlanCache, ByteBudgetEnforcedWithLruEvictionOrder) {
+  const data::Sample a = line3_sample();
+  const data::Sample b = line3_sample();
+  const data::Sample c = line3_sample();
+  const std::size_t plan_bytes = core::build_plan(a, false).bytes();
+  ASSERT_GT(plan_bytes, 0u);
+
+  // Room for exactly two plans.
+  PlanCache cache(2 * plan_bytes);
+  (void)cache.get(a, false);
+  (void)cache.get(b, false);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().bytes, 2 * plan_bytes);
+
+  // Touch a so b becomes the LRU victim.
+  (void)cache.get(a, false);
+  (void)cache.get(c, false);  // evicts b, not a
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_LE(cache.stats().bytes, 2 * plan_bytes);  // budget holds
+  EXPECT_EQ(cache.stats().evictions, 1u);
+
+  // a survived (hit); b was evicted (miss -> rebuild).
+  const std::uint64_t misses_before = cache.misses();
+  (void)cache.get(a, false);
+  EXPECT_EQ(cache.misses(), misses_before);
+  (void)cache.get(b, false);
+  EXPECT_EQ(cache.misses(), misses_before + 1);
+}
+
+TEST(PlanCache, OversizedPlanServesCallerWithoutResidency) {
+  const data::Sample s = line3_sample();
+  const std::size_t plan_bytes = core::build_plan(s, false).bytes();
+  // Budget below a single plan: the entry is evicted immediately, but
+  // the returned pointer must stay usable (shared ownership).
+  PlanCache cache(plan_bytes / 2);
+  const auto plan = cache.get(s, false);
+  EXPECT_EQ(plan->num_paths, 2u);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.stats().bytes, 0u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  // Peak still records the transient residency.
+  EXPECT_EQ(cache.stats().peak_bytes, plan_bytes);
+}
+
+TEST(PlanCache, SetByteBudgetEvictsImmediately) {
+  const data::Sample a = line3_sample();
+  const data::Sample b = line3_sample();
+  PlanCache cache;  // unlimited
+  (void)cache.get(a, false);
+  (void)cache.get(b, false);
+  const std::size_t plan_bytes = cache.stats().bytes / 2;
+  cache.set_byte_budget(plan_bytes);  // room for one
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  // b is the more recently used entry, so a was the victim.
+  const std::uint64_t misses_before = cache.misses();
+  (void)cache.get(b, false);
+  EXPECT_EQ(cache.misses(), misses_before);
+}
+
+TEST(PlanCache, StatsConservationLaws) {
+  const data::Sample a = line3_sample();
+  const data::Sample b = line3_sample();
+  const std::size_t plan_bytes = core::build_plan(a, false).bytes();
+  PlanCache cache(plan_bytes);  // room for one: every alternation evicts
+  for (int round = 0; round < 5; ++round) {
+    (void)cache.get(a, false);
+    (void)cache.get(b, false);
+  }
+  const PlanCache::Stats st = cache.stats();
+  EXPECT_EQ(st.lookups, 10u);
+  EXPECT_EQ(st.hits + st.misses, st.lookups);
+  EXPECT_EQ(st.hits, 0u);  // ping-pong: the needed plan is always gone
+  EXPECT_EQ(st.misses, 10u);
+  EXPECT_EQ(st.evictions, 9u);  // every insert after the first evicts
+  EXPECT_EQ(st.size, 1u);
+  EXPECT_EQ(st.bytes, plan_bytes);
+  EXPECT_GE(st.peak_bytes, st.bytes);
+  EXPECT_LE(st.bytes, plan_bytes);  // budget invariant
+}
+
+TEST(PlanCache, UnlimitedBudgetNeverEvicts) {
+  const data::Sample a = line3_sample();
+  const data::Sample b = line3_sample();
+  PlanCache cache;  // byte_budget 0 = unlimited
+  for (int round = 0; round < 3; ++round) {
+    (void)cache.get(a, false);
+    (void)cache.get(b, true);
+  }
+  const PlanCache::Stats st = cache.stats();
+  EXPECT_EQ(st.evictions, 0u);
+  EXPECT_EQ(st.size, 2u);
+  EXPECT_EQ(st.hits, 4u);
+  EXPECT_EQ(st.misses, 2u);
+  EXPECT_EQ(st.bytes, st.peak_bytes);
 }
 
 }  // namespace

@@ -101,6 +101,18 @@ class Args {
            "' (expected a non-negative integer)");
     return *v;
   }
+  /// As the std::size_t get(), but additionally rejects zero — for
+  /// flags where 0 is as nonsensical as a negative value (a byte budget,
+  /// a worker count).  Negative input already dies in parse_size; both
+  /// exit 2.
+  [[nodiscard]] std::size_t get_positive(const std::string& key,
+                                         std::size_t fallback) const {
+    const std::size_t v = get(key, fallback);
+    if (v == 0)
+      fail("invalid value for --" + key +
+           ": expected a positive integer, got 0");
+    return v;
+  }
   [[nodiscard]] bool has(const std::string& key) const {
     return values_.contains(key);
   }

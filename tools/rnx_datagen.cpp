@@ -8,9 +8,11 @@
 //               --out corpus.rnxm
 //
 // Topologies: geant2, nsfnet, ring<N>, line<N>, rand<N>x<M> (N nodes,
-// M undirected edges; seeded by --seed), or mix (per-sample random
-// topology from {geant2, nsfnet, random_connected, barabasi_albert}
-// with randomized size — the cross-topology generalization corpus).
+// M undirected edges; seeded by --seed), ba (Barabási–Albert with
+// --nodes up to 300 — the large evaluation graphs for size
+// generalization), or mix (per-sample random topology from {geant2,
+// nsfnet, random_connected, barabasi_albert} with randomized size — the
+// cross-topology generalization corpus).
 // Scenario knobs (DESIGN.md §S): --policy / --traffic fix one
 // scheduling policy and traffic process for the whole dataset;
 // --mixed-scenarios draws the pair per sample instead.
@@ -47,10 +49,18 @@ namespace {
 struct Interrupted {};
 
 rnx::topo::Topology parse_topology(const std::string& name,
-                                   std::uint64_t seed) {
+                                   std::uint64_t seed, std::size_t nodes) {
   using namespace rnx::topo;
   if (name == "geant2") return geant2();
   if (name == "nsfnet") return nsfnet();
+  if (name == "ba") {
+    // Barabási–Albert evaluation graphs for size generalization
+    // (train small, serve huge): up to 300 nodes.
+    if (nodes < 3 || nodes > 300)
+      throw std::invalid_argument("--topo ba needs --nodes in [3, 300]");
+    rnx::util::RngStream rng(seed ^ 0x6261ULL);  // "ba"
+    return barabasi_albert(nodes, 2, rng);
+  }
   if (name.rfind("ring", 0) == 0)
     return ring(static_cast<std::size_t>(std::stoul(name.substr(4))));
   if (name.rfind("line", 0) == 0)
@@ -83,10 +93,12 @@ int run(int argc, char** argv) {
       {"topo", "count", "seed", "out", "csv", "p-tiny", "packets",
        "util-lo", "util-hi", "fixed-routing", "policy", "traffic",
        "priority-classes", "mixed-scenarios", "threads", "shards",
-       "digests"},
+       "digests", "nodes"},
       "usage: rnx_datagen --topo geant2 --count 100 --out ds.rnxd\n"
-      "  --topo NAME      geant2 | nsfnet | ringN | lineN | randNxM | mix\n"
+      "  --topo NAME      geant2 | nsfnet | ringN | lineN | randNxM |\n"
+      "                   ba (Barabási–Albert, size via --nodes) | mix\n"
       "                   (mix = per-sample random topology/size)\n"
+      "  --nodes N        ba topology size, 3..300 (default 50; ba only)\n"
       "  --count N        samples to generate (default 100)\n"
       "  --seed S         dataset RNG seed (default 1)\n"
       "  --out FILE       binary dataset output (.rnxd; with --shards, the\n"
@@ -108,13 +120,18 @@ int run(int argc, char** argv) {
 
   const auto seed = static_cast<std::uint64_t>(args.get("seed", 1.0));
   const std::string topo_name = args.get("topo", std::string("geant2"));
+  if (args.has("nodes") && topo_name != "ba") {
+    std::cerr << "error: --nodes only applies to --topo ba\n";
+    return 2;
+  }
+  const std::size_t nodes = args.get("nodes", std::size_t{50});
   data::TopologySampler sampler;
   std::string topo_label;
   if (topo_name == "mix") {
     sampler = data::mixed_topology();
     topo_label = "mix";
   } else {
-    topo::Topology base = parse_topology(topo_name, seed);
+    topo::Topology base = parse_topology(topo_name, seed, nodes);
     topo_label = base.name();
     sampler = data::fixed_topology(std::move(base));
   }

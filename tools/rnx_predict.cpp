@@ -94,13 +94,17 @@ int run_streaming(const std::string& bundle_path,
 int run(int argc, char** argv) {
   using namespace rnx;
   const cli::Args args(
-      argc, argv, {"bundle", "data", "csv", "threads", "no-metrics"},
+      argc, argv,
+      {"bundle", "data", "csv", "threads", "no-metrics", "plan-cache-mb"},
       "usage: rnx_predict --bundle model.rnxb --data ds.rnxd [options]\n"
       "  --bundle FILE   model bundle (.rnxb) from rnx_train --save-bundle\n"
       "  --data FILE     scenarios to predict (.rnxd, or a sharded .rnxm\n"
       "                  manifest — streamed shard by shard)\n"
       "  --csv FILE      write per-path predictions as CSV\n"
       "  --threads N     batch fan-out lanes (0 = all cores), default 1\n"
+      "  --plan-cache-mb M  cap the plan cache at M MiB (LRU eviction);\n"
+      "                  peak bytes / evictions print at exit so the\n"
+      "                  budget can be sized from a real run\n"
       "  --no-metrics    skip the label-based metric table");
 
   const std::string bundle_path = args.get("bundle", std::string());
@@ -118,6 +122,9 @@ int run(int argc, char** argv) {
 
   serve::InferenceEngine engine(bundle_path,
                                 args.get("threads", std::size_t{1}));
+  if (args.has("plan-cache-mb"))
+    engine.set_plan_cache_budget(
+        args.get_positive("plan-cache-mb", std::size_t{64}) * 1024 * 1024);
   std::cout << "bundle: " << bundle_path << " (" << engine.model().name()
             << ", target " << core::to_string(engine.target())
             << ", state_dim " << engine.model().config().state_dim
@@ -149,6 +156,16 @@ int run(int argc, char** argv) {
     std::cout << "csv written: " << csv << "\n";
   }
 
+  // Exit report for operators sizing --plan-cache-mb: the peak is what
+  // an unbudgeted run would have held resident; evictions > 0 means the
+  // budget actually bit on this workload.
+  const auto report_cache = [&engine] {
+    const core::PlanCache::Stats cs = engine.plan_cache().stats();
+    std::cout << "plan cache: peak " << cs.peak_bytes << " bytes, "
+              << cs.evictions << " evictions (" << cs.hits << " hits / "
+              << cs.misses << " misses)\n";
+  };
+
   if (!args.has("no-metrics")) {
     // Metric computation goes through the same eval path as rnx_train so
     // the bundle reproduces training-time numbers bit for bit.  The
@@ -159,10 +176,12 @@ int run(int argc, char** argv) {
         engine.target(), engine.batch_pool());
     if (pp.size() == 0) {
       std::cout << "(no label-valid paths: skipping metrics)\n";
+      report_cache();
       return 0;
     }
     eval::print_summary(std::cout, eval::summarize(pp), engine.target());
   }
+  report_cache();
   return 0;
 }
 

@@ -57,7 +57,7 @@ int run(int argc, char** argv) {
       argc, argv,
       {"bundle", "data", "requests", "clients", "threads", "max-batch",
        "linger-us", "queue-depth", "seed", "verify", "deadline-ms",
-       "term-after"},
+       "term-after", "plan-cache-mb"},
       "usage: rnx_serve --bundle NAME=FILE [--bundle NAME=FILE ...] "
       "--data ds.rnxd [options]\n"
       "  --bundle NAME=FILE  register bundle FILE as model NAME\n"
@@ -69,6 +69,9 @@ int run(int argc, char** argv) {
       "  --max-batch B       micro-batch sample bound (default 16)\n"
       "  --linger-us L       micro-batch linger in us (default 100)\n"
       "  --queue-depth Q     admission bound in requests (default 1024)\n"
+      "  --plan-cache-mb M   cap the shared plan cache at M MiB (LRU\n"
+      "                      eviction); peak bytes / evictions appear in\n"
+      "                      the final stats so the budget can be sized\n"
       "  --seed S            request routing seed (default 1)\n"
       "  --deadline-ms D     per-request completion deadline (0 = none);\n"
       "                      expired requests resolve with a typed error\n"
@@ -87,6 +90,9 @@ int run(int argc, char** argv) {
   }
 
   serve::ModelRegistry registry(args.get("threads", std::size_t{0}));
+  if (args.has("plan-cache-mb"))
+    registry.set_plan_cache_budget(
+        args.get_positive("plan-cache-mb", std::size_t{64}) * 1024 * 1024);
   std::vector<std::string> names;
   for (const std::string& spec : bundle_specs) {
     const auto eq = spec.find('=');

@@ -39,7 +39,9 @@ int run(int argc, char** argv) {
       {"train", "eval", "model", "target", "epochs", "lr", "batch",
        "state-dim", "iterations", "min-delivered", "save", "save-bundle",
        "load", "scaler-from", "seed", "threads", "quiet",
-       "scenario-features", "checkpoint-dir", "checkpoint-every", "resume"},
+       "scenario-features", "scale-invariant-features",
+       "link-mean-aggregation", "checkpoint-dir", "checkpoint-every",
+       "resume"},
       "usage: rnx_train --train ds.rnxd [--eval test.rnxd] [options]\n"
       "  --train FILE      training dataset (.rnxd, or a sharded .rnxm\n"
       "                    manifest — streamed, never fully in memory)\n"
@@ -64,6 +66,14 @@ int run(int argc, char** argv) {
       "  --scenario-features  feed scheduling-policy / flow-class /\n"
       "                    traffic-process inputs (needs a scenario-\n"
       "                    recording dataset; persisted in the bundle)\n"
+      "  --scale-invariant-features  feed dimensionless inputs (per-link\n"
+      "                    utilization, traffic over bottleneck capacity,\n"
+      "                    queue occupancy) instead of z-scored rates —\n"
+      "                    the train-small/serve-huge mode (persisted in\n"
+      "                    the bundle)\n"
+      "  --link-mean-aggregation  normalize the link update's message sum\n"
+      "                    by contributing-message count (persisted in\n"
+      "                    the bundle)\n"
       "  --checkpoint-dir D   write a crash-safe .rnxc checkpoint to D\n"
       "                    (atomically, every --checkpoint-every batches\n"
       "                    and at each epoch end); SIGINT/SIGTERM also\n"
@@ -87,6 +97,8 @@ int run(int argc, char** argv) {
   mc.iterations = args.get("iterations", std::size_t{4});
   mc.init_seed = args.get("seed", std::size_t{42});
   mc.scenario_features = args.has("scenario-features");
+  mc.scale_invariant_features = args.has("scale-invariant-features");
+  mc.link_mean_aggregation = args.has("link-mean-aggregation");
 
   const auto kind = core::model_kind_from_string(model_kind);
   if (!kind) {
