@@ -77,6 +77,11 @@ class BenchResult {
   void add(const std::string& metric, double value) {
     metrics_.emplace_back(metric, value);
   }
+  /// Free-form string facts about the run (e.g. the detected kernel ISA);
+  /// emitted as a flat "notes" object of strings in the json.
+  void note(const std::string& key, const std::string& value) {
+    notes_.emplace_back(key, value);
+  }
 
   /// Total wall seconds since construction is stamped automatically.
   void write() const {
@@ -91,8 +96,16 @@ class BenchResult {
     }
     f << "{\n  \"bench\": \"" << name_ << "\",\n  \"quick\": "
       << (quick_mode() ? "true" : "false") << ",\n  \"config\": \""
-      << escaped(config_) << "\",\n  \"wall_seconds\": " << watch_.seconds()
-      << ",\n  \"metrics\": {";
+      << escaped(config_) << "\",\n  \"wall_seconds\": " << watch_.seconds();
+    if (!notes_.empty()) {
+      f << ",\n  \"notes\": {";
+      for (std::size_t i = 0; i < notes_.size(); ++i) {
+        f << (i ? "," : "") << "\n    \"" << escaped(notes_[i].first)
+          << "\": \"" << escaped(notes_[i].second) << "\"";
+      }
+      f << "\n  }";
+    }
+    f << ",\n  \"metrics\": {";
     for (std::size_t i = 0; i < metrics_.size(); ++i) {
       f << (i ? "," : "") << "\n    \"" << escaped(metrics_[i].first)
         << "\": " << metrics_[i].second;
@@ -118,6 +131,7 @@ class BenchResult {
   std::string name_;
   std::string config_;
   std::vector<std::pair<std::string, double>> metrics_;
+  std::vector<std::pair<std::string, std::string>> notes_;
   util::Stopwatch watch_;
 };
 

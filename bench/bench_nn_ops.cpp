@@ -1,96 +1,195 @@
-// P1 — microbenchmarks of the autograd substrate at RouteNet-realistic
-// shapes: 552 paths x 16 state dims (GEANT2) for the row ops, GRU steps
-// forward and forward+backward.
-#include <benchmark/benchmark.h>
+// P1 — scalar-vs-SIMD microbenchmarks of the dense hot path at
+// RouteNet-realistic shapes: the matmul family, the elementwise
+// transcendentals and full GRU steps (552 paths x 16 state dims is the
+// GEANT2 working set; 256^3 is the throughput-bound shape).
+//
+// Every kernel runs twice in-process — once pinned to the scalar
+// reference backend, once to the runtime-dispatched SIMD backend — via
+// nn::kernels::ScopedBackendOverride, so the emitted speedups compare
+// identical code paths on identical buffers.  BENCH_nn_ops.json records
+// the detected ISA, the dispatch reason and per-shape speedups (the
+// DESIGN.md §K target: >= 4x matmul/GRU on AVX2 hosts).
+#include <cstddef>
+#include <iomanip>
+#include <iostream>
+#include <string>
 
+#include "bench_common.hpp"
 #include "nn/gru.hpp"
 #include "nn/init.hpp"
-#include "nn/layers.hpp"
+#include "nn/kernels.hpp"
 #include "nn/ops.hpp"
+#include "nn/tensor.hpp"
 #include "util/rng.hpp"
+#include "util/timer.hpp"
 
 namespace {
 
-using namespace rnx::nn;
-using rnx::util::RngStream;
+using namespace rnx;
+using nn::Tensor;
+using nn::kernels::Backend;
 
-Var rand_var(std::size_t r, std::size_t c, bool grad = true) {
-  RngStream rng(r * 1000 + c);
-  return Var(uniform_init(r, c, -1.0, 1.0, rng), grad);
+Tensor rand_tensor(std::size_t r, std::size_t c, std::uint64_t seed) {
+  util::RngStream rng(seed);
+  return nn::uniform_init(r, c, -1.0, 1.0, rng);
 }
 
-void BM_Matmul(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  const Tensor a = [&] {
-    RngStream rng(1);
-    return uniform_init(n, 16, -1, 1, rng);
-  }();
-  const Tensor b = [&] {
-    RngStream rng(2);
-    return uniform_init(16, 16, -1, 1, rng);
-  }();
-  for (auto _ : state) benchmark::DoNotOptimize(matmul(a, b));
-  state.SetItemsProcessed(state.iterations() * n * 16 * 16);
-}
-BENCHMARK(BM_Matmul)->Arg(64)->Arg(552)->Arg(2048);
-
-void BM_GatherRows(benchmark::State& state) {
-  const Var a = rand_var(552, 16, false);
-  std::vector<Index> idx(552);
-  RngStream rng(3);
-  for (auto& i : idx)
-    i = static_cast<Index>(rng.uniform_int(0, 551));
-  const NoGradGuard guard;
-  for (auto _ : state) benchmark::DoNotOptimize(gather_rows(a, idx));
-}
-BENCHMARK(BM_GatherRows);
-
-void BM_SegmentSum(benchmark::State& state) {
-  const Var a = rand_var(552, 16, false);
-  std::vector<Index> seg(552);
-  RngStream rng(4);
-  for (auto& s : seg) s = static_cast<Index>(rng.uniform_int(0, 73));
-  const NoGradGuard guard;
-  for (auto _ : state) benchmark::DoNotOptimize(segment_sum(a, seg, 74));
-}
-BENCHMARK(BM_SegmentSum);
-
-void BM_GruStepForward(benchmark::State& state) {
-  RngStream rng(5);
-  const GRUCell cell(16, 16, rng);
-  const Var x = rand_var(552, 16, false);
-  const Var h = rand_var(552, 16, false);
-  const NoGradGuard guard;
-  for (auto _ : state) benchmark::DoNotOptimize(cell.step(x, h));
-}
-BENCHMARK(BM_GruStepForward);
-
-void BM_GruStepForwardBackward(benchmark::State& state) {
-  RngStream rng(6);
-  const GRUCell cell(16, 16, rng);
-  Var x = rand_var(552, 16, true);
-  Var h = rand_var(552, 16, true);
-  for (auto _ : state) {
-    x.zero_grad();
-    h.zero_grad();
-    Var loss = mean_all(cell.step(x, h));
-    loss.backward();
-    benchmark::DoNotOptimize(x.grad());
+/// Time fn() until it has consumed ~min_seconds of wall clock (after one
+/// untimed warmup call), returning seconds per iteration.
+template <typename Fn>
+double time_per_iter(Fn&& fn, double min_seconds) {
+  fn();  // warmup: page in buffers, resolve dispatch
+  std::size_t iters = 1;
+  for (;;) {
+    util::Stopwatch sw;
+    for (std::size_t i = 0; i < iters; ++i) fn();
+    const double secs = sw.seconds();
+    if (secs >= min_seconds) return secs / static_cast<double>(iters);
+    // Grow geometrically towards the time budget.
+    iters = secs > 0.0
+                ? static_cast<std::size_t>(
+                      static_cast<double>(iters) * (min_seconds / secs) * 1.3) +
+                      1
+                : iters * 8;
   }
 }
-BENCHMARK(BM_GruStepForwardBackward);
 
-void BM_MlpForward(benchmark::State& state) {
-  RngStream rng(7);
-  // Readout shape: 552 paths through 16->32->1.
-  const Dense l1(16, 32, Activation::kRelu, rng);
-  const Dense l2(32, 1, Activation::kNone, rng);
-  const Var x = rand_var(552, 16, false);
-  const NoGradGuard guard;
-  for (auto _ : state) benchmark::DoNotOptimize(l2.forward(l1.forward(x)));
-}
-BENCHMARK(BM_MlpForward);
+struct Case {
+  std::string name;
+  double flops_per_iter;  ///< for GFLOP/s reporting (0 = skip)
+  double scalar_s = 0.0;
+  double simd_s = 0.0;
+
+  [[nodiscard]] double speedup() const {
+    return simd_s > 0.0 ? scalar_s / simd_s : 1.0;
+  }
+};
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main() {
+  benchcfg::print_banner("nn ops: scalar vs SIMD kernel backends");
+  const double budget = benchcfg::quick_mode() ? 0.05 : 0.25;
+
+  const Backend& scalar = nn::kernels::scalar_backend();
+  const Backend* simd = nn::kernels::simd_backend();
+  const Backend& best = simd != nullptr ? *simd : scalar;
+  std::cout << "active backend: " << nn::kernels::active().name << " ("
+            << nn::kernels::dispatch_reason() << ")\n"
+            << "comparing scalar vs " << best.name
+            << (simd == nullptr ? "  [no SIMD backend on this host]" : "")
+            << "\n\n";
+
+  benchcfg::BenchResult result("nn_ops");
+  result.set_config("matmul family + transcendentals + GRU step, scalar vs " +
+                    std::string(best.name));
+  result.note("isa", best.name);
+  result.note("dispatch_reason", nn::kernels::dispatch_reason());
+
+  std::vector<Case> cases;
+  const auto run_both = [&](const std::string& name, double flops,
+                            auto&& fn) {
+    Case c{name, flops};
+    {
+      const nn::kernels::ScopedBackendOverride pin(scalar);
+      c.scalar_s = time_per_iter(fn, budget);
+    }
+    {
+      const nn::kernels::ScopedBackendOverride pin(best);
+      c.simd_s = time_per_iter(fn, budget);
+    }
+    cases.push_back(c);
+  };
+
+  // -- matmul family ---------------------------------------------------
+  {
+    const Tensor a = rand_tensor(552, 16, 1), b = rand_tensor(16, 16, 2);
+    Tensor c(552, 16);
+    run_both("matmul_552x16x16", 2.0 * 552 * 16 * 16,
+             [&] { nn::matmul_acc(c, a, b); });
+  }
+  {
+    const Tensor a = rand_tensor(256, 256, 3), b = rand_tensor(256, 256, 4);
+    Tensor c(256, 256);
+    run_both("matmul_256x256x256", 2.0 * 256 * 256 * 256,
+             [&] { nn::matmul_acc(c, a, b); });
+  }
+  {
+    const Tensor a = rand_tensor(552, 16, 5), b = rand_tensor(552, 16, 6);
+    Tensor c(16, 16);
+    run_both("matmul_tn_552x16x16", 2.0 * 552 * 16 * 16,
+             [&] { nn::matmul_tn_acc(c, a, b); });
+  }
+  {
+    const Tensor a = rand_tensor(552, 16, 7), b = rand_tensor(16, 16, 8);
+    Tensor c(552, 16);
+    run_both("matmul_nt_552x16x16", 2.0 * 552 * 16 * 16,
+             [&] { nn::matmul_nt_acc(c, a, b); });
+  }
+
+  // -- elementwise transcendentals -------------------------------------
+  {
+    const Tensor a = rand_tensor(552, 32, 9);
+    Tensor y(552, 32);
+    run_both("sigmoid_552x32", 0.0, [&] {
+      nn::kernels::active().vsigmoid(y.flat().data(), a.flat().data(),
+                                     a.size());
+    });
+    run_both("tanh_552x32", 0.0, [&] {
+      nn::kernels::active().vtanh(y.flat().data(), a.flat().data(), a.size());
+    });
+  }
+
+  // -- GRU steps (the message-passing hot loop) ------------------------
+  {
+    util::RngStream rng(10);
+    const nn::GRUCell cell(16, 16, rng);
+    const nn::Var x(rand_tensor(552, 16, 11), false);
+    const nn::Var h(rand_tensor(552, 16, 12), false);
+    const nn::NoGradGuard guard;
+    run_both("gru_step_fwd_552x16", 0.0,
+             [&] { (void)cell.step(x, h); });
+  }
+  {
+    util::RngStream rng(13);
+    const nn::GRUCell cell(16, 16, rng);
+    nn::Var x(rand_tensor(552, 16, 14), true);
+    nn::Var h(rand_tensor(552, 16, 15), true);
+    run_both("gru_step_fwdbwd_552x16", 0.0, [&] {
+      x.zero_grad();
+      h.zero_grad();
+      nn::Var loss = nn::mean_all(cell.step(x, h));
+      loss.backward();
+    });
+  }
+
+  // -- report ----------------------------------------------------------
+  std::cout << std::left << std::setw(26) << "kernel" << std::right
+            << std::setw(14) << "scalar us" << std::setw(14)
+            << (std::string(best.name) + " us") << std::setw(10) << "speedup"
+            << std::setw(16) << "simd GFLOP/s" << "\n";
+  for (const Case& c : cases) {
+    std::cout << std::left << std::setw(26) << c.name << std::right
+              << std::setw(14) << std::fixed << std::setprecision(2)
+              << c.scalar_s * 1e6 << std::setw(14) << c.simd_s * 1e6
+              << std::setw(10) << std::setprecision(2) << c.speedup();
+    if (c.flops_per_iter > 0.0)
+      std::cout << std::setw(16) << std::setprecision(2)
+                << c.flops_per_iter / c.simd_s / 1e9;
+    std::cout << "\n";
+    result.add(c.name + "_scalar_us", c.scalar_s * 1e6);
+    result.add(c.name + "_simd_us", c.simd_s * 1e6);
+    result.add(c.name + "_speedup", c.speedup());
+    if (c.flops_per_iter > 0.0)
+      result.add(c.name + "_simd_gflops", c.flops_per_iter / c.simd_s / 1e9);
+  }
+
+  // Headline numbers CI tracks against the >= 4x DESIGN.md §K target.
+  for (const Case& c : cases) {
+    if (c.name == "matmul_256x256x256") result.add("matmul_speedup", c.speedup());
+    if (c.name == "gru_step_fwd_552x16") result.add("gru_speedup", c.speedup());
+  }
+
+  result.write();
+  return 0;
+}

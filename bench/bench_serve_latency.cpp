@@ -17,6 +17,7 @@
 
 #include "bench_common.hpp"
 #include "core/model.hpp"
+#include "nn/kernels.hpp"
 #include "data/dataset.hpp"
 #include "data/generator.hpp"
 #include "serve/registry.hpp"
@@ -132,6 +133,10 @@ LoadPoint run_point(const serve::ModelRegistry& registry,
 int main() {
   benchcfg::print_banner("serve latency vs offered load");
   benchcfg::BenchResult result("serve_latency");
+  std::printf("kernels: %s (%s)\n", rnx::nn::kernels::active().name,
+              rnx::nn::kernels::dispatch_reason());
+  result.note("isa", rnx::nn::kernels::active().name);
+  result.note("dispatch_reason", rnx::nn::kernels::dispatch_reason());
   const bool quick = benchcfg::quick_mode();
 
   data::GeneratorConfig gen;

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "nn/pool.hpp"
+
 namespace rnx::nn {
 
 namespace {
@@ -11,8 +13,13 @@ thread_local bool g_no_grad = false;
 }
 
 namespace detail {
+Node::~Node() {
+  TensorPool::release(std::move(value));
+  TensorPool::release(std::move(grad));
+}
+
 Tensor& Node::grad_ref() {
-  if (grad.empty()) grad = Tensor::zeros(value.rows(), value.cols());
+  if (grad.empty()) grad = TensorPool::acquire(value.rows(), value.cols());
   return grad;
 }
 }  // namespace detail

@@ -24,6 +24,14 @@ struct Node;
 using NodePtr = std::shared_ptr<Node>;
 
 struct Node {
+  Node() = default;
+  /// Returns value/grad buffers to the thread-local TensorPool, so tape
+  /// teardown feeds the next step's op outputs (ops.cpp draws from the
+  /// pool) and steady-state training runs allocation-free.
+  ~Node();
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
   Tensor value;
   Tensor grad;  // allocated on first touch
   bool requires_grad = false;

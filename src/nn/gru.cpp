@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "nn/init.hpp"
+#include "nn/kernels.hpp"
 #include "nn/ops.hpp"
 #include "nn/pool.hpp"
 
@@ -157,38 +158,21 @@ Var GRUCell::step_fused(const Var& x, const Var& h) const {
   matmul_acc(an, xv, wxn_.value());
 
   // z and r gates, then the reset-scaled hidden state feeding the
-  // candidate matmul — one elementwise pass.
+  // candidate matmul — one fused backend pass (vector sigmoid on SIMD
+  // backends; this is the hottest elementwise site in serving).
+  const auto& backend = kernels::active();
   Tensor z = TensorPool::acquire_uninit(rows, hid_);
   Tensor r = TensorPool::acquire_uninit(rows, hid_);
   Tensor rh = TensorPool::acquire_uninit(rows, hid_);
-  for (std::size_t row = 0; row < rows; ++row) {
-    const double* azr = a_zr.row(row).data();
-    const double* hrow = hv.row(row).data();
-    double* zrow = z.row(row).data();
-    double* rrow = r.row(row).data();
-    double* rhrow = rh.row(row).data();
-    for (std::size_t c = 0; c < hid_; ++c) {
-      zrow[c] = 1.0 / (1.0 + std::exp(-azr[c]));
-      rrow[c] = 1.0 / (1.0 + std::exp(-azr[hid_ + c]));
-      rhrow[c] = rrow[c] * hrow[c];
-    }
-  }
+  backend.gru_gates(z.flat().data(), r.flat().data(), rh.flat().data(),
+                    a_zr.flat().data(), hv.flat().data(), rows, hid_);
   matmul_acc(an, rh, whn_.value());
 
   // Candidate + state blend fused: n = tanh(an), y = (1-z) n + z h.
   Tensor n = TensorPool::acquire_uninit(rows, hid_);
-  Tensor y(rows, hid_);
-  {
-    const auto anv = an.flat();
-    const auto hvv = hv.flat();
-    const auto zf = z.flat();
-    auto nf = n.flat();
-    auto yf = y.flat();
-    for (std::size_t i = 0; i < yf.size(); ++i) {
-      nf[i] = std::tanh(anv[i]);
-      yf[i] = (1.0 - zf[i]) * nf[i] + zf[i] * hvv[i];
-    }
-  }
+  Tensor y = TensorPool::acquire_uninit(rows, hid_);
+  backend.gru_blend(n.flat().data(), y.flat().data(), an.flat().data(),
+                    z.flat().data(), hv.flat().data(), y.size());
   TensorPool::release(std::move(a_zr));
   TensorPool::release(std::move(an));
   TensorPool::release(std::move(rh));

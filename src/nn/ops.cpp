@@ -4,12 +4,31 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "nn/kernels.hpp"
+#include "nn/pool.hpp"
+
 namespace rnx::nn {
+
+// Forward-pass outputs and backward-saved activations come from the
+// thread-local TensorPool rather than fresh allocations: every op output
+// buffer returns to the pool when its tape node dies (see Node::~Node),
+// so a steady-state training step runs allocation-free.  The elementwise
+// ops are single-pass through the dispatched kernel backend — add/sub
+// used to materialize a full copy of `a` and then fix it up in a second
+// pass.
 
 namespace {
 void check_same_shape(const Var& a, const Var& b, const char* what) {
   if (!a.value().same_shape(b.value()))
     throw std::invalid_argument(std::string(what) + ": shape mismatch");
+}
+
+/// Pool-backed deep copy (backward-saved activations).
+Tensor pooled_copy(const Tensor& src) {
+  Tensor dst = TensorPool::acquire_uninit(src.rows(), src.cols());
+  const auto s = src.flat();
+  std::copy(s.begin(), s.end(), dst.flat().begin());
+  return dst;
 }
 }  // namespace
 
@@ -17,8 +36,9 @@ Var constant(Tensor t) { return Var(std::move(t), /*requires_grad=*/false); }
 
 Var add(const Var& a, const Var& b) {
   check_same_shape(a, b, "add");
-  Tensor y = a.value();
-  y.add_inplace(b.value());
+  Tensor y = TensorPool::acquire_uninit(a.rows(), a.cols());
+  kernels::active().vadd(y.flat().data(), a.value().flat().data(),
+                         b.value().flat().data(), y.size());
   return Var::make(std::move(y), {a, b}, [a = Var(a), b = Var(b)](const Tensor& g) mutable {
     if (a.requires_grad()) a.grad_ref().add_inplace(g);
     if (b.requires_grad()) b.grad_ref().add_inplace(g);
@@ -27,8 +47,9 @@ Var add(const Var& a, const Var& b) {
 
 Var sub(const Var& a, const Var& b) {
   check_same_shape(a, b, "sub");
-  Tensor y = a.value();
-  y.axpy_inplace(-1.0, b.value());
+  Tensor y = TensorPool::acquire_uninit(a.rows(), a.cols());
+  kernels::active().vsub(y.flat().data(), a.value().flat().data(),
+                         b.value().flat().data(), y.size());
   return Var::make(std::move(y), {a, b}, [a = Var(a), b = Var(b)](const Tensor& g) mutable {
     if (a.requires_grad()) a.grad_ref().add_inplace(g);
     if (b.requires_grad()) b.grad_ref().axpy_inplace(-1.0, g);
@@ -37,39 +58,35 @@ Var sub(const Var& a, const Var& b) {
 
 Var mul(const Var& a, const Var& b) {
   check_same_shape(a, b, "mul");
-  Tensor y(a.rows(), a.cols());
-  const auto av = a.value().flat(), bv = b.value().flat();
-  auto yv = y.flat();
-  for (std::size_t i = 0; i < yv.size(); ++i) yv[i] = av[i] * bv[i];
+  Tensor y = TensorPool::acquire_uninit(a.rows(), a.cols());
+  kernels::active().vmul(y.flat().data(), a.value().flat().data(),
+                         b.value().flat().data(), y.size());
   return Var::make(std::move(y), {a, b}, [a = Var(a), b = Var(b)](const Tensor& g) mutable {
-    const auto gv = g.flat();
-    if (a.requires_grad()) {
-      auto ag = a.grad_ref().flat();
-      const auto bv2 = b.value().flat();
-      for (std::size_t i = 0; i < gv.size(); ++i) ag[i] += gv[i] * bv2[i];
-    }
-    if (b.requires_grad()) {
-      auto bg = b.grad_ref().flat();
-      const auto av2 = a.value().flat();
-      for (std::size_t i = 0; i < gv.size(); ++i) bg[i] += gv[i] * av2[i];
-    }
+    if (a.requires_grad())
+      kernels::active().vmacc(a.grad_ref().flat().data(), g.flat().data(),
+                              b.value().flat().data(), g.size());
+    if (b.requires_grad())
+      kernels::active().vmacc(b.grad_ref().flat().data(), g.flat().data(),
+                              a.value().flat().data(), g.size());
   });
 }
 
 Var scale(const Var& a, double c) { return affine(a, c, 0.0); }
 
 Var affine(const Var& a, double alpha, double beta) {
-  Tensor y(a.rows(), a.cols());
-  const auto av = a.value().flat();
-  auto yv = y.flat();
-  for (std::size_t i = 0; i < yv.size(); ++i) yv[i] = alpha * av[i] + beta;
+  Tensor y = TensorPool::acquire_uninit(a.rows(), a.cols());
+  kernels::active().vaffine(y.flat().data(), a.value().flat().data(), alpha,
+                            beta, y.size());
   return Var::make(std::move(y), {a}, [a = Var(a), alpha](const Tensor& g) mutable {
     if (a.requires_grad()) a.grad_ref().axpy_inplace(alpha, g);
   });
 }
 
 Var matmul(const Var& a, const Var& b) {
-  Tensor y = rnx::nn::matmul(a.value(), b.value());
+  if (a.cols() != b.rows())
+    throw std::invalid_argument("matmul: inner dim mismatch");
+  Tensor y = TensorPool::acquire(a.rows(), b.cols());
+  matmul_acc(y, a.value(), b.value());
   return Var::make(std::move(y), {a, b}, [a = Var(a), b = Var(b)](const Tensor& g) mutable {
     if (a.requires_grad()) matmul_nt_acc(a.grad_ref(), g, b.value());
     if (b.requires_grad()) matmul_tn_acc(b.grad_ref(), a.value(), g);
@@ -79,36 +96,32 @@ Var matmul(const Var& a, const Var& b) {
 Var add_bias(const Var& a, const Var& bias) {
   if (bias.rows() != 1 || bias.cols() != a.cols())
     throw std::invalid_argument("add_bias: bias must be 1 x cols(a)");
-  Tensor y = a.value();
-  const auto bv = bias.value().flat();
-  for (std::size_t r = 0; r < y.rows(); ++r) {
-    auto row = y.row(r);
-    for (std::size_t c = 0; c < row.size(); ++c) row[c] += bv[c];
-  }
+  Tensor y = TensorPool::acquire_uninit(a.rows(), a.cols());
+  const auto& backend = kernels::active();
+  const double* bv = bias.value().flat().data();
+  const std::size_t cols = a.cols();
+  for (std::size_t r = 0; r < y.rows(); ++r)
+    backend.vadd(y.row(r).data(), a.value().row(r).data(), bv, cols);
   return Var::make(std::move(y), {a, bias},
                    [a = Var(a), bias = Var(bias)](const Tensor& g) mutable {
                      if (a.requires_grad()) a.grad_ref().add_inplace(g);
                      if (bias.requires_grad()) {
-                       auto bg = bias.grad_ref().flat();
-                       for (std::size_t r = 0; r < g.rows(); ++r) {
-                         const auto row = g.row(r);
-                         for (std::size_t c = 0; c < row.size(); ++c)
-                           bg[c] += row[c];
-                       }
+                       double* bg = bias.grad_ref().flat().data();
+                       const auto& bk = kernels::active();
+                       for (std::size_t r = 0; r < g.rows(); ++r)
+                         bk.vadd(bg, bg, g.row(r).data(), g.cols());
                      }
                    });
 }
 
 Var sigmoid(const Var& a) {
-  Tensor y(a.rows(), a.cols());
-  const auto av = a.value().flat();
-  auto yv = y.flat();
-  for (std::size_t i = 0; i < yv.size(); ++i)
-    yv[i] = 1.0 / (1.0 + std::exp(-av[i]));
-  Tensor ycopy = y;  // captured for the backward (dy/dx = y(1-y))
+  Tensor y = TensorPool::acquire_uninit(a.rows(), a.cols());
+  kernels::active().vsigmoid(y.flat().data(), a.value().flat().data(),
+                             y.size());
+  if (grad_disabled() || !a.requires_grad()) return Var(std::move(y));
+  Tensor ycopy = pooled_copy(y);  // for the backward: dy/dx = y(1-y)
   return Var::make(std::move(y), {a},
                    [a = Var(a), ycopy = std::move(ycopy)](const Tensor& g) mutable {
-                     if (!a.requires_grad()) return;
                      auto ag = a.grad_ref().flat();
                      const auto gv = g.flat();
                      const auto yv2 = ycopy.flat();
@@ -118,14 +131,12 @@ Var sigmoid(const Var& a) {
 }
 
 Var tanh_op(const Var& a) {
-  Tensor y(a.rows(), a.cols());
-  const auto av = a.value().flat();
-  auto yv = y.flat();
-  for (std::size_t i = 0; i < yv.size(); ++i) yv[i] = std::tanh(av[i]);
-  Tensor ycopy = y;
+  Tensor y = TensorPool::acquire_uninit(a.rows(), a.cols());
+  kernels::active().vtanh(y.flat().data(), a.value().flat().data(), y.size());
+  if (grad_disabled() || !a.requires_grad()) return Var(std::move(y));
+  Tensor ycopy = pooled_copy(y);
   return Var::make(std::move(y), {a},
                    [a = Var(a), ycopy = std::move(ycopy)](const Tensor& g) mutable {
-                     if (!a.requires_grad()) return;
                      auto ag = a.grad_ref().flat();
                      const auto gv = g.flat();
                      const auto yv2 = ycopy.flat();
@@ -135,10 +146,8 @@ Var tanh_op(const Var& a) {
 }
 
 Var relu(const Var& a) {
-  Tensor y(a.rows(), a.cols());
-  const auto av = a.value().flat();
-  auto yv = y.flat();
-  for (std::size_t i = 0; i < yv.size(); ++i) yv[i] = av[i] > 0.0 ? av[i] : 0.0;
+  Tensor y = TensorPool::acquire_uninit(a.rows(), a.cols());
+  kernels::active().vrelu(y.flat().data(), a.value().flat().data(), y.size());
   return Var::make(std::move(y), {a}, [a = Var(a)](const Tensor& g) mutable {
     if (!a.requires_grad()) return;
     auto ag = a.grad_ref().flat();
@@ -150,7 +159,7 @@ Var relu(const Var& a) {
 }
 
 Var softplus(const Var& a) {
-  Tensor y(a.rows(), a.cols());
+  Tensor y = TensorPool::acquire_uninit(a.rows(), a.cols());
   const auto av = a.value().flat();
   auto yv = y.flat();
   for (std::size_t i = 0; i < yv.size(); ++i) {
@@ -172,7 +181,7 @@ Var gather_rows(const Var& a, std::vector<Index> idx) {
   for (const Index i : idx)
     if (i >= a.rows())
       throw std::out_of_range("gather_rows: index out of range");
-  Tensor y(idx.size(), cols);
+  Tensor y = TensorPool::acquire_uninit(idx.size(), cols);
   for (std::size_t r = 0; r < idx.size(); ++r) {
     const auto src = a.value().row(idx[r]);
     std::copy(src.begin(), src.end(), y.row(r).begin());
@@ -200,7 +209,7 @@ Var scatter_rows(const Var& base, std::vector<Index> idx, const Var& rows) {
     if (seen[i]) throw std::invalid_argument("scatter_rows: duplicate index");
     seen[i] = 1;
   }
-  Tensor y = base.value();
+  Tensor y = pooled_copy(base.value());
   for (std::size_t r = 0; r < idx.size(); ++r) {
     const auto src = rows.value().row(r);
     std::copy(src.begin(), src.end(), y.row(idx[r]).begin());
@@ -236,7 +245,7 @@ Var segment_sum(const Var& a, std::vector<Index> seg,
   for (const Index s : seg)
     if (s >= num_segments)
       throw std::out_of_range("segment_sum: segment id out of range");
-  Tensor y(num_segments, a.cols());
+  Tensor y = TensorPool::acquire(num_segments, a.cols());
   for (std::size_t r = 0; r < seg.size(); ++r) {
     auto dst = y.row(seg[r]);
     const auto src = a.value().row(r);
@@ -274,7 +283,7 @@ Var concat_cols(const Var& a, const Var& b) {
   if (a.rows() != b.rows())
     throw std::invalid_argument("concat_cols: row count mismatch");
   const std::size_t ca = a.cols(), cb = b.cols();
-  Tensor y(a.rows(), ca + cb);
+  Tensor y = TensorPool::acquire_uninit(a.rows(), ca + cb);
   for (std::size_t r = 0; r < y.rows(); ++r) {
     const auto ra = a.value().row(r);
     const auto rb = b.value().row(r);

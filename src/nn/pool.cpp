@@ -8,11 +8,13 @@ namespace rnx::nn {
 namespace {
 // A tiny LIFO of raw buffers.  Capacity is bounded so a one-off huge
 // matrix does not pin memory forever; typical training shapes (<= ~1000
-// x 64 doubles) recycle perfectly within the cap.
-constexpr std::size_t kMaxPooled = 32;
+// x 64 doubles) recycle perfectly within the cap.  Sized to absorb the
+// burst of buffers a tape teardown releases (every op output returns
+// here via Node::~Node) so the next step's forward draws from the pool.
+constexpr std::size_t kMaxPooled = 64;
 
-std::vector<std::vector<double>>& free_list() noexcept {
-  thread_local std::vector<std::vector<double>> list;
+std::vector<AlignedVec>& free_list() noexcept {
+  thread_local std::vector<AlignedVec> list;
   return list;
 }
 }  // namespace
@@ -21,7 +23,7 @@ Tensor TensorPool::acquire(std::size_t rows, std::size_t cols) {
   auto& list = free_list();
   const std::size_t n = rows * cols;
   if (n == 0 || list.empty()) return Tensor(rows, cols);
-  std::vector<double> buf = std::move(list.back());
+  AlignedVec buf = std::move(list.back());
   list.pop_back();
   buf.assign(n, 0.0);  // resize + zero, keeping capacity
   return Tensor(rows, cols, std::move(buf));
@@ -31,7 +33,7 @@ Tensor TensorPool::acquire_uninit(std::size_t rows, std::size_t cols) {
   auto& list = free_list();
   const std::size_t n = rows * cols;
   if (n == 0 || list.empty()) return Tensor(rows, cols);
-  std::vector<double> buf = std::move(list.back());
+  AlignedVec buf = std::move(list.back());
   list.pop_back();
   buf.resize(n);  // no fill: caller overwrites every element
   return Tensor(rows, cols, std::move(buf));

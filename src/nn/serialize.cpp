@@ -1,8 +1,12 @@
 #include "nn/serialize.hpp"
 
+#include <algorithm>
+#include <bit>
+#include <cmath>
 #include <cstdint>
 #include <fstream>
 #include <istream>
+#include <limits>
 #include <map>
 #include <ostream>
 #include <stdexcept>
@@ -12,6 +16,8 @@ namespace rnx::nn {
 namespace {
 constexpr char kMagic[4] = {'R', 'N', 'X', 'W'};
 constexpr std::uint32_t kVersion = 1;
+constexpr char kQuantMagic[4] = {'R', 'N', 'X', 'Q'};
+constexpr std::uint32_t kQuantVersion = 1;
 
 template <typename T>
 void write_pod(std::ostream& f, const T& v) {
@@ -102,6 +108,211 @@ void load_params(const std::string& path, NamedParams& params) {
   if (!f) throw std::runtime_error("load_params: cannot open " + path);
   try {
     load_params(f, params);
+  } catch (const std::runtime_error& e) {
+    throw std::runtime_error(std::string(e.what()) + " in " + path);
+  }
+}
+
+// ---- quantized weight sections ("RNXQ") -----------------------------------
+
+const char* to_string(WeightEncoding enc) noexcept {
+  switch (enc) {
+    case WeightEncoding::kFp64: return "fp64";
+    case WeightEncoding::kFp16: return "fp16";
+    case WeightEncoding::kInt8: return "int8";
+  }
+  return "unknown";
+}
+
+WeightEncoding parse_weight_encoding(const std::string& s) {
+  if (s == "fp64") return WeightEncoding::kFp64;
+  if (s == "fp16") return WeightEncoding::kFp16;
+  if (s == "int8") return WeightEncoding::kInt8;
+  throw std::invalid_argument("unknown weight encoding '" + s +
+                              "' (expected fp64, fp16 or int8)");
+}
+
+std::uint16_t fp16_from_double(double v) noexcept {
+  // Contract: double -> float (hardware round-to-nearest-even), then
+  // float -> binary16 RNE.  Out-of-range magnitudes saturate to inf;
+  // NaN payloads keep a quiet bit so NaNs survive the round trip.
+  const auto bits = std::bit_cast<std::uint32_t>(static_cast<float>(v));
+  const std::uint32_t sign = (bits >> 16) & 0x8000u;
+  const std::uint32_t mag = bits & 0x7fffffffu;
+  if (mag >= 0x7f800000u)  // inf / NaN
+    return static_cast<std::uint16_t>(
+        sign | 0x7c00u | (mag > 0x7f800000u ? 0x0200u : 0u));
+  if (mag >= 0x47800000u)  // >= 2^16: beyond half range
+    return static_cast<std::uint16_t>(sign | 0x7c00u);
+  if (mag >= 0x38800000u) {  // normal half: rebias exponent, round 23->10
+    const std::uint32_t val = mag - 0x38000000u;
+    std::uint32_t h = val >> 13;
+    const std::uint32_t rem = val & 0x1fffu;
+    if (rem > 0x1000u || (rem == 0x1000u && (h & 1u))) ++h;
+    return static_cast<std::uint16_t>(sign | h);
+  }
+  if (mag >= 0x33000000u) {  // subnormal half
+    const std::uint32_t exp = mag >> 23;
+    const std::uint32_t mant = (mag & 0x7fffffu) | 0x800000u;
+    const std::uint32_t shift = 126u - exp;  // in [14, 24]
+    std::uint32_t h = mant >> shift;
+    const std::uint32_t rem = mant & ((1u << shift) - 1u);
+    const std::uint32_t halfway = 1u << (shift - 1u);
+    if (rem > halfway || (rem == halfway && (h & 1u))) ++h;
+    return static_cast<std::uint16_t>(sign | h);
+  }
+  return static_cast<std::uint16_t>(sign);  // underflows to signed zero
+}
+
+double fp16_to_double(std::uint16_t h) noexcept {
+  const bool neg = (h & 0x8000u) != 0;
+  const std::uint32_t exp = (h >> 10) & 0x1fu;
+  const std::uint32_t mant = h & 0x3ffu;
+  double v;
+  if (exp == 0x1fu) {
+    v = mant != 0 ? std::numeric_limits<double>::quiet_NaN()
+                  : std::numeric_limits<double>::infinity();
+  } else if (exp != 0) {
+    v = std::ldexp(static_cast<double>(mant | 0x400u),
+                   static_cast<int>(exp) - 25);
+  } else {
+    v = std::ldexp(static_cast<double>(mant), -24);
+  }
+  return neg ? -v : v;
+}
+
+void save_params_quantized(std::ostream& f, const NamedParams& params,
+                           WeightEncoding enc) {
+  if (enc != WeightEncoding::kFp16 && enc != WeightEncoding::kInt8)
+    throw std::invalid_argument(
+        "save_params_quantized: encoding must be fp16 or int8 (use "
+        "save_params for fp64)");
+  f.write(kQuantMagic, sizeof(kQuantMagic));
+  write_pod(f, kQuantVersion);
+  write_pod(f, static_cast<std::uint64_t>(params.size()));
+  for (const auto& [name, var] : params) {
+    write_pod(f, static_cast<std::uint32_t>(name.size()));
+    f.write(name.data(), static_cast<std::streamsize>(name.size()));
+    const Tensor& t = var.value();
+    write_pod(f, static_cast<std::uint64_t>(t.rows()));
+    write_pod(f, static_cast<std::uint64_t>(t.cols()));
+    write_pod(f, static_cast<std::uint8_t>(enc));
+    const std::span<const double> src = t.flat();
+    if (enc == WeightEncoding::kFp16) {
+      for (const double v : src) write_pod(f, fp16_from_double(v));
+    } else {
+      // Per-tensor symmetric calibration: scale = maxabs/127 so the
+      // largest weight maps exactly onto the int8 endpoints.  An
+      // all-zero tensor stores scale 0 and decodes to exact zeros.
+      double maxabs = 0.0;
+      for (const double v : src) maxabs = std::max(maxabs, std::fabs(v));
+      const double scale = maxabs > 0.0 ? maxabs / 127.0 : 0.0;
+      write_pod(f, scale);
+      for (const double v : src) {
+        long q = scale > 0.0 ? std::lround(v / scale) : 0;
+        if (q > 127) q = 127;
+        if (q < -127) q = -127;
+        write_pod(f, static_cast<std::int8_t>(q));
+      }
+    }
+  }
+  if (!f) throw std::runtime_error("save_params_quantized: write failed");
+}
+
+void save_params_quantized(const std::string& path, const NamedParams& params,
+                           WeightEncoding enc) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f)
+    throw std::runtime_error("save_params_quantized: cannot open " + path);
+  save_params_quantized(f, params, enc);
+  if (!f)
+    throw std::runtime_error("save_params_quantized: write failed on " + path);
+}
+
+void load_params_quantized(std::istream& f, NamedParams& params) {
+  char magic[4];
+  f.read(magic, sizeof(magic));
+  if (!f || std::string_view(magic, 4) != std::string_view(kQuantMagic, 4))
+    throw std::runtime_error("load_params_quantized: bad magic");
+  std::uint32_t version = 0;
+  read_pod(f, version);
+  if (version != kQuantVersion)
+    throw std::runtime_error("load_params_quantized: unsupported version");
+  std::uint64_t count = 0;
+  read_pod(f, count);
+
+  std::map<std::string, Var*> by_name;
+  for (auto& [name, var] : params) {
+    if (!by_name.emplace(name, &var).second)
+      throw std::runtime_error("load_params_quantized: duplicate param name " +
+                               name);
+  }
+  if (count != params.size())
+    throw std::runtime_error("load_params_quantized: parameter count mismatch");
+
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::uint32_t name_len = 0;
+    read_pod(f, name_len);
+    if (name_len == 0 || name_len > kMaxParamNameLen)
+      throw std::runtime_error(
+          "load_params_quantized: corrupt file (parameter name length " +
+          std::to_string(name_len) + " exceeds " +
+          std::to_string(kMaxParamNameLen) + ")");
+    std::string name(name_len, '\0');
+    f.read(name.data(), name_len);
+    if (!f)
+      throw std::runtime_error(
+          "load_params_quantized: truncated file inside a parameter name");
+    std::uint64_t rows = 0, cols = 0;
+    read_pod(f, rows);
+    read_pod(f, cols);
+    const auto it = by_name.find(name);
+    if (it == by_name.end())
+      throw std::runtime_error("load_params_quantized: unknown parameter " +
+                               name);
+    Tensor& dst = it->second->mutable_value();
+    // Shape-check before any payload allocation, so a corrupt header can
+    // never trigger a huge read — same guard order as load_params.
+    if (dst.rows() != rows || dst.cols() != cols)
+      throw std::runtime_error("load_params_quantized: shape mismatch for " +
+                               name);
+    std::uint8_t enc_byte = 0;
+    read_pod(f, enc_byte);
+    const std::span<double> out = dst.flat();
+    if (enc_byte == static_cast<std::uint8_t>(WeightEncoding::kFp16)) {
+      for (double& v : out) {
+        std::uint16_t h = 0;
+        read_pod(f, h);
+        v = fp16_to_double(h);
+      }
+    } else if (enc_byte == static_cast<std::uint8_t>(WeightEncoding::kInt8)) {
+      double scale = 0.0;
+      read_pod(f, scale);
+      if (!std::isfinite(scale) || scale < 0.0)
+        throw std::runtime_error("load_params_quantized: corrupt scale for " +
+                                 name);
+      for (double& v : out) {
+        std::int8_t q = 0;
+        read_pod(f, q);
+        v = static_cast<double>(q) * scale;
+      }
+    } else {
+      throw std::runtime_error(
+          "load_params_quantized: invalid encoding byte " +
+          std::to_string(enc_byte) + " for " + name);
+    }
+    if (!f)
+      throw std::runtime_error("load_params_quantized: truncated tensor " +
+                               name);
+  }
+}
+
+void load_params_quantized(const std::string& path, NamedParams& params) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f)
+    throw std::runtime_error("load_params_quantized: cannot open " + path);
+  try {
+    load_params_quantized(f, params);
   } catch (const std::runtime_error& e) {
     throw std::runtime_error(std::string(e.what()) + " in " + path);
   }

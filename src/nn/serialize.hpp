@@ -6,11 +6,19 @@
 // by name and shape so a weight file can never be silently misapplied to
 // a different architecture.
 //
+// Quantized sections use magic "RNXQ" instead: same header and per-
+// parameter name/shape framing, but each tensor carries a u8 encoding
+// tag and a compressed payload (see WeightEncoding).  Calibration is
+// per-tensor and happens at save time; load always dequantizes back to
+// fp64, so the rest of the stack never sees a reduced-precision type.
+// DESIGN.md §K documents the format and the accuracy-drift gate.
+//
 // The stream overloads exist so the weight section can be embedded in
 // larger containers (serve::ModelBundle stores one verbatim inside a
 // .rnxb file); the path overloads are thin wrappers.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 #include <utility>
@@ -39,5 +47,39 @@ void save_params(std::ostream& f, const NamedParams& params);
 void load_params(const std::string& path, NamedParams& params);
 /// As above, consuming one weight section from an open binary stream.
 void load_params(std::istream& f, NamedParams& params);
+
+// ---- quantized weight sections ("RNXQ") -----------------------------------
+
+/// How a tensor's payload is stored inside an "RNXQ" section.  The byte
+/// values are the on-disk tags — never renumber, only append.
+enum class WeightEncoding : std::uint8_t {
+  kFp64 = 0,  ///< full precision (plain "RNXW" section / no quant byte)
+  kFp16 = 1,  ///< IEEE binary16, round-to-nearest-even, u16 payload
+  kInt8 = 2,  ///< per-tensor symmetric int8: scale = maxabs/127, i8 payload
+};
+
+[[nodiscard]] const char* to_string(WeightEncoding enc) noexcept;
+/// Parse "fp64" / "fp16" / "int8"; throws std::invalid_argument otherwise.
+[[nodiscard]] WeightEncoding parse_weight_encoding(const std::string& s);
+
+/// Lossy round-trip primitives, exposed so tests can pin the rounding
+/// rules (double -> float -> binary16 with round-to-nearest-even; values
+/// beyond half range saturate to +/-inf).
+[[nodiscard]] std::uint16_t fp16_from_double(double v) noexcept;
+[[nodiscard]] double fp16_to_double(std::uint16_t h) noexcept;
+
+/// Write one "RNXQ" section quantizing every tensor with `enc`
+/// (kFp16 or kInt8; kFp64 is rejected — use save_params for that).
+/// Per-tensor calibration happens here: int8 scale is maxabs/127
+/// (0-tensors store scale 0 and decode to exact zeros).
+void save_params_quantized(std::ostream& f, const NamedParams& params,
+                           WeightEncoding enc);
+void save_params_quantized(const std::string& path, const NamedParams& params,
+                           WeightEncoding enc);
+
+/// Consume one "RNXQ" section, dequantizing into fp64 values.  Same
+/// strict name/shape matching and corrupt-header guards as load_params.
+void load_params_quantized(std::istream& f, NamedParams& params);
+void load_params_quantized(const std::string& path, NamedParams& params);
 
 }  // namespace rnx::nn

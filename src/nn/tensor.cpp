@@ -2,12 +2,14 @@
 
 #include <stdexcept>
 
+#include "nn/kernels.hpp"
+
 namespace rnx::nn {
 
 Tensor::Tensor(std::size_t rows, std::size_t cols)
     : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
 
-Tensor::Tensor(std::size_t rows, std::size_t cols, std::vector<double> data)
+Tensor::Tensor(std::size_t rows, std::size_t cols, AlignedVec data)
     : rows_(rows), cols_(cols), data_(std::move(data)) {
   if (data_.size() != rows * cols)
     throw std::invalid_argument("Tensor: data size != rows*cols");
@@ -51,12 +53,13 @@ void Tensor::fill(double v) noexcept {
 
 void Tensor::add_inplace(const Tensor& o) {
   if (!same_shape(o)) throw std::invalid_argument("add_inplace: shape mismatch");
-  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += o.data_[i];
+  kernels::active().vadd(data_.data(), data_.data(), o.data_.data(),
+                         data_.size());
 }
 
 void Tensor::axpy_inplace(double a, const Tensor& o) {
   if (!same_shape(o)) throw std::invalid_argument("axpy_inplace: shape mismatch");
-  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += a * o.data_[i];
+  kernels::active().vaxpy(data_.data(), a, o.data_.data(), data_.size());
 }
 
 void Tensor::scale_inplace(double a) noexcept {
@@ -75,16 +78,9 @@ void check_mm(std::size_t ak, std::size_t bk, const char* what) {
 }
 }  // namespace
 
-// ikj-ordered kernels, cache-blocked over the reduction dimension so a
-// panel of B stays in L1/L2 while a block of A's rows streams over it.
-// Per (i, j) cell the additions still happen in ascending p order, so the
-// blocked kernels are bitwise-identical to the naive ikj loop.  The
-// matrices here are small (<= ~1000 x 64); this is within ~2x of a tuned
-// BLAS at these sizes and keeps the substrate dependency-free.
-namespace {
-constexpr std::size_t kBlockI = 32;   // rows of A per panel pass
-constexpr std::size_t kBlockK = 128;  // reduction slice: B panel rows
-}  // namespace
+// Shape-checked wrappers over the runtime-dispatched kernel backends
+// (nn/kernels.hpp).  The scalar backend holds the original blocked loops,
+// so RNX_SIMD=scalar reproduces the pre-backend results bitwise.
 
 Tensor matmul(const Tensor& a, const Tensor& b) {
   check_mm(a.cols(), b.rows(), "matmul");
@@ -97,23 +93,8 @@ void matmul_acc(Tensor& c, const Tensor& a, const Tensor& b) {
   check_mm(a.cols(), b.rows(), "matmul_acc");
   if (c.rows() != a.rows() || c.cols() != b.cols())
     throw std::invalid_argument("matmul_acc: output shape mismatch");
-  const std::size_t n = a.rows(), k = a.cols(), m = b.cols();
-  for (std::size_t i0 = 0; i0 < n; i0 += kBlockI) {
-    const std::size_t i1 = std::min(i0 + kBlockI, n);
-    for (std::size_t p0 = 0; p0 < k; p0 += kBlockK) {
-      const std::size_t p1 = std::min(p0 + kBlockK, k);
-      for (std::size_t i = i0; i < i1; ++i) {
-        double* crow = c.row(i).data();
-        const double* arow = a.row(i).data();
-        for (std::size_t p = p0; p < p1; ++p) {
-          const double av = arow[p];
-          if (av == 0.0) continue;
-          const double* brow = b.row(p).data();
-          for (std::size_t j = 0; j < m; ++j) crow[j] += av * brow[j];
-        }
-      }
-    }
-  }
+  kernels::active().matmul_acc(c.flat().data(), a.flat().data(),
+                               b.flat().data(), a.rows(), a.cols(), b.cols());
 }
 
 Tensor matmul_tn(const Tensor& a, const Tensor& b) {
@@ -127,17 +108,9 @@ void matmul_tn_acc(Tensor& c, const Tensor& a, const Tensor& b) {
   check_mm(a.rows(), b.rows(), "matmul_tn_acc");
   if (c.rows() != a.cols() || c.cols() != b.cols())
     throw std::invalid_argument("matmul_tn_acc: output shape mismatch");
-  const std::size_t k = a.rows(), n = a.cols(), m = b.cols();
-  for (std::size_t p = 0; p < k; ++p) {
-    const double* arow = a.row(p).data();
-    const double* brow = b.row(p).data();
-    for (std::size_t i = 0; i < n; ++i) {
-      const double av = arow[i];
-      if (av == 0.0) continue;
-      double* crow = c.row(i).data();
-      for (std::size_t j = 0; j < m; ++j) crow[j] += av * brow[j];
-    }
-  }
+  kernels::active().matmul_tn_acc(c.flat().data(), a.flat().data(),
+                                  b.flat().data(), a.cols(), a.rows(),
+                                  b.cols());
 }
 
 Tensor matmul_nt(const Tensor& a, const Tensor& b) {
@@ -151,24 +124,9 @@ void matmul_nt_acc(Tensor& c, const Tensor& a, const Tensor& b) {
   check_mm(a.cols(), b.cols(), "matmul_nt_acc");
   if (c.rows() != a.rows() || c.cols() != b.rows())
     throw std::invalid_argument("matmul_nt_acc: output shape mismatch");
-  const std::size_t n = a.rows(), k = a.cols(), m = b.rows();
-  for (std::size_t i = 0; i < n; ++i) {
-    const double* arow = a.row(i).data();
-    double* crow = c.row(i).data();
-    for (std::size_t j = 0; j < m; ++j) {
-      const double* brow = b.row(j).data();
-      // Two-lane dot: breaks the serial FMA dependency chain.  (Changes
-      // the summation order vs a single accumulator, deterministically.)
-      double s0 = 0.0, s1 = 0.0;
-      std::size_t p = 0;
-      for (; p + 1 < k; p += 2) {
-        s0 += arow[p] * brow[p];
-        s1 += arow[p + 1] * brow[p + 1];
-      }
-      if (p < k) s0 += arow[p] * brow[p];
-      crow[j] += s0 + s1;
-    }
-  }
+  kernels::active().matmul_nt_acc(c.flat().data(), a.flat().data(),
+                                  b.flat().data(), a.rows(), a.cols(),
+                                  b.rows());
 }
 
 }  // namespace rnx::nn

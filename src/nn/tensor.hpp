@@ -6,13 +6,57 @@
 // are (rows x features).  Double precision keeps the numerical gradient
 // checks in the test suite tight (1e-6 relative) at negligible cost for the
 // matrix sizes involved (<= ~1000 x 64).
+//
+// Storage is 64-byte aligned (kTensorAlign): the SIMD kernel backends
+// (nn/kernels.hpp) are handed base pointers that never straddle a cache
+// line, which is the alignment contract documented in DESIGN.md §K.  The
+// dense kernels declared at the bottom dispatch through the runtime-
+// selected backend; ops.cpp builds the autograd tape on top of them.
 #pragma once
 
 #include <cstddef>
+#include <initializer_list>
+#include <new>
 #include <span>
 #include <vector>
 
 namespace rnx::nn {
+
+/// Tensor buffer alignment in bytes (one x86 cache line / 8 doubles).
+inline constexpr std::size_t kTensorAlign = 64;
+
+/// Minimal aligned allocator so tensor storage stays a std::vector
+/// (cheap moves, capacity reuse in TensorPool) while meeting the kernel
+/// alignment contract.
+template <class T, std::size_t Align>
+struct AlignedAllocator {
+  using value_type = T;
+
+  AlignedAllocator() = default;
+  template <class U>
+  AlignedAllocator(const AlignedAllocator<U, Align>&) noexcept {}
+
+  [[nodiscard]] T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t(Align)));
+  }
+  void deallocate(T* p, std::size_t n) noexcept {
+    ::operator delete(p, n * sizeof(T), std::align_val_t(Align));
+  }
+
+  template <class U>
+  struct rebind {
+    using other = AlignedAllocator<U, Align>;
+  };
+
+  friend bool operator==(const AlignedAllocator&,
+                         const AlignedAllocator&) noexcept {
+    return true;
+  }
+};
+
+/// The tensor storage type: row-major doubles, 64-byte-aligned base.
+using AlignedVec = std::vector<double, AlignedAllocator<double, kTensorAlign>>;
 
 class Tensor {
  public:
@@ -20,7 +64,12 @@ class Tensor {
   /// rows x cols, zero-initialized.
   Tensor(std::size_t rows, std::size_t cols);
   /// rows x cols from row-major data (size must match).
-  Tensor(std::size_t rows, std::size_t cols, std::vector<double> data);
+  Tensor(std::size_t rows, std::size_t cols, AlignedVec data);
+  /// Convenience overloads copying unaligned sources into aligned storage.
+  Tensor(std::size_t rows, std::size_t cols, std::initializer_list<double> vals)
+      : Tensor(rows, cols, AlignedVec(vals)) {}
+  Tensor(std::size_t rows, std::size_t cols, const std::vector<double>& data)
+      : Tensor(rows, cols, AlignedVec(data.begin(), data.end())) {}
 
   [[nodiscard]] static Tensor zeros(std::size_t rows, std::size_t cols);
   [[nodiscard]] static Tensor full(std::size_t rows, std::size_t cols,
@@ -48,8 +97,12 @@ class Tensor {
   [[nodiscard]] std::span<const double> row(std::size_t r) const noexcept {
     return {data_.data() + r * cols_, cols_};
   }
-  [[nodiscard]] std::span<double> flat() noexcept { return data_; }
-  [[nodiscard]] std::span<const double> flat() const noexcept { return data_; }
+  [[nodiscard]] std::span<double> flat() noexcept {
+    return {data_.data(), data_.size()};
+  }
+  [[nodiscard]] std::span<const double> flat() const noexcept {
+    return {data_.data(), data_.size()};
+  }
 
   [[nodiscard]] bool same_shape(const Tensor& o) const noexcept {
     return rows_ == o.rows_ && cols_ == o.cols_;
@@ -59,7 +112,7 @@ class Tensor {
 
   /// Move the underlying row-major buffer out, leaving this tensor empty
   /// (0 x 0).  Used by TensorPool to recycle allocations.
-  [[nodiscard]] std::vector<double> take_buffer() && noexcept {
+  [[nodiscard]] AlignedVec take_buffer() && noexcept {
     rows_ = cols_ = 0;
     return std::move(data_);
   }
@@ -74,10 +127,13 @@ class Tensor {
  private:
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
-  std::vector<double> data_;
+  AlignedVec data_;
 };
 
 // -- out-of-place kernels (no autograd; ops.cpp builds the tape on top) --
+//
+// These dispatch to the runtime-selected SIMD backend (nn/kernels.hpp);
+// shape checking lives here so backends stay raw-pointer kernels.
 
 /// C = A (rows x k) * B (k x cols)
 [[nodiscard]] Tensor matmul(const Tensor& a, const Tensor& b);

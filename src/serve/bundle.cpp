@@ -52,7 +52,12 @@ data::Moments read_moments(std::istream& f, const char* what) {
 
 void save_bundle(const std::string& path, const core::Model& model,
                  const data::Scaler& scaler, core::PredictionTarget target,
-                 std::uint64_t min_delivered) {
+                 std::uint64_t min_delivered, nn::WeightEncoding encoding) {
+  // fp64 saves must stay byte-identical to the pre-quantization v3
+  // layout (no weight_encoding byte); only quantized saves emit v4.
+  const bool quantized = encoding != nn::WeightEncoding::kFp64;
+  const std::uint32_t version =
+      quantized ? kBundleVersion : kFp64BundleVersion;
   std::ostringstream body(std::ios::binary);
   write_pod(body, static_cast<std::uint8_t>(model.kind()));
   write_pod(body, static_cast<std::uint8_t>(target));
@@ -67,6 +72,7 @@ void save_bundle(const std::string& path, const core::Model& model,
   write_pod(body, static_cast<std::uint8_t>(mc.scenario_features));
   write_pod(body, static_cast<std::uint8_t>(mc.scale_invariant_features));
   write_pod(body, static_cast<std::uint8_t>(mc.link_mean_aggregation));
+  if (quantized) write_pod(body, static_cast<std::uint8_t>(encoding));
   write_pod(body, mc.init_seed);
   write_moments(body, scaler.traffic_moments());
   write_moments(body, scaler.capacity_moments());
@@ -74,13 +80,16 @@ void save_bundle(const std::string& path, const core::Model& model,
   write_moments(body, scaler.log_delay_moments());
   write_moments(body, scaler.log_jitter_moments());
   const nn::NamedParams params = model.named_params();
-  nn::save_params(body, params);
+  if (quantized)
+    nn::save_params_quantized(body, params, encoding);
+  else
+    nn::save_params(body, params);
 
   const std::string bytes = body.str();
   std::ofstream f(path, std::ios::binary);
   if (!f) throw std::runtime_error("save_bundle: cannot open " + path);
   f.write(kMagic, sizeof(kMagic));
-  write_pod(f, kBundleVersion);
+  write_pod(f, version);
   write_pod(f, static_cast<std::uint64_t>(bytes.size()));
   write_pod(f, fnv1a64(bytes));
   f.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
@@ -163,6 +172,14 @@ ModelBundle load_bundle(const std::string& path) {
     read_pod(body, link_mean, "link_mean_aggregation");
     mc.link_mean_aggregation = link_mean != 0;
   }
+  std::uint8_t enc_byte = 0;  // v1-v3 bundles are always fp64
+  if (version >= 4) {
+    read_pod(body, enc_byte, "weight_encoding");
+    if (enc_byte > static_cast<std::uint8_t>(nn::WeightEncoding::kInt8))
+      throw std::runtime_error("load_bundle: invalid weight encoding byte " +
+                               std::to_string(enc_byte));
+  }
+  out.encoding = static_cast<nn::WeightEncoding>(enc_byte);
   read_pod(body, mc.init_seed, "init_seed");
 
   const data::Moments traffic = read_moments(body, "traffic moments");
@@ -175,7 +192,10 @@ ModelBundle load_bundle(const std::string& path) {
 
   out.model = core::make_model(kind, mc);
   nn::NamedParams params = out.model->named_params();
-  nn::load_params(body, params);
+  if (out.encoding == nn::WeightEncoding::kFp64)
+    nn::load_params(body, params);
+  else
+    nn::load_params_quantized(body, params);
   return out;
 }
 

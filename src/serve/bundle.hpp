@@ -16,17 +16,22 @@
 //     u8  scenario_features    (v2+ only; v1 bundles imply 0)
 //     u8  scale_invariant_features, u8 link_mean_aggregation
 //                              (v3+ only; older bundles imply 0)
+//     u8  weight_encoding      (v4+ only; nn::WeightEncoding, older
+//                               bundles imply 0 = fp64)
 //     u64 init_seed
 //     5 x (f64 mean, f64 stddev)  Scaler moments: traffic, capacity,
 //                                 queue, log_delay, log_jitter
-//     embedded "RNXW" weight section (nn::save_params verbatim)
+//     embedded weight section: "RNXW" (nn::save_params verbatim) when
+//     weight_encoding is fp64, else "RNXQ" (nn::save_params_quantized)
 //
 // The checksum covers the whole body, so truncation or bit rot fails
 // loudly at load instead of surfacing as subtly wrong predictions.
 // Versioning rule: any layout change bumps kBundleVersion; readers
 // reject unknown versions rather than guessing, but keep loading every
 // older version (v1 bundles predate the scenario engine and must keep
-// serving bitwise-identically; see DESIGN.md §B, §S).
+// serving bitwise-identically; see DESIGN.md §B, §S).  fp64 saves keep
+// writing the v3 layout byte-for-byte — only quantized saves emit v4 —
+// so existing tooling that pins bundle bytes never sees a diff.
 #pragma once
 
 #include <cstdint>
@@ -36,11 +41,15 @@
 #include "core/config.hpp"
 #include "core/model.hpp"
 #include "data/normalize.hpp"
+#include "nn/serialize.hpp"
 
 namespace rnx::serve {
 
-inline constexpr std::uint32_t kBundleVersion = 3;
+inline constexpr std::uint32_t kBundleVersion = 4;
 inline constexpr std::uint32_t kMinBundleVersion = 1;
+/// Version written for full-precision saves: the pre-quantization v3
+/// layout, preserved byte-identically (no weight_encoding byte).
+inline constexpr std::uint32_t kFp64BundleVersion = 3;
 
 /// A deserialized bundle: the reconstructed model (weights loaded) plus
 /// the inference-time context it was trained with.
@@ -49,15 +58,21 @@ struct ModelBundle {
   data::Scaler scaler;
   core::PredictionTarget target = core::PredictionTarget::kDelay;
   std::uint64_t min_delivered = 10;
+  /// How the embedded weights were stored on disk.  Weights are always
+  /// dequantized to fp64 at load; this records provenance for logging.
+  nn::WeightEncoding encoding = nn::WeightEncoding::kFp64;
 
   [[nodiscard]] core::ModelKind kind() const { return model->kind(); }
 };
 
 /// Write model weights + config + scaler moments + target as one .rnxb
-/// file.  Throws std::runtime_error on I/O failure.
+/// file.  Throws std::runtime_error on I/O failure.  With kFp64 (the
+/// default) the file is the byte-identical v3 layout; kFp16/kInt8 write
+/// a v4 bundle with a per-tensor-calibrated quantized weight section.
 void save_bundle(const std::string& path, const core::Model& model,
                  const data::Scaler& scaler, core::PredictionTarget target,
-                 std::uint64_t min_delivered);
+                 std::uint64_t min_delivered,
+                 nn::WeightEncoding encoding = nn::WeightEncoding::kFp64);
 
 /// Load a bundle, reconstructing the model via core::make_model.  Throws
 /// std::runtime_error with a descriptive message on missing file, bad

@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "nn/kernels.hpp"
 #include "serve/inference.hpp"
 #include "serve/registry.hpp"
 #include "util/fault.hpp"
@@ -422,7 +423,10 @@ ServeStats BatchScheduler::stats() const {
   // Callers overlay the serving cache's counters (registry.plan_cache()
   // .stats()) when they want the full picture — see tools/rnx_serve.
   const std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  ServeStats out = stats_;
+  out.kernel_isa = nn::kernels::active().name;
+  out.kernel_reason = nn::kernels::dispatch_reason();
+  return out;
 }
 
 }  // namespace rnx::serve

@@ -22,6 +22,8 @@ void print_stats(std::ostream& os, const ServeStats& s) {
      << " misses, " << s.plan_cache.evictions << " evictions, "
      << s.plan_cache.bytes << " bytes (peak " << s.plan_cache.peak_bytes
      << ")\n";
+  if (s.kernel_isa != nullptr && s.kernel_isa[0] != '\0')
+    os << "  kernels    " << s.kernel_isa << " (" << s.kernel_reason << ")\n";
 }
 
 }  // namespace rnx::serve

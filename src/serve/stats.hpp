@@ -50,6 +50,10 @@ struct ServeStats {
   // -- shared plan cache (core::PlanCache::stats of the serving cache) --
   core::PlanCache::Stats plan_cache;
 
+  // -- kernel backend (nn::kernels dispatch; static strings) ------------
+  const char* kernel_isa = "";     ///< active ISA tag, e.g. "avx2+fma"
+  const char* kernel_reason = "";  ///< why it was chosen (dispatch_reason)
+
   /// Requests admitted but not yet resolved.
   [[nodiscard]] std::uint64_t in_flight() const noexcept {
     return admitted - completed - failed - cancelled - expired;

@@ -47,15 +47,20 @@ double Welford::sample_variance() const noexcept {
 double Welford::stddev() const noexcept { return std::sqrt(variance()); }
 
 namespace {
+// Nearest-rank percentile: the ceil(q/100 * N)-th order statistic,
+// clamped to [1, N].  Always an observed sample — no interpolation —
+// so a p99 over a 10-element latency window reports the worst sample
+// (rank ceil(9.9) = 10) instead of a value fabricated between the two
+// largest.  See the contract note in stats.hpp.
 double percentile_sorted(std::span<const double> sorted, double q) {
   if (sorted.empty()) throw std::invalid_argument("percentile: empty sample");
   if (q <= 0.0) return sorted.front();
   if (q >= 100.0) return sorted.back();
-  const double pos = q / 100.0 * static_cast<double>(sorted.size() - 1);
-  const auto lo = static_cast<std::size_t>(pos);
-  const double frac = pos - static_cast<double>(lo);
-  if (lo + 1 >= sorted.size()) return sorted.back();
-  return sorted[lo] + frac * (sorted[lo + 1] - sorted[lo]);
+  const auto n = static_cast<double>(sorted.size());
+  auto rank = static_cast<std::size_t>(std::ceil(q / 100.0 * n));
+  if (rank == 0) rank = 1;
+  if (rank > sorted.size()) rank = sorted.size();
+  return sorted[rank - 1];
 }
 }  // namespace
 

@@ -36,7 +36,12 @@ class Welford {
   double max_ = 0.0;
 };
 
-/// Linear-interpolated percentile of an unsorted sample, q in [0, 100].
+/// Nearest-rank percentile of an unsorted sample, q in [0, 100]:
+/// returns the ceil(q/100 * N)-th smallest sample, clamped to [1, N]
+/// (q <= 0 -> min, q >= 100 -> max).  The result is always an observed
+/// sample value — never interpolated — which is the conservative choice
+/// for small tail samples: p99 of a 10-element latency vector is the
+/// worst observation, not a value invented between the two largest.
 /// Copies and sorts internally; for repeated queries use Cdf.
 [[nodiscard]] double percentile(std::span<const double> xs, double q);
 
@@ -47,7 +52,8 @@ class Cdf {
   explicit Cdf(std::vector<double> xs);
 
   [[nodiscard]] std::size_t size() const noexcept { return xs_.size(); }
-  /// Quantile for q in [0, 100] with linear interpolation.
+  /// Nearest-rank quantile for q in [0, 100] (same rule as the free
+  /// percentile(): ceil(q/100 * N)-th order statistic).
   [[nodiscard]] double percentile(double q) const;
   /// Fraction of samples <= x.
   [[nodiscard]] double at(double x) const;

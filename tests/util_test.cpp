@@ -199,13 +199,36 @@ TEST(Percentile, EndpointsAndMidpoint) {
   const std::vector<double> xs = {5.0, 1.0, 3.0};
   EXPECT_EQ(rnx::util::percentile(xs, 0), 1.0);
   EXPECT_EQ(rnx::util::percentile(xs, 100), 5.0);
-  EXPECT_EQ(rnx::util::percentile(xs, 50), 3.0);
+  EXPECT_EQ(rnx::util::percentile(xs, 50), 3.0);  // rank ceil(1.5) = 2
 }
 
-TEST(Percentile, LinearInterpolation) {
+// Nearest-rank semantics: ceil(q/100 * N)-th order statistic, always an
+// observed sample, never interpolated.
+TEST(Percentile, NearestRankNeverInterpolates) {
   const std::vector<double> xs = {0.0, 10.0};
-  EXPECT_NEAR(rnx::util::percentile(xs, 25), 2.5, 1e-12);
-  EXPECT_NEAR(rnx::util::percentile(xs, 75), 7.5, 1e-12);
+  EXPECT_EQ(rnx::util::percentile(xs, 25), 0.0);   // rank ceil(0.5) = 1
+  EXPECT_EQ(rnx::util::percentile(xs, 50), 0.0);   // rank ceil(1.0) = 1
+  EXPECT_EQ(rnx::util::percentile(xs, 50.1), 10.0);  // rank ceil(1.002) = 2
+  EXPECT_EQ(rnx::util::percentile(xs, 75), 10.0);  // rank ceil(1.5) = 2
+}
+
+// The case the serving tail reports hinge on: p99 of a 10-element
+// latency window must be the worst observation (rank ceil(9.9) = 10),
+// not a value fabricated between the two largest samples.
+TEST(Percentile, P99OfTenSamplesIsWorstObservation) {
+  std::vector<double> xs;
+  for (int i = 1; i <= 10; ++i) xs.push_back(static_cast<double>(i));
+  EXPECT_EQ(rnx::util::percentile(xs, 99), 10.0);
+  EXPECT_EQ(rnx::util::percentile(xs, 90), 9.0);   // rank ceil(9.0) = 9
+  EXPECT_EQ(rnx::util::percentile(xs, 90.1), 10.0);
+  EXPECT_EQ(rnx::util::percentile(xs, 10), 1.0);   // rank ceil(1.0) = 1
+  EXPECT_EQ(rnx::util::percentile(xs, 1), 1.0);    // rank clamps up to 1
+}
+
+TEST(Percentile, SingleSampleIsEveryPercentile) {
+  const std::vector<double> xs = {42.0};
+  for (const double q : {0.0, 1.0, 50.0, 99.0, 100.0})
+    EXPECT_EQ(rnx::util::percentile(xs, q), 42.0);
 }
 
 TEST(Percentile, EmptyThrows) {

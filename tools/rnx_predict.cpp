@@ -21,6 +21,7 @@
 #include "cli.hpp"
 #include "data/source.hpp"
 #include "eval/metrics.hpp"
+#include "nn/kernels.hpp"
 #include "serve/inference.hpp"
 
 namespace {
@@ -37,7 +38,9 @@ int run_streaming(const std::string& bundle_path,
             << ", target " << core::to_string(bundle.target)
             << ", state_dim " << bundle.model->config().state_dim
             << ", iterations " << bundle.model->config().iterations
-            << ")\n";
+            << ", " << nn::to_string(bundle.encoding) << " weights)\n";
+  std::cout << "kernels: " << nn::kernels::active().name << " ("
+            << nn::kernels::dispatch_reason() << ")\n";
 
   if (threads == 0) threads = util::ThreadPool::hardware_threads();
   std::optional<util::ThreadPool> pool;
@@ -130,6 +133,8 @@ int run(int argc, char** argv) {
             << ", state_dim " << engine.model().config().state_dim
             << ", iterations " << engine.model().config().iterations
             << ")\n";
+  std::cout << "kernels: " << nn::kernels::active().name << " ("
+            << nn::kernels::dispatch_reason() << ")\n";
 
   const data::Dataset ds = data::Dataset::load(data_path);
   std::cout << "predicting " << ds.total_paths() << " paths across "

@@ -35,6 +35,7 @@
 
 #include "cli.hpp"
 #include "data/dataset.hpp"
+#include "nn/kernels.hpp"
 #include "serve/registry.hpp"
 #include "serve/scheduler.hpp"
 #include "util/bounded_queue.hpp"
@@ -88,6 +89,9 @@ int run(int argc, char** argv) {
     std::cerr << "error: need at least one --bundle and --data\n";
     return 2;
   }
+
+  std::cout << "kernels: " << nn::kernels::active().name << " ("
+            << nn::kernels::dispatch_reason() << ")\n";
 
   serve::ModelRegistry registry(args.get("threads", std::size_t{0}));
   if (args.has("plan-cache-mb"))
