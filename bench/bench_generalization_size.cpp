@@ -103,7 +103,10 @@ int main() {
                    util::Table::cell(s.median_ape * 100, 2) + " %",
                    util::Table::cell(s.pearson, 3),
                    std::to_string(plan_bytes)});
-    const std::string tag = "n" + std::to_string(n);
+    // Built by append (not operator+) to dodge a GCC 12 -Wrestrict false
+    // positive in the inlined char_traits copy (PR105651).
+    std::string tag = "n";
+    tag += std::to_string(n);
     result.add(tag + "_mre", s.mape);
     result.add(tag + "_median_ape", s.median_ape);
     result.add(tag + "_pearson", s.pearson);

@@ -8,7 +8,7 @@ std::shared_ptr<const MpPlan> PlanCache::get(const data::Sample& sample,
                                              bool use_nodes) {
   const Key key{&sample, use_nodes};
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const util::MutexLock lock(mu_);
     const auto it = map_.find(key);
     if (it != map_.end()) {
       ++hits_;
@@ -22,7 +22,7 @@ std::shared_ptr<const MpPlan> PlanCache::get(const data::Sample& sample,
   // wasted work at worst, never an inconsistency.
   auto plan = std::make_shared<const MpPlan>(build_plan(sample, use_nodes));
   const std::size_t cost = plan->bytes();
-  const std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   const auto it = map_.find(key);
   if (it != map_.end()) {
     // First writer won the race; serve its copy and touch it.
@@ -56,42 +56,42 @@ void PlanCache::enforce_budget_locked() {
 }
 
 void PlanCache::invalidate(const data::Sample& sample) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   for (const bool use_nodes : {false, true})
     if (const auto it = map_.find(Key{&sample, use_nodes}); it != map_.end())
       drop_locked(it);
 }
 
 void PlanCache::clear() {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   map_.clear();
   lru_.clear();
   bytes_ = 0;
 }
 
 void PlanCache::set_byte_budget(std::size_t budget) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   byte_budget_ = budget;
   enforce_budget_locked();
 }
 
 std::size_t PlanCache::size() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   return map_.size();
 }
 
 std::uint64_t PlanCache::hits() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   return hits_;
 }
 
 std::uint64_t PlanCache::misses() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   return misses_;
 }
 
 PlanCache::Stats PlanCache::stats() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   Stats s;
   s.size = map_.size();
   s.lookups = hits_ + misses_;

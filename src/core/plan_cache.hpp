@@ -29,10 +29,11 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 
 #include "core/plan.hpp"
+#include "util/annotations.hpp"
+#include "util/mutex.hpp"
 
 namespace rnx::core {
 
@@ -96,20 +97,22 @@ class PlanCache {
     std::list<Key>::iterator lru;  ///< position in lru_ (front = hottest)
   };
 
-  /// Drop one entry (map + LRU list + byte accounting).  Requires mu_.
-  void drop_locked(std::unordered_map<Key, Entry, KeyHash>::iterator it);
-  /// Evict LRU entries until bytes_ fits the budget.  Requires mu_.
-  void enforce_budget_locked();
+  /// Drop one entry (map + LRU list + byte accounting).
+  void drop_locked(std::unordered_map<Key, Entry, KeyHash>::iterator it)
+      RNX_REQUIRES(mu_);
+  /// Evict LRU entries until bytes_ fits the budget.
+  void enforce_budget_locked() RNX_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::unordered_map<Key, Entry, KeyHash> map_;
-  std::list<Key> lru_;  // front = most recently used
-  std::size_t byte_budget_ = 0;  // 0 = unlimited; under mu_
-  std::size_t bytes_ = 0;        // under mu_
-  std::size_t peak_bytes_ = 0;   // under mu_
-  std::uint64_t hits_ = 0;       // under mu_
-  std::uint64_t misses_ = 0;     // under mu_
-  std::uint64_t evictions_ = 0;  // under mu_
+  mutable util::Mutex mu_;
+  std::unordered_map<Key, Entry, KeyHash> map_ RNX_GUARDED_BY(mu_);
+  /// Front = most recently used.
+  std::list<Key> lru_ RNX_GUARDED_BY(mu_);
+  std::size_t byte_budget_ RNX_GUARDED_BY(mu_) = 0;  // 0 = unlimited
+  std::size_t bytes_ RNX_GUARDED_BY(mu_) = 0;
+  std::size_t peak_bytes_ RNX_GUARDED_BY(mu_) = 0;
+  std::uint64_t hits_ RNX_GUARDED_BY(mu_) = 0;
+  std::uint64_t misses_ RNX_GUARDED_BY(mu_) = 0;
+  std::uint64_t evictions_ RNX_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace rnx::core

@@ -1,8 +1,6 @@
 #include "data/generator.hpp"
 
 #include <algorithm>
-#include <condition_variable>
-#include <mutex>
 #include <optional>
 #include <sstream>
 
@@ -11,6 +9,7 @@
 #include "topo/traffic.hpp"
 #include "topo/zoo.hpp"
 #include "util/log.hpp"
+#include "util/mutex.hpp"
 #include "util/thread_pool.hpp"
 
 namespace rnx::data {
@@ -233,8 +232,10 @@ void generate_dataset_stream(
   const std::size_t lanes = pool.size();
   const std::size_t window = std::max<std::size_t>(2 * lanes, 4);
   std::vector<std::optional<Sample>> ring(window);
-  std::mutex mu;
-  std::condition_variable cv;
+  // Locals cannot carry RNX_GUARDED_BY (the analysis annotates members),
+  // so the ring/committed/failed discipline is enforced by review + TSan.
+  util::Mutex mu;  // rnx-lint: allow(guarded-by) — local, see comment above
+  util::CondVar cv;
   std::size_t committed = 0;
   bool failed = false;
 
@@ -242,7 +243,7 @@ void generate_dataset_stream(
     {
       // Cheap abort: once any lane failed, later indices skip their
       // simulation instead of burning CPU on a doomed run.
-      const std::lock_guard<std::mutex> lock(mu);
+      const util::MutexLock lock(mu);
       if (failed) return;
     }
     Sample s;
@@ -252,13 +253,13 @@ void generate_dataset_stream(
       // Unblock every lane waiting on the commit cursor: this index
       // will never commit, so the run is aborted (parallel_for rethrows
       // the first error once all indices are dispatched).
-      const std::lock_guard<std::mutex> lock(mu);
+      const util::MutexLock lock(mu);
       failed = true;
       cv.notify_all();
       throw;
     }
-    std::unique_lock<std::mutex> lock(mu);
-    cv.wait(lock, [&] { return failed || i < committed + window; });
+    const util::MutexLock lock(mu);
+    while (!failed && i >= committed + window) cv.wait(mu);
     if (failed) return;
     ring[i % window] = std::move(s);
     while (committed < count && ring[committed % window].has_value()) {

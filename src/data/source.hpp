@@ -17,6 +17,14 @@
 // gate for address-keyed plan caching (core::PlanCache): caching
 // transient streaming addresses would serve stale plans once an
 // allocator reuses a freed sample's address.
+//
+// Thread-safety (DESIGN.md §L): this type holds no mutex of its own —
+// producer/consumer ordering lives entirely in the annotated
+// util::BoundedQueue (whose lock discipline the static-analysis gate
+// proves), the residency gauge is atomics, and `error_` is written by
+// the producer strictly before queue_->close() and read by the
+// consumer strictly after the closed queue drains, so the queue's
+// internal mutex orders the handoff (see produce()/next()).
 #pragma once
 
 #include <atomic>

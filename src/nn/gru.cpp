@@ -192,26 +192,26 @@ Var GRUCell::step_fused(const Var& x, const Var& h) const {
        wxr = wxr_, whr = whr_, br = br_, wxn = wxn_, whn = whn_, bn = bn_,
        z = std::move(z), r = std::move(r),
        n = std::move(n)](const Tensor& g) mutable {
-        const Tensor& xv = x.value();
-        const Tensor& hv = h.value();
-        const std::size_t rows = g.rows(), hid = g.cols();
+        const Tensor& xval = x.value();
+        const Tensor& hval = h.value();
+        const std::size_t nrows = g.rows(), hid = g.cols();
 
         // dan = g (1-z) (1-n^2);  daz = g (h-n) z (1-z);
-        // rh  = r h (recomputed — cheaper than storing a 4th tensor).
+        // rh2  = r h (recomputed — cheaper than storing a 4th tensor).
         // daz lands in the left block of the (R x 2H) d_zr panel so the
         // z/r gate grads flow through concatenated matmuls.
-        Tensor dan = TensorPool::acquire_uninit(rows, hid);
-        Tensor d_zr = TensorPool::acquire_uninit(rows, 2 * hid);
-        Tensor rh = TensorPool::acquire_uninit(rows, hid);
-        for (std::size_t row = 0; row < rows; ++row) {
+        Tensor dan = TensorPool::acquire_uninit(nrows, hid);
+        Tensor d_zr = TensorPool::acquire_uninit(nrows, 2 * hid);
+        Tensor rh2 = TensorPool::acquire_uninit(nrows, hid);
+        for (std::size_t row = 0; row < nrows; ++row) {
           const double* grow = g.row(row).data();
           const double* zrow = z.row(row).data();
           const double* rrow = r.row(row).data();
           const double* nrow = n.row(row).data();
-          const double* hrow = hv.row(row).data();
+          const double* hrow = hval.row(row).data();
           double* danrow = dan.row(row).data();
           double* dzr = d_zr.row(row).data();
-          double* rhrow = rh.row(row).data();
+          double* rhrow = rh2.row(row).data();
           for (std::size_t c = 0; c < hid; ++c) {
             danrow[c] = grow[c] * (1.0 - zrow[c]) * (1.0 - nrow[c] * nrow[c]);
             dzr[c] = grow[c] * (hrow[c] - nrow[c]) * zrow[c] * (1.0 - zrow[c]);
@@ -221,17 +221,17 @@ Var GRUCell::step_fused(const Var& x, const Var& h) const {
 
         // Candidate-gate parameter grads.
         if (bn.requires_grad()) colsum_acc(bn.grad_ref(), dan);
-        if (wxn.requires_grad()) matmul_tn_acc(wxn.grad_ref(), xv, dan);
-        if (whn.requires_grad()) matmul_tn_acc(whn.grad_ref(), rh, dan);
+        if (wxn.requires_grad()) matmul_tn_acc(wxn.grad_ref(), xval, dan);
+        if (whn.requires_grad()) matmul_tn_acc(whn.grad_ref(), rh2, dan);
 
         // drh = dan Whn^T routes the candidate grad into r and h;
         // dar = (drh h) r (1-r) fills the right block of d_zr.
-        Tensor drh = TensorPool::acquire(rows, hid);
+        Tensor drh = TensorPool::acquire(nrows, hid);
         matmul_nt_acc(drh, dan, whn.value());
-        for (std::size_t row = 0; row < rows; ++row) {
+        for (std::size_t row = 0; row < nrows; ++row) {
           const double* drhrow = drh.row(row).data();
           const double* rrow = r.row(row).data();
-          const double* hrow = hv.row(row).data();
+          const double* hrow = hval.row(row).data();
           double* dzr = d_zr.row(row).data() + hid;
           for (std::size_t c = 0; c < hid; ++c)
             dzr[c] = drhrow[c] * hrow[c] * rrow[c] * (1.0 - rrow[c]);
@@ -242,28 +242,28 @@ Var GRUCell::step_fused(const Var& x, const Var& h) const {
 
         // Stacked z/r weight grads: [x|h]^T d_zr is one ((in+hid) x 2H)
         // panel holding all four gate-weight gradients as sub-blocks.
-        const std::size_t in_dim = xv.cols();
+        const std::size_t in_dim = xval.cols();
         {
-          Tensor xh = TensorPool::acquire_uninit(rows, in_dim + hid);
-          concat2(xh, xv, hv);
+          Tensor xh2 = TensorPool::acquire_uninit(nrows, in_dim + hid);
+          concat2(xh2, xval, hval);
           Tensor dw = TensorPool::acquire(in_dim + hid, 2 * hid);
-          matmul_tn_acc(dw, xh, d_zr);
+          matmul_tn_acc(dw, xh2, d_zr);
           if (wxz.requires_grad()) add_block(wxz.grad_ref(), dw, 0, 0);
           if (wxr.requires_grad()) add_block(wxr.grad_ref(), dw, 0, hid);
           if (whz.requires_grad()) add_block(whz.grad_ref(), dw, in_dim, 0);
           if (whr.requires_grad()) add_block(whr.grad_ref(), dw, in_dim, hid);
-          TensorPool::release(std::move(xh));
+          TensorPool::release(std::move(xh2));
           TensorPool::release(std::move(dw));
         }
 
         if (x.requires_grad() || h.requires_grad()) {
           // d[x|h] = d_zr [[Wxz|Wxr];[Whz|Whr]]^T in one call, split back
           // into the input gradients.
-          Tensor w_zr = TensorPool::acquire_uninit(in_dim + hid, 2 * hid);
-          build_zr_panel(w_zr, wxz.value(), wxr.value(), whz.value(),
+          Tensor wzr2 = TensorPool::acquire_uninit(in_dim + hid, 2 * hid);
+          build_zr_panel(wzr2, wxz.value(), wxr.value(), whz.value(),
                          whr.value());
-          Tensor dxh = TensorPool::acquire(rows, in_dim + hid);
-          matmul_nt_acc(dxh, d_zr, w_zr);
+          Tensor dxh = TensorPool::acquire(nrows, in_dim + hid);
+          matmul_nt_acc(dxh, d_zr, wzr2);
           if (x.requires_grad()) {
             Tensor& xg = x.grad_ref();
             add_block(xg, dxh, 0, 0);
@@ -280,13 +280,13 @@ Var GRUCell::step_fused(const Var& x, const Var& h) const {
             for (std::size_t i = 0; i < hgf.size(); ++i)
               hgf[i] += gf[i] * zf[i] + drhf[i] * rf[i];
           }
-          TensorPool::release(std::move(w_zr));
+          TensorPool::release(std::move(wzr2));
           TensorPool::release(std::move(dxh));
         }
 
         TensorPool::release(std::move(dan));
         TensorPool::release(std::move(d_zr));
-        TensorPool::release(std::move(rh));
+        TensorPool::release(std::move(rh2));
         TensorPool::release(std::move(drh));
       });
 }

@@ -19,6 +19,12 @@
 // (address): a caller that destroys or mutates request samples and then
 // recycles their addresses must invalidate()/clear_plan_cache() first,
 // same contract as core::PlanCache.
+//
+// The engine itself holds no mutex (the pre-PR4 global batch lock is
+// gone): its shared mutable state lives in the annotated components it
+// composes — core::PlanCache, serve::BatchScheduler, util::ThreadPool —
+// whose lock discipline the static-analysis gate proves at compile time
+// (DESIGN.md §L).
 #pragma once
 
 #include <cstdint>

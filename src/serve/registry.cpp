@@ -26,7 +26,7 @@ InferenceEngine& ModelRegistry::add(std::string name, ModelBundle bundle) {
   // build must leave the registry untouched.
   std::shared_ptr<InferenceEngine> engine = make_engine(std::move(bundle));
   InferenceEngine& ref = *engine;
-  const std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   for (const auto& [n, e] : engines_)
     if (n == name)
       throw std::invalid_argument("ModelRegistry: duplicate bundle name '" +
@@ -47,7 +47,7 @@ void ModelRegistry::swap_bundle(std::string_view name, ModelBundle bundle) {
   std::shared_ptr<InferenceEngine> fresh = make_engine(std::move(bundle));
   std::shared_ptr<InferenceEngine> old;
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const util::MutexLock lock(mu_);
     for (auto& [n, engine] : engines_) {
       if (n != name) continue;
       old = std::exchange(engine, std::move(fresh));
@@ -68,7 +68,7 @@ void ModelRegistry::swap_bundle(std::string_view name,
 }
 
 std::size_t ModelRegistry::retired_alive() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   std::size_t alive = 0;
   for (const auto& w : retired_)
     if (!w.expired()) ++alive;
@@ -79,7 +79,7 @@ void ModelRegistry::drain() {
   using namespace std::chrono_literals;
   for (;;) {
     {
-      const std::lock_guard<std::mutex> lock(mu_);
+      const util::MutexLock lock(mu_);
       std::erase_if(retired_,
                     [](const std::weak_ptr<InferenceEngine>& w) {
                       return w.expired();
@@ -94,7 +94,7 @@ void ModelRegistry::drain() {
 
 const InferenceEngine* ModelRegistry::find(
     std::string_view name) const noexcept {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   for (const auto& [n, engine] : engines_)
     if (n == name) return engine.get();
   return nullptr;
@@ -102,7 +102,7 @@ const InferenceEngine* ModelRegistry::find(
 
 std::shared_ptr<const InferenceEngine> ModelRegistry::find_shared(
     std::string_view name) const noexcept {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   for (const auto& [n, engine] : engines_)
     if (n == name) return engine;
   return nullptr;
@@ -112,7 +112,7 @@ const InferenceEngine& ModelRegistry::at(std::string_view name) const {
   if (const InferenceEngine* engine = find(name)) return *engine;
   std::string known;
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const util::MutexLock lock(mu_);
     for (const auto& [n, engine] : engines_)
       known += (known.empty() ? "" : ", ") + n;
   }
@@ -122,7 +122,7 @@ const InferenceEngine& ModelRegistry::at(std::string_view name) const {
 }
 
 std::vector<std::string> ModelRegistry::names() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   std::vector<std::string> out;
   out.reserve(engines_.size());
   for (const auto& [n, engine] : engines_) out.push_back(n);
@@ -130,7 +130,7 @@ std::vector<std::string> ModelRegistry::names() const {
 }
 
 std::size_t ModelRegistry::size() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   return engines_.size();
 }
 

@@ -27,7 +27,6 @@
 
 #include <cstddef>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -37,6 +36,8 @@
 #include "core/plan_cache.hpp"
 #include "serve/errors.hpp"
 #include "serve/inference.hpp"
+#include "util/annotations.hpp"
+#include "util/mutex.hpp"
 #include "util/thread_pool.hpp"
 
 namespace rnx::serve {
@@ -116,12 +117,13 @@ class ModelRegistry {
 
   std::shared_ptr<core::PlanCache> cache_;
   mutable std::optional<util::ThreadPool> pool_;  ///< threads > 1 only
-  mutable std::mutex mu_;  ///< guards engines_ and retired_
+  mutable util::Mutex mu_;
+  /// Registration order; linear scan (registries are small).
   std::vector<std::pair<std::string, std::shared_ptr<InferenceEngine>>>
-      engines_;  ///< registration order; linear scan (registries are small)
+      engines_ RNX_GUARDED_BY(mu_);
   /// Engines displaced by swap_bundle, observed (not owned) until their
   /// last in-flight request lets go — drain()'s completion condition.
-  std::vector<std::weak_ptr<InferenceEngine>> retired_;
+  std::vector<std::weak_ptr<InferenceEngine>> retired_ RNX_GUARDED_BY(mu_);
 };
 
 }  // namespace rnx::serve

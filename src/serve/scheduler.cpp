@@ -48,7 +48,7 @@ Submitted BatchScheduler::submit_impl(
   std::promise<PredictionSet> empty_done;
   bool notify = false;
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const util::MutexLock lock(mu_);
     if (shutdown_) {
       // A downed scheduler accounts nothing: kShutdown submissions stay
       // outside the submitted == admitted + shed conservation law.
@@ -109,7 +109,7 @@ Submitted BatchScheduler::submit(const ModelRegistry& registry,
                                  SubmitOptions opts) {
   std::shared_ptr<const InferenceEngine> engine = registry.find_shared(model);
   if (engine == nullptr) {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const util::MutexLock lock(mu_);
     Submitted out;
     if (shutdown_) {
       // Same rule as the engine path: a downed scheduler accounts
@@ -199,7 +199,7 @@ void BatchScheduler::resolve_dead(std::vector<DeadRequest>& dead) {
     }
   }
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const util::MutexLock lock(mu_);
     executing_ -= dead.size();
   }
   drained_cv_.notify_all();
@@ -208,7 +208,7 @@ void BatchScheduler::resolve_dead(std::vector<DeadRequest>& dead) {
 void BatchScheduler::reap() {
   std::vector<DeadRequest> dead;
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const util::MutexLock lock(mu_);
     dead = collect_dead_locked(clock_now());
   }
   resolve_dead(dead);
@@ -270,7 +270,7 @@ void BatchScheduler::execute(Batch batch) {
   // observed its future resolve must find its request already counted
   // (the soak test reads stats right after every writer's get() returns).
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const util::MutexLock lock(mu_);
     stats_.completed += completed;
     stats_.failed += failed;
     stats_.latency_us_sum += latency_sum;
@@ -294,7 +294,7 @@ void BatchScheduler::execute(Batch batch) {
   // Every future in the batch is now resolved: release the executing_
   // hold taken in take_front_locked so drain() can observe completion.
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const util::MutexLock lock(mu_);
     executing_ -= batch.size();
   }
   drained_cv_.notify_all();
@@ -306,7 +306,7 @@ std::size_t BatchScheduler::pump() {
   for (;;) {
     Batch batch;
     {
-      const std::lock_guard<std::mutex> lock(mu_);
+      const util::MutexLock lock(mu_);
       if (!front_ready_locked(clock_now())) break;
       batch = take_front_locked();
     }
@@ -322,7 +322,7 @@ std::size_t BatchScheduler::flush() {
   for (;;) {
     Batch batch;
     {
-      const std::lock_guard<std::mutex> lock(mu_);
+      const util::MutexLock lock(mu_);
       batch = take_front_locked();
     }
     if (batch.empty()) break;
@@ -338,7 +338,7 @@ void BatchScheduler::help_until(const std::future<PredictionSet>& fut) {
     reap();  // fut itself may be expired/cancelled — reap resolves it
     Batch batch;
     {
-      const std::lock_guard<std::mutex> lock(mu_);
+      const util::MutexLock lock(mu_);
       batch = take_front_locked();
     }
     if (batch.empty()) {
@@ -353,7 +353,7 @@ void BatchScheduler::help_until(const std::future<PredictionSet>& fut) {
 
 void BatchScheduler::drain() {
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const util::MutexLock lock(mu_);
     if (shutdown_) return;
     draining_ = true;
   }
@@ -362,16 +362,15 @@ void BatchScheduler::drain() {
   // benignly (flush is documented safe alongside it); in manual mode
   // this IS the drain.  Expired/cancelled requests resolve typed.
   flush();
-  std::unique_lock<std::mutex> lock(mu_);
-  drained_cv_.wait(lock, [&] {
-    return shutdown_ || (pending_.empty() && executing_ == 0);
-  });
+  const util::MutexLock lock(mu_);
+  while (!shutdown_ && !(pending_.empty() && executing_ == 0))
+    drained_cv_.wait(mu_);
 }
 
 void BatchScheduler::shutdown() {
   std::deque<Request> orphans;
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const util::MutexLock lock(mu_);
     shutdown_ = true;
     orphans.swap(pending_);
     stats_.queue_depth = 0;
@@ -386,11 +385,10 @@ void BatchScheduler::shutdown() {
 }
 
 void BatchScheduler::drain_loop() {
-  std::unique_lock<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   while (!shutdown_) {
     if (pending_.empty()) {
-      cv_.wait(lock,
-               [&] { return shutdown_ || !pending_.empty(); });
+      while (!shutdown_ && pending_.empty()) cv_.wait(mu_);
       continue;
     }
     const ClockPoint now = std::chrono::steady_clock::now();
@@ -408,7 +406,7 @@ void BatchScheduler::drain_loop() {
       ClockPoint wake = pending_.front().enqueued + cfg_.max_linger;
       for (const Request& r : pending_)
         if (r.has_deadline && r.deadline < wake) wake = r.deadline;
-      cv_.wait_until(lock, wake);
+      cv_.wait_until(mu_, wake);
       continue;
     }
     Batch batch = take_front_locked();
@@ -422,7 +420,7 @@ ServeStats BatchScheduler::stats() const {
   // plan_cache stays default here: the scheduler has no cache of its own.
   // Callers overlay the serving cache's counters (registry.plan_cache()
   // .stats()) when they want the full picture — see tools/rnx_serve.
-  const std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   ServeStats out = stats_;
   out.kernel_isa = nn::kernels::active().name;
   out.kernel_reason = nn::kernels::dispatch_reason();

@@ -43,13 +43,11 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string_view>
 #include <thread>
@@ -58,6 +56,8 @@
 #include "data/sample.hpp"
 #include "serve/errors.hpp"
 #include "serve/stats.hpp"
+#include "util/annotations.hpp"
+#include "util/mutex.hpp"
 
 namespace rnx::util {
 class ThreadPool;
@@ -221,13 +221,15 @@ class BatchScheduler {
   [[nodiscard]] ClockPoint clock_now() const;
   /// True when the front batch may execute at `now` (full or linger cut;
   /// while draining, any pending request is ready).
-  [[nodiscard]] bool front_ready_locked(ClockPoint now) const;
+  [[nodiscard]] bool front_ready_locked(ClockPoint now) const
+      RNX_REQUIRES(mu_);
   /// Pop the front batch (maximal same-engine run within the sample
   /// bound); empty when nothing is pending.
-  [[nodiscard]] Batch take_front_locked();
+  [[nodiscard]] Batch take_front_locked() RNX_REQUIRES(mu_);
   /// Sweep cancelled/expired requests out of the queue (counters
   /// committed under the lock; callers resolve them via resolve_dead).
-  [[nodiscard]] std::vector<DeadRequest> collect_dead_locked(ClockPoint now);
+  [[nodiscard]] std::vector<DeadRequest> collect_dead_locked(ClockPoint now)
+      RNX_REQUIRES(mu_);
   /// Resolve swept requests with their typed error, outside the lock.
   void resolve_dead(std::vector<DeadRequest>& dead);
   /// collect + resolve in one step; every scheduling entry point calls
@@ -240,17 +242,18 @@ class BatchScheduler {
   const SchedulerConfig cfg_;
   util::ThreadPool* const pool_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;  ///< wakes the drainer thread
-  std::condition_variable drained_cv_;  ///< drain() completion signal
-  std::deque<Request> pending_;
-  bool shutdown_ = false;
-  bool draining_ = false;
+  mutable util::Mutex mu_;
+  util::CondVar cv_;          ///< wakes the drainer thread
+  util::CondVar drained_cv_;  ///< drain() completion signal
+  std::deque<Request> pending_ RNX_GUARDED_BY(mu_);
+  bool shutdown_ RNX_GUARDED_BY(mu_) = false;
+  bool draining_ RNX_GUARDED_BY(mu_) = false;
   /// Requests taken from the queue whose futures are not yet resolved —
   /// bridges the gap between the counter commit and the promise
   /// resolution so drain() cannot return with a future still pending.
-  std::size_t executing_ = 0;
-  ServeStats stats_;  ///< counters under mu_ (plan_cache filled per snapshot)
+  std::size_t executing_ RNX_GUARDED_BY(mu_) = 0;
+  /// Counters (plan_cache filled per snapshot).
+  ServeStats stats_ RNX_GUARDED_BY(mu_);
   std::thread drainer_;
 };
 

@@ -1,0 +1,81 @@
+// Clang thread-safety annotation macros (DESIGN.md §L).
+//
+// These wrap Clang's -Wthread-safety attribute names so annotated code
+// compiles unchanged under GCC (the attributes expand to nothing) while
+// the static-analysis CI leg builds with clang and
+// -Werror=thread-safety, turning lock-discipline violations — a guarded
+// field read outside its mutex, a forgotten unlock on an early return —
+// into compile errors.  TSan catches the interleavings the tests happen
+// to hit; this proves the discipline for every path the compiler can
+// see, before any test runs.
+//
+// Use through the util::Mutex / util::MutexLock / util::CondVar wrappers
+// (util/mutex.hpp): raw std::mutex carries no capability, so the
+// analysis cannot see it — which is why rnx_lint's raw-mutex rule bans
+// the std primitives outside the wrapper header.
+//
+// Annotation cheat sheet (full doctrine in DESIGN.md §L):
+//   RNX_GUARDED_BY(mu_)    on a data member: reads/writes need mu_ held
+//   RNX_PT_GUARDED_BY(mu_) on a pointer member: the pointee needs mu_
+//   RNX_REQUIRES(mu_)      on a function: caller must hold mu_
+//   RNX_ACQUIRE/RNX_RELEASE on lock/unlock-shaped functions
+//   RNX_CAPABILITY("mutex") on a lockable type
+//   RNX_SCOPED_CAPABILITY  on an RAII lock holder
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define RNX_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef RNX_THREAD_ANNOTATION
+#define RNX_THREAD_ANNOTATION(x)  // no-op: GCC and pre-capability clang
+#endif
+
+/// A type whose instances can be held: `class RNX_CAPABILITY("mutex") M`.
+#define RNX_CAPABILITY(x) RNX_THREAD_ANNOTATION(capability(x))
+
+/// An RAII type that acquires in its constructor, releases in its
+/// destructor (std::lock_guard shape).
+#define RNX_SCOPED_CAPABILITY RNX_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member readable/writable only with `x` held.
+#define RNX_GUARDED_BY(x) RNX_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose *pointee* is protected by `x` (the pointer
+/// itself may be read freely).
+#define RNX_PT_GUARDED_BY(x) RNX_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function precondition: the caller holds the listed capabilities.
+/// The _locked helper convention maps onto this.
+#define RNX_REQUIRES(...) \
+  RNX_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function acquires the listed capabilities (empty list = `this` for a
+/// capability type's own lock()).
+#define RNX_ACQUIRE(...) \
+  RNX_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function releases the listed capabilities.
+#define RNX_RELEASE(...) \
+  RNX_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function acquires iff it returns `b` (try_lock shape).
+#define RNX_TRY_ACQUIRE(...) \
+  RNX_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Function must be called WITHOUT the listed capabilities held
+/// (deadlock guard for self-locking public APIs).
+#define RNX_EXCLUDES(...) RNX_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Runtime assertion that the capability is held (trust-me edge for
+/// paths the analysis cannot follow).
+#define RNX_ASSERT_CAPABILITY(x) RNX_THREAD_ANNOTATION(assert_capability(x))
+
+/// Function returns a reference to the named capability.
+#define RNX_RETURN_CAPABILITY(x) RNX_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: suppress analysis inside one function.  Pair with a
+/// comment explaining why the discipline holds anyway.
+#define RNX_NO_THREAD_SAFETY_ANALYSIS \
+  RNX_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -18,12 +18,13 @@
 // is closed — the consumer's abandon signal.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <utility>
+
+#include "util/annotations.hpp"
+#include "util/mutex.hpp"
 
 namespace rnx::util {
 
@@ -41,7 +42,7 @@ class BoundedQueue {
   /// the queue is full or closed.
   bool try_push(T item) {
     {
-      const std::lock_guard<std::mutex> lock(mu_);
+      const MutexLock lock(mu_);
       if (closed_ || items_.size() >= capacity_) return false;
       items_.push_back(std::move(item));
     }
@@ -54,9 +55,8 @@ class BoundedQueue {
   /// waiting): the producer's signal that the consumer is gone.
   bool push(T item) {
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_space_.wait(lock,
-                     [&] { return closed_ || items_.size() < capacity_; });
+      const MutexLock lock(mu_);
+      while (!closed_ && items_.size() >= capacity_) cv_space_.wait(mu_);
       if (closed_) return false;
       items_.push_back(std::move(item));
     }
@@ -68,7 +68,7 @@ class BoundedQueue {
   std::optional<T> try_pop() {
     std::optional<T> out;
     {
-      const std::lock_guard<std::mutex> lock(mu_);
+      const MutexLock lock(mu_);
       out = pop_locked();
     }
     if (out) cv_space_.notify_one();
@@ -80,8 +80,8 @@ class BoundedQueue {
   std::optional<T> pop() {
     std::optional<T> out;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [&] { return closed_ || !items_.empty(); });
+      const MutexLock lock(mu_);
+      while (!closed_ && items_.empty()) cv_.wait(mu_);
       out = pop_locked();
     }
     if (out) cv_space_.notify_one();
@@ -92,7 +92,7 @@ class BoundedQueue {
   /// consumers wake.
   void close() {
     {
-      const std::lock_guard<std::mutex> lock(mu_);
+      const MutexLock lock(mu_);
       closed_ = true;
     }
     cv_.notify_all();
@@ -100,17 +100,17 @@ class BoundedQueue {
   }
 
   [[nodiscard]] bool closed() const {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const MutexLock lock(mu_);
     return closed_;
   }
   [[nodiscard]] std::size_t size() const {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const MutexLock lock(mu_);
     return items_.size();
   }
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
 
  private:
-  std::optional<T> pop_locked() {
+  std::optional<T> pop_locked() RNX_REQUIRES(mu_) {
     if (items_.empty()) return std::nullopt;
     std::optional<T> out(std::move(items_.front()));
     items_.pop_front();
@@ -118,11 +118,11 @@ class BoundedQueue {
   }
 
   const std::size_t capacity_;
-  mutable std::mutex mu_;
-  std::condition_variable cv_;        ///< items available / closed
-  std::condition_variable cv_space_;  ///< space available / closed
-  std::deque<T> items_;
-  bool closed_ = false;
+  mutable Mutex mu_;
+  CondVar cv_;        ///< items available / closed
+  CondVar cv_space_;  ///< space available / closed
+  std::deque<T> items_ RNX_GUARDED_BY(mu_);
+  bool closed_ RNX_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace rnx::util

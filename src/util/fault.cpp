@@ -3,10 +3,10 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
-#include <mutex>
 #include <utility>
 #include <vector>
 
+#include "util/mutex.hpp"
 #include "util/rng.hpp"
 
 namespace rnx::util {
@@ -127,15 +127,15 @@ std::vector<Rule> parse_spec(const std::string& spec) {
 
 struct FaultInjector::Impl {
   std::atomic<bool> armed{false};
-  mutable std::mutex mu;
-  std::vector<Rule> rules;  ///< spec order; first match wins
+  mutable Mutex mu;
+  std::vector<Rule> rules RNX_GUARDED_BY(mu);  ///< spec order; first match wins
 
-  Rule* match(std::string_view site) {
+  Rule* match(std::string_view site) RNX_REQUIRES(mu) {
     for (Rule& r : rules)
       if (r.matches(site)) return &r;
     return nullptr;
   }
-  const Rule* match(std::string_view site) const {
+  const Rule* match(std::string_view site) const RNX_REQUIRES(mu) {
     for (const Rule& r : rules)
       if (r.matches(site)) return &r;
     return nullptr;
@@ -150,6 +150,7 @@ FaultInjector::FaultInjector() : impl_(new Impl) {
     } catch (const std::exception& e) {
       // A chaos run whose spec silently failed to parse would test
       // nothing; fail the process loudly instead.
+      // rnx-lint: allow(printf-family) — fatal path before logging exists
       std::fprintf(stderr, "fatal: RNX_FAULT_SPEC: %s\n", e.what());
       std::abort();
     }
@@ -163,13 +164,13 @@ FaultInjector& FaultInjector::instance() {
 
 void FaultInjector::configure(const std::string& spec) {
   std::vector<Rule> rules = parse_spec(spec);  // may throw; state untouched
-  const std::lock_guard<std::mutex> lock(impl_->mu);
+  const MutexLock lock(impl_->mu);
   impl_->rules = std::move(rules);
   impl_->armed.store(!impl_->rules.empty(), std::memory_order_relaxed);
 }
 
 void FaultInjector::reset() {
-  const std::lock_guard<std::mutex> lock(impl_->mu);
+  const MutexLock lock(impl_->mu);
   impl_->rules.clear();
   impl_->armed.store(false, std::memory_order_relaxed);
 }
@@ -180,7 +181,7 @@ bool FaultInjector::enabled() const noexcept {
 
 bool FaultInjector::fire(std::string_view site) {
   if (!enabled()) return false;
-  const std::lock_guard<std::mutex> lock(impl_->mu);
+  const MutexLock lock(impl_->mu);
   Rule* r = impl_->match(site);
   if (r == nullptr) return false;
   ++r->hits;
@@ -203,19 +204,19 @@ void FaultInjector::maybe_throw(std::string_view site) {
 }
 
 std::uint64_t FaultInjector::param(std::string_view site) const {
-  const std::lock_guard<std::mutex> lock(impl_->mu);
+  const MutexLock lock(impl_->mu);
   const Rule* r = impl_->match(site);
   return r != nullptr ? r->param : 0;
 }
 
 std::uint64_t FaultInjector::hits(std::string_view site) const {
-  const std::lock_guard<std::mutex> lock(impl_->mu);
+  const MutexLock lock(impl_->mu);
   const Rule* r = impl_->match(site);
   return r != nullptr ? r->hits : 0;
 }
 
 std::uint64_t FaultInjector::fired(std::string_view site) const {
-  const std::lock_guard<std::mutex> lock(impl_->mu);
+  const MutexLock lock(impl_->mu);
   const Rule* r = impl_->match(site);
   return r != nullptr ? r->fired : 0;
 }

@@ -2,13 +2,16 @@
 
 #include <atomic>
 #include <iostream>
-#include <mutex>
+
+#include "util/mutex.hpp"
 
 namespace rnx::util {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kInfo};
-std::mutex g_out_mu;  // lines from concurrent lanes must not interleave
+// Serializes std::cerr (external state — nothing to RNX_GUARDED_BY):
+// lines from concurrent lanes must not interleave.
+Mutex g_out_mu;  // rnx-lint: allow(guarded-by) — guards a stream, not a field
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -31,7 +34,7 @@ LogLevel log_level() noexcept {
 
 void log_line(LogLevel level, const std::string& msg) {
   if (level < log_level()) return;
-  const std::lock_guard<std::mutex> lock(g_out_mu);
+  const MutexLock lock(g_out_mu);
   std::cerr << '[' << level_name(level) << "] " << msg << '\n';
 }
 

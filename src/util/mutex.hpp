@@ -1,0 +1,133 @@
+// Annotated synchronization wrappers (DESIGN.md §L).
+//
+// util::Mutex / util::MutexLock / util::CondVar are thin, zero-overhead
+// wrappers over std::mutex / RAII locking / std::condition_variable_any
+// that carry Clang thread-safety capabilities (util/annotations.hpp).
+// All of src/ locks through these — rnx_lint's raw-mutex rule bans the
+// std primitives outside this header — so the static-analysis CI leg
+// can prove, at compile time, that every RNX_GUARDED_BY field is only
+// touched with its mutex held.
+//
+// Idioms (doctrine + examples in DESIGN.md §L):
+//
+//   mutable Mutex mu_;
+//   std::deque<T> items_ RNX_GUARDED_BY(mu_);
+//
+//   { const MutexLock lock(mu_); items_.push_back(x); }      // scoped
+//
+//   MutexLock lock(mu_);                                     // cv wait
+//   while (!ready_) cv_.wait(mu_);
+//
+//   if (!mu_.try_lock()) return false;                       // try-lock
+//   const MutexLock lock(mu_, kAdoptLock);
+//
+// Condition waits take the Mutex itself (absl::CondVar shape), not the
+// lock object: the predicate loop then lives in the calling function,
+// where the analysis can see the capability is held — a predicate
+// lambda would be analyzed as a separate function that holds nothing.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "util/annotations.hpp"
+
+namespace rnx::util {
+
+/// Annotated exclusive lock.  Prefer MutexLock over calling
+/// lock()/unlock() directly; the manual form exists for adopt/try
+/// patterns and for the wrapper internals.
+class RNX_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() RNX_ACQUIRE() { mu_.lock(); }
+  void unlock() RNX_RELEASE() { mu_.unlock(); }
+  [[nodiscard]] bool try_lock() RNX_TRY_ACQUIRE(true) {
+    return mu_.try_lock();
+  }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;  // rnx-lint: allow(raw-mutex) — the wrapped primitive
+};
+
+/// Tag for adopting an already-held Mutex (after a successful
+/// try_lock()) into a MutexLock's scope.
+struct AdoptLockT {
+  explicit AdoptLockT() = default;
+};
+inline constexpr AdoptLockT kAdoptLock{};
+
+/// RAII holder: acquires at construction, releases at scope exit.
+/// lock()/unlock() allow the condition-wait and handoff patterns that
+/// std::unique_lock supported; the analysis tracks the held state
+/// through them.
+class RNX_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) RNX_ACQUIRE(mu) : mu_(&mu), held_(true) {
+    mu_->lock();
+  }
+  /// Adopt a mutex the caller already holds (try-lock pattern).
+  MutexLock(Mutex& mu, AdoptLockT) RNX_REQUIRES(mu) : mu_(&mu), held_(true) {}
+  ~MutexLock() RNX_RELEASE() {
+    if (held_) mu_->unlock();
+  }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// Re-acquire after a manual unlock() (worker-loop handoff pattern).
+  void lock() RNX_ACQUIRE() {
+    mu_->lock();
+    held_ = true;
+  }
+  void unlock() RNX_RELEASE() {
+    mu_->unlock();
+    held_ = false;
+  }
+
+ private:
+  Mutex* mu_;
+  bool held_;
+};
+
+/// Condition variable bound to util::Mutex.  Waits take the Mutex (which
+/// the caller must hold); write the predicate as a while loop around the
+/// wait so the guarded reads happen in the annotated caller's scope.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically release `mu`, wait, re-acquire.  Spurious wakeups
+  /// happen: always wrap in a predicate loop.
+  void wait(Mutex& mu) RNX_REQUIRES(mu) { cv_.wait(mu); }
+
+  template <class Clock, class Duration>
+  std::cv_status wait_until(Mutex& mu,
+                            const std::chrono::time_point<Clock, Duration>& tp)
+      RNX_REQUIRES(mu) {
+    return cv_.wait_until(mu, tp);
+  }
+
+  template <class Rep, class Period>
+  std::cv_status wait_for(Mutex& mu,
+                          const std::chrono::duration<Rep, Period>& d)
+      RNX_REQUIRES(mu) {
+    return cv_.wait_for(mu, d);
+  }
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  // condition_variable_any waits on the Mutex wrapper directly (it only
+  // needs BasicLockable), so no native-handle leakage is required.
+  std::condition_variable_any cv_;  // rnx-lint: allow(raw-mutex)
+};
+
+}  // namespace rnx::util

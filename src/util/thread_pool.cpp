@@ -12,7 +12,7 @@ ThreadPool::ThreadPool(std::size_t threads) : lanes_(std::max<std::size_t>(threa
 
 ThreadPool::~ThreadPool() {
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const MutexLock lock(mu_);
     shutdown_ = true;
   }
   cv_start_.notify_all();
@@ -26,19 +26,23 @@ std::size_t ThreadPool::hardware_threads() noexcept {
 
 void ThreadPool::worker_loop() {
   std::uint64_t seen = 0;
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (;;) {
-    cv_start_.wait(lock, [&] {
-      return shutdown_ || (generation_ != seen && next_ < count_);
-    });
+    while (!shutdown_ && !(generation_ != seen && next_ < count_))
+      cv_start_.wait(mu_);
     if (shutdown_) return;
     seen = generation_;
     while (generation_ == seen && next_ < count_) {
+      // Snapshot the job function POINTER under the lock: fn_ is only
+      // rebound between generations, but the pre-annotation code read it
+      // after unlock() — exactly the "probably fine" unguarded read the
+      // thread-safety analysis rejects (DESIGN.md §L).
+      const std::function<void(std::size_t)>* const fn = fn_;
       const std::size_t i = next_++;
       lock.unlock();
       std::exception_ptr err;
       try {
-        (*fn_)(i);
+        (*fn)(i);
       } catch (...) {
         err = std::current_exception();
       }
@@ -52,22 +56,22 @@ void ThreadPool::worker_loop() {
 void ThreadPool::parallel_for(std::size_t count,
                               const std::function<void(std::size_t)>& fn) {
   if (count == 0) return;
-  const std::lock_guard<std::mutex> job(job_mu_);
+  const MutexLock job(job_mu_);
   run_job(count, fn);
 }
 
 bool ThreadPool::try_parallel_for(std::size_t count,
                                   const std::function<void(std::size_t)>& fn) {
   if (count == 0) return true;
-  const std::unique_lock<std::mutex> job(job_mu_, std::try_to_lock);
-  if (!job.owns_lock()) return false;
+  if (!job_mu_.try_lock()) return false;
+  const MutexLock job(job_mu_, kAdoptLock);
   run_job(count, fn);
   return true;
 }
 
 void ThreadPool::run_job(std::size_t count,
                          const std::function<void(std::size_t)>& fn) {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   fn_ = &fn;
   count_ = count;
   next_ = 0;
@@ -90,7 +94,7 @@ void ThreadPool::run_job(std::size_t count,
     if (err && !first_error_) first_error_ = err;
     if (++done_ == count_) cv_done_.notify_all();
   }
-  cv_done_.wait(lock, [&] { return done_ == count_; });
+  while (done_ != count_) cv_done_.wait(mu_);
 
   count_ = 0;  // idle: late-waking workers fall back to sleep
   fn_ = nullptr;

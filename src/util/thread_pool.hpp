@@ -15,13 +15,14 @@
 // bitwise-identical for *any* thread count.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/annotations.hpp"
+#include "util/mutex.hpp"
 
 namespace rnx::util {
 
@@ -62,23 +63,27 @@ class ThreadPool {
 
  private:
   void worker_loop();
-  void run_job(std::size_t count, const std::function<void(std::size_t)>& fn);
+  void run_job(std::size_t count, const std::function<void(std::size_t)>& fn)
+      RNX_REQUIRES(job_mu_);
 
   std::size_t lanes_;
   std::vector<std::thread> workers_;
 
-  std::mutex job_mu_;  ///< held for the duration of one parallel_for job
-  std::mutex mu_;
-  std::condition_variable cv_start_;
-  std::condition_variable cv_done_;
-  std::uint64_t generation_ = 0;   ///< bumped per parallel_for call
-  bool shutdown_ = false;
+  /// Serializes whole jobs: held for the duration of one parallel_for
+  /// call, guarding no data of its own (the job state below is under
+  /// mu_, which workers take and drop per index).
+  Mutex job_mu_;  // rnx-lint: allow(guarded-by) — serializes, guards no field
+  Mutex mu_;
+  CondVar cv_start_;
+  CondVar cv_done_;
+  std::uint64_t generation_ RNX_GUARDED_BY(mu_) = 0;  ///< bumped per job
+  bool shutdown_ RNX_GUARDED_BY(mu_) = false;
   // Current job; count_ == 0 between jobs, so late-waking workers skip.
-  const std::function<void(std::size_t)>* fn_ = nullptr;
-  std::size_t count_ = 0;
-  std::size_t next_ = 0;           ///< next index to claim (under mu_)
-  std::size_t done_ = 0;           ///< indices finished (under mu_)
-  std::exception_ptr first_error_;
+  const std::function<void(std::size_t)>* fn_ RNX_GUARDED_BY(mu_) = nullptr;
+  std::size_t count_ RNX_GUARDED_BY(mu_) = 0;
+  std::size_t next_ RNX_GUARDED_BY(mu_) = 0;  ///< next index to claim
+  std::size_t done_ RNX_GUARDED_BY(mu_) = 0;  ///< indices finished
+  std::exception_ptr first_error_ RNX_GUARDED_BY(mu_);
 };
 
 }  // namespace rnx::util

@@ -1,0 +1,362 @@
+// rnx_lint rule contract (DESIGN.md §L): every rule has a trigger, a
+// non-trigger, and an allow-escape fixture; the real tree must lint
+// clean (that IS the invariant the tool exists to hold); and the CLI's
+// exit codes follow the tool doctrine (0 clean / 1 violations /
+// 2 usage).  Fixtures live in string literals — which doubles as a
+// standing test of the scrubber, since this file is itself linted.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "../tools/lint/linter.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using rnx::lint::lint_cmake;
+using rnx::lint::lint_file;
+using rnx::lint::lint_tree;
+using rnx::lint::rule_ids;
+using rnx::lint::scrub;
+using rnx::lint::Violation;
+
+[[nodiscard]] std::vector<std::string> rules_of(
+    const std::vector<Violation>& vs) {
+  std::vector<std::string> out;
+  out.reserve(vs.size());
+  for (const auto& v : vs) out.push_back(v.rule);
+  return out;
+}
+
+[[nodiscard]] bool has_rule(const std::vector<Violation>& vs,
+                            const std::string& rule) {
+  for (const auto& v : vs)
+    if (v.rule == rule) return true;
+  return false;
+}
+
+[[nodiscard]] std::string render(const std::vector<Violation>& vs) {
+  std::ostringstream ss;
+  for (const auto& v : vs)
+    ss << v.file << ":" << v.line << ": " << v.rule << ": " << v.message
+       << "\n";
+  return ss.str();
+}
+
+// ---- scrubber --------------------------------------------------------------
+
+TEST(LintScrub, BlanksCommentsAndStringsPreservingShape) {
+  const std::string in =
+      "int a; // std::mutex here\n"
+      "const char* s = \"std::mutex too\";\n"
+      "/* std::mutex\n   spanning lines */ int b;\n";
+  const std::string out = scrub(in);
+  EXPECT_EQ(out.size(), in.size());
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'),
+            std::count(in.begin(), in.end(), '\n'));
+  EXPECT_EQ(out.find("std::mutex"), std::string::npos);
+  EXPECT_NE(out.find("int a;"), std::string::npos);
+  EXPECT_NE(out.find("int b;"), std::string::npos);
+}
+
+TEST(LintScrub, BlanksRawStringsAndEscapes) {
+  const std::string in =
+      "auto r = R\"(std::mutex raw)\";\n"
+      "auto q = \"esc \\\" std::mutex\";\n"
+      "char c = '\\'';\n"
+      "int sep = 1'000'000;\n";
+  const std::string out = scrub(in);
+  EXPECT_EQ(out.find("std::mutex"), std::string::npos);
+  // Digit separators are not char literals: the declaration survives.
+  EXPECT_NE(out.find("int sep = 1'000'000;"), std::string::npos);
+}
+
+// ---- raw-mutex -------------------------------------------------------------
+
+TEST(LintRawMutex, FlagsEveryRawPrimitive) {
+  for (const char* bad :
+       {"std::mutex m;", "std::lock_guard<std::mutex> l(m);",
+        "std::unique_lock<std::mutex> l(m);", "std::scoped_lock l(m);",
+        "std::shared_mutex sm;", "std::condition_variable cv;",
+        "std::condition_variable_any cv;"}) {
+    const auto vs = lint_file("src/x.cpp", bad);
+    EXPECT_TRUE(has_rule(vs, "raw-mutex")) << bad << "\n" << render(vs);
+  }
+}
+
+TEST(LintRawMutex, WrappersAndProseAreClean) {
+  const std::string ok =
+      "util::Mutex mu_ ;\n"
+      "int x_ RNX_GUARDED_BY(mu_);\n"
+      "// comment naming std::mutex\n"
+      "const char* s = \"std::lock_guard\";\n";
+  EXPECT_FALSE(has_rule(lint_file("src/x.cpp", ok), "raw-mutex"));
+}
+
+TEST(LintRawMutex, AppliesToTestsAndBenchScopes) {
+  EXPECT_TRUE(has_rule(lint_file("tests/t.cpp", "std::mutex m;"),
+                       "raw-mutex"));
+  EXPECT_TRUE(has_rule(lint_file("bench/b.cpp", "std::mutex m;"),
+                       "raw-mutex"));
+}
+
+TEST(LintRawMutex, WrapperFileIsExempt) {
+  EXPECT_FALSE(has_rule(lint_file("src/util/mutex.hpp", "std::mutex mu_;"),
+                        "raw-mutex"));
+}
+
+TEST(LintRawMutex, AllowOnSameLineAndLineAbove) {
+  const std::string same =
+      "std::mutex m;  // rnx-lint: allow(raw-mutex) reason\n";
+  const std::string above =
+      "// rnx-lint: allow(raw-mutex) — ffi boundary\nstd::mutex m;\n";
+  const std::string wrong_rule =
+      "std::mutex m;  // rnx-lint: allow(printf-family)\n";
+  EXPECT_FALSE(has_rule(lint_file("src/x.cpp", same), "raw-mutex"));
+  EXPECT_FALSE(has_rule(lint_file("src/x.cpp", above), "raw-mutex"));
+  EXPECT_TRUE(has_rule(lint_file("src/x.cpp", wrong_rule), "raw-mutex"));
+}
+
+// ---- guarded-by ------------------------------------------------------------
+
+TEST(LintGuardedBy, MutexMemberNeedsGuardedField) {
+  const std::string bad = "util::Mutex mu_;\nint x_ = 0;\n";
+  const std::string good =
+      "util::Mutex mu_;\nint x_ RNX_GUARDED_BY(mu_) = 0;\n";
+  EXPECT_TRUE(has_rule(lint_file("src/x.hpp", bad), "guarded-by"));
+  EXPECT_FALSE(has_rule(lint_file("src/x.hpp", good), "guarded-by"));
+}
+
+TEST(LintGuardedBy, PtGuardedCountsAndLocksDoNot) {
+  const std::string pt =
+      "util::Mutex mu_;\nint* p_ RNX_PT_GUARDED_BY(mu_);\n";
+  EXPECT_FALSE(has_rule(lint_file("src/x.hpp", pt), "guarded-by"));
+  // MutexLock declarations and Mutex& parameters are not mutex members.
+  const std::string locks =
+      "void f(util::Mutex& mu) { util::MutexLock lock(mu); }\n";
+  EXPECT_FALSE(has_rule(lint_file("src/x.cpp", locks), "guarded-by"));
+}
+
+TEST(LintGuardedBy, SrcOnlyAndAllowEscape) {
+  const std::string bad = "util::Mutex mu_;\n";
+  EXPECT_FALSE(has_rule(lint_file("tools/t.cpp", bad), "guarded-by"));
+  const std::string allowed =
+      "util::Mutex mu_;  // rnx-lint: allow(guarded-by) serializes only\n";
+  EXPECT_FALSE(has_rule(lint_file("src/x.hpp", allowed), "guarded-by"));
+}
+
+// ---- unseeded-rng ----------------------------------------------------------
+
+TEST(LintRng, FlagsHiddenStateGenerators) {
+  EXPECT_TRUE(has_rule(lint_file("src/x.cpp", "int r = rand();"),
+                       "unseeded-rng"));
+  EXPECT_TRUE(has_rule(lint_file("src/x.cpp", "srand(42);"), "unseeded-rng"));
+  EXPECT_TRUE(has_rule(lint_file("src/x.cpp", "int r = std::rand();"),
+                       "unseeded-rng"));
+  EXPECT_TRUE(has_rule(lint_file("tools/t.cpp", "std::random_device rd;"),
+                       "unseeded-rng"));
+}
+
+TEST(LintRng, SimilarIdentifiersAndTestScopeAreClean) {
+  const std::string ok =
+      "int operand = 3;\n"
+      "double brand(int);\n"
+      "int randomize_all(int);\n"
+      "auto rng = util::RngStream(seed);\n";
+  EXPECT_FALSE(has_rule(lint_file("src/x.cpp", ok), "unseeded-rng"));
+  // tests/ and bench/ may use whatever randomness they like.
+  EXPECT_FALSE(has_rule(lint_file("tests/t.cpp", "int r = rand();"),
+                        "unseeded-rng"));
+}
+
+// ---- swallowed-catch -------------------------------------------------------
+
+TEST(LintCatch, FlagsSilentCatchAll) {
+  const std::string bad = "void f() { try { g(); } catch (...) {} }\n";
+  const auto vs = lint_file("src/x.cpp", bad);
+  EXPECT_TRUE(has_rule(vs, "swallowed-catch")) << render(vs);
+}
+
+TEST(LintCatch, HandledCatchAllAndTypedCatchAreClean) {
+  for (const char* ok :
+       {"void f() { try { g(); } catch (...) { throw; } }",
+        "void f() { try { g(); } catch (...) { err = "
+        "std::current_exception(); } }",
+        "void f() { try { g(); } catch (...) { log_error(\"boom\"); } }",
+        "void f() { try { g(); } catch (...) { std::abort(); } }",
+        "void f() { try { g(); } catch (const std::exception& e) {} }"}) {
+    const auto vs = lint_file("src/x.cpp", ok);
+    EXPECT_FALSE(has_rule(vs, "swallowed-catch")) << ok << "\n" << render(vs);
+  }
+}
+
+TEST(LintCatch, ScansNestedBracesAndReportsCatchLine) {
+  const std::string bad =
+      "void f() {\n"
+      "  try { g(); }\n"
+      "  catch (...) {\n"
+      "    if (x) { y(); }\n"
+      "  }\n"
+      "}\n";
+  const auto vs = lint_file("src/x.cpp", bad);
+  ASSERT_TRUE(has_rule(vs, "swallowed-catch")) << render(vs);
+  EXPECT_EQ(vs.front().line, 3);
+}
+
+// ---- printf-family ---------------------------------------------------------
+
+TEST(LintPrintf, FlagsFormattedOutputInSrcOnly) {
+  EXPECT_TRUE(has_rule(lint_file("src/x.cpp", "printf(\"%d\", 1);"),
+                       "printf-family"));
+  EXPECT_TRUE(
+      has_rule(lint_file("src/x.cpp", "std::fprintf(stderr, \"x\");"),
+               "printf-family"));
+  // tools format their own stdout; fwrite is byte IO, not formatting.
+  EXPECT_FALSE(has_rule(lint_file("tools/t.cpp", "printf(\"%d\", 1);"),
+                        "printf-family"));
+  EXPECT_FALSE(has_rule(lint_file("src/x.cpp", "fwrite(p, 1, n, f);"),
+                        "printf-family"));
+  EXPECT_FALSE(has_rule(lint_file("src/x.cpp", "my_printf_like(x);"),
+                        "printf-family"));
+}
+
+// ---- banned-include --------------------------------------------------------
+
+TEST(LintInclude, FlagsCHeadersAndRegexTreeWide) {
+  for (const char* rel : {"src/x.cpp", "tools/t.cpp", "tests/t.cpp",
+                          "bench/b.cpp"}) {
+    const auto vs = lint_file(rel, "#include <stdio.h>\n");
+    EXPECT_TRUE(has_rule(vs, "banned-include")) << rel;
+  }
+  EXPECT_TRUE(has_rule(lint_file("src/x.cpp", "#include <regex>\n"),
+                       "banned-include"));
+  EXPECT_TRUE(has_rule(lint_file("src/x.cpp", "  #  include <math.h>\n"),
+                       "banned-include"));
+}
+
+TEST(LintInclude, ModernHeadersAndLookalikesAreClean) {
+  const std::string ok =
+      "#include <cstdio>\n"
+      "#include <string>\n"
+      "#include <cmath>\n"
+      "// #include <stdio.h> (commented out)\n";
+  EXPECT_FALSE(has_rule(lint_file("src/x.cpp", ok), "banned-include"));
+}
+
+// ---- fp-contract (CMake cross-check) ---------------------------------------
+
+TEST(LintFpContract, EveryKernelTuMustCarryTheFlag) {
+  const std::string cmake =
+      "set_source_files_properties(src/nn/kernels.cpp PROPERTIES\n"
+      "  COMPILE_OPTIONS \"-ffp-contract=off\")\n";
+  EXPECT_TRUE(lint_cmake(cmake, {"src/nn/kernels.cpp"}).empty());
+  const auto vs =
+      lint_cmake(cmake, {"src/nn/kernels.cpp", "src/nn/kernels_new.cpp"});
+  ASSERT_EQ(vs.size(), 1u) << render(vs);
+  EXPECT_EQ(vs.front().rule, "fp-contract");
+  EXPECT_NE(vs.front().message.find("kernels_new"), std::string::npos);
+}
+
+TEST(LintFpContract, CommentedCoverageDoesNotCount) {
+  const std::string cmake =
+      "# set_source_files_properties(src/nn/kernels.cpp PROPERTIES\n"
+      "#   COMPILE_OPTIONS \"-ffp-contract=off\")\n"
+      "add_library(rnx src/nn/kernels.cpp)\n";
+  EXPECT_TRUE(has_rule(lint_cmake(cmake, {"src/nn/kernels.cpp"}),
+                       "fp-contract"));
+}
+
+TEST(LintFpContract, FlagWithoutTheTuDoesNotCover) {
+  const std::string cmake =
+      "set_source_files_properties(src/nn/other.cpp PROPERTIES\n"
+      "  COMPILE_OPTIONS \"-ffp-contract=off\")\n";
+  EXPECT_TRUE(has_rule(lint_cmake(cmake, {"src/nn/kernels.cpp"}),
+                       "fp-contract"));
+}
+
+// ---- rule inventory --------------------------------------------------------
+
+TEST(LintRules, EveryEmittedRuleIsListed) {
+  const std::string everything =
+      "#include <stdio.h>\n"
+      "std::mutex m;\n"
+      "util::Mutex mu_;\n"
+      "int r = rand();\n"
+      "void f() { try { g(); } catch (...) {} }\n"
+      "void h() { printf(\"x\"); }\n";
+  const auto vs = lint_file("src/x.cpp", everything);
+  const auto& ids = rule_ids();
+  for (const auto& rule : rules_of(vs))
+    EXPECT_NE(std::find(ids.begin(), ids.end(), rule), ids.end()) << rule;
+  // Six of the seven rules are file rules; all fire here, one per line.
+  EXPECT_EQ(vs.size(), 6u) << render(vs);
+}
+
+// ---- the real tree ---------------------------------------------------------
+
+// The acceptance invariant: the repo lints clean.  A failure here names
+// the offending line — fix it or add an allow-comment with a reason.
+TEST(LintTree, RealTreeIsClean) {
+  const auto vs = lint_tree(RNX_LINT_SOURCE_DIR);
+  EXPECT_TRUE(vs.empty()) << render(vs);
+}
+
+// ---- CLI exit-code contract ------------------------------------------------
+
+class LintCliTree : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() / "rnx_lint_cli_tree";
+    fs::remove_all(dir_);
+    fs::create_directories(dir_ / "src");
+    write("CMakeLists.txt", "add_library(x src/a.cpp)\n");
+    write("src/a.cpp", "int ok = 1;\n");
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  void write(const std::string& rel, const std::string& content) {
+    std::ofstream out(dir_ / rel);
+    out << content;
+  }
+
+  [[nodiscard]] int run_cli(const std::vector<std::string>& args) {
+    out_.str("");
+    err_.str("");
+    return rnx::lint::run(args, out_, err_);
+  }
+
+  fs::path dir_;
+  std::ostringstream out_;
+  std::ostringstream err_;
+};
+
+TEST_F(LintCliTree, CleanTreeExitsZero) {
+  EXPECT_EQ(run_cli({dir_.string()}), 0);
+  EXPECT_EQ(out_.str(), "");
+}
+
+TEST_F(LintCliTree, ViolationsExitOneAndPrintFileLineRule) {
+  write("src/bad.cpp", "std::mutex m;\n");
+  EXPECT_EQ(run_cli({dir_.string()}), 1);
+  EXPECT_NE(out_.str().find("src/bad.cpp:1: raw-mutex:"), std::string::npos)
+      << out_.str();
+}
+
+TEST_F(LintCliTree, UsageErrorsExitTwo) {
+  EXPECT_EQ(run_cli({"--bogus"}), 2);
+  EXPECT_EQ(run_cli({dir_.string(), "second-root"}), 2);
+  EXPECT_EQ(run_cli({(dir_ / "no-such-dir").string()}), 2);
+}
+
+TEST_F(LintCliTree, ListRulesPrintsTheInventory) {
+  EXPECT_EQ(run_cli({"--list-rules"}), 0);
+  for (const auto& id : rule_ids())
+    EXPECT_NE(out_.str().find(id), std::string::npos) << id;
+}
+
+}  // namespace

@@ -338,12 +338,12 @@ INSTANTIATE_TEST_SUITE_P(
     AllCombinations, ScenarioSweep,
     ::testing::Combine(::testing::Values(0, 1, 2),   // fifo, prio, drr
                        ::testing::Values(0, 1, 2)),  // poisson, cbr, onoff
-    [](const ::testing::TestParamInfo<std::tuple<int, int>>& info) {
+    [](const ::testing::TestParamInfo<std::tuple<int, int>>& pinfo) {
       return std::string(sim::to_string(static_cast<SchedulerPolicy>(
-                 std::get<0>(info.param)))) +
+                 std::get<0>(pinfo.param)))) +
              "_" +
              std::string(sim::to_string(
-                 static_cast<TrafficProcess>(std::get<1>(info.param))));
+                 static_cast<TrafficProcess>(std::get<1>(pinfo.param))));
     });
 
 // ---- degenerate single-class policies reduce to FIFO -----------------------

@@ -1,0 +1,596 @@
+#include "lint/linter.hpp"
+
+#include <algorithm>
+#include <array>
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <string_view>
+#include <utility>
+
+namespace rnx::lint {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr std::string_view kAllowMarker = "rnx-lint: allow(";
+constexpr std::string_view kWrapperFile = "src/util/mutex.hpp";
+
+[[nodiscard]] bool is_ident(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_';
+}
+
+[[nodiscard]] bool is_space(char c) {
+  return c == ' ' || c == '\t' || c == '\r' || c == '\n';
+}
+
+// ---- scrubbing -------------------------------------------------------------
+
+// True when content[i] opens a raw string literal's quote; fills the
+// closing marker (")delim"") for the caller to scan for.
+bool raw_string_at(const std::string& s, std::size_t i, std::string* closer) {
+  if (s[i] != '"' || i == 0 || s[i - 1] != 'R') return false;
+  // The R must start a token (or follow a u8/u/U/L encoding prefix) —
+  // an identifier that happens to end in R is not a raw string.
+  if (i >= 2 && is_ident(s[i - 2]) && s[i - 2] != '8' && s[i - 2] != 'u' &&
+      s[i - 2] != 'U' && s[i - 2] != 'L')
+    return false;
+  std::string delim;
+  for (std::size_t j = i + 1; j < s.size() && s[j] != '('; ++j) {
+    if (delim.size() > 16 || s[j] == '"' || s[j] == '\n') return false;
+    delim.push_back(s[j]);
+  }
+  *closer = ")" + delim + "\"";
+  return true;
+}
+
+}  // namespace
+
+std::string scrub(const std::string& content) {
+  std::string out = content;
+  enum class St { kCode, kLine, kBlock, kStr, kChar };
+  St st = St::kCode;
+  std::size_t i = 0;
+  const std::size_t n = content.size();
+  auto blank = [&](std::size_t at) {
+    if (out[at] != '\n') out[at] = ' ';
+  };
+  while (i < n) {
+    const char c = content[i];
+    switch (st) {
+      case St::kCode: {
+        std::string closer;
+        if (c == '/' && i + 1 < n && content[i + 1] == '/') {
+          st = St::kLine;
+          blank(i);
+        } else if (c == '/' && i + 1 < n && content[i + 1] == '*') {
+          st = St::kBlock;
+          blank(i);
+          blank(i + 1);
+          ++i;
+        } else if (raw_string_at(content, i, &closer)) {
+          const std::size_t end = content.find(closer, i + 1);
+          const std::size_t stop = end == std::string::npos ? n : end;
+          for (std::size_t j = i; j < stop; ++j) blank(j);
+          i = stop + (end == std::string::npos ? 0 : closer.size() - 1);
+        } else if (c == '"') {
+          st = St::kStr;
+        } else if (c == '\'' && (i == 0 || !is_ident(content[i - 1]))) {
+          st = St::kChar;  // excludes digit separators (1'000) and suffixes
+        }
+        break;
+      }
+      case St::kLine:
+        if (c == '\n') st = St::kCode;
+        else blank(i);
+        break;
+      case St::kBlock:
+        if (c == '*' && i + 1 < n && content[i + 1] == '/') {
+          blank(i);
+          blank(i + 1);
+          ++i;
+          st = St::kCode;
+        } else {
+          blank(i);
+        }
+        break;
+      case St::kStr:
+        if (c == '\\' && i + 1 < n) {
+          blank(i);
+          blank(i + 1);
+          ++i;
+        } else if (c == '"' || c == '\n') {
+          st = St::kCode;
+        } else {
+          blank(i);
+        }
+        break;
+      case St::kChar:
+        if (c == '\\' && i + 1 < n) {
+          blank(i);
+          blank(i + 1);
+          ++i;
+        } else if (c == '\'' || c == '\n') {
+          st = St::kCode;
+        } else {
+          blank(i);
+        }
+        break;
+    }
+    ++i;
+  }
+  return out;
+}
+
+namespace {
+
+// ---- shared text helpers ---------------------------------------------------
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t nl = text.find('\n', start);
+    if (nl == std::string::npos) {
+      lines.push_back(text.substr(start));
+      break;
+    }
+    lines.push_back(text.substr(start, nl - start));
+    start = nl + 1;
+  }
+  return lines;
+}
+
+// Find `token` in `line` starting at `from`, requiring a non-identifier
+// char on each side.  `allow_colon_before` admits qualified names
+// (std::rand) without re-flagging inside longer identifiers.
+std::size_t find_token(const std::string& line, std::string_view token,
+                       std::size_t from, bool allow_colon_before = true) {
+  std::size_t pos = line.find(token, from);
+  while (pos != std::string::npos) {
+    const bool ok_before =
+        pos == 0 || (!is_ident(line[pos - 1]) &&
+                     (allow_colon_before || line[pos - 1] != ':'));
+    const std::size_t after = pos + token.size();
+    const bool ok_after = after >= line.size() || !is_ident(line[after]);
+    if (ok_before && ok_after) return pos;
+    pos = line.find(token, pos + 1);
+  }
+  return std::string::npos;
+}
+
+// True when the token at `pos` (of length `len`) is a call: the next
+// non-space char is '('.
+bool is_call(const std::string& line, std::size_t pos, std::size_t len) {
+  std::size_t j = pos + len;
+  while (j < line.size() && (line[j] == ' ' || line[j] == '\t')) ++j;
+  return j < line.size() && line[j] == '(';
+}
+
+// Parse an allow-comment's rule list out of a raw source line.
+bool line_allows(const std::string& raw_line, const std::string& rule) {
+  const std::size_t m = raw_line.find(kAllowMarker);
+  if (m == std::string::npos) return false;
+  const std::size_t open = m + kAllowMarker.size();
+  const std::size_t close = raw_line.find(')', open);
+  if (close == std::string::npos) return false;
+  std::string ids = raw_line.substr(open, close - open);
+  for (char& c : ids)
+    if (c == ',') c = ' ';
+  std::istringstream iss(ids);
+  std::string id;
+  while (iss >> id)
+    if (id == rule) return true;
+  return false;
+}
+
+// The escape hatch: the offending line or the line above may carry
+// `// rnx-lint: allow(rule[, rule...])`.
+bool allowed(const std::vector<std::string>& raw_lines, int line,
+             const std::string& rule) {
+  const std::size_t idx = static_cast<std::size_t>(line) - 1;
+  if (idx < raw_lines.size() && line_allows(raw_lines[idx], rule)) return true;
+  return idx >= 1 && idx - 1 < raw_lines.size() &&
+         line_allows(raw_lines[idx - 1], rule);
+}
+
+enum class Scope { kSrc, kTools, kTests, kBench, kOther };
+
+Scope scope_of(const std::string& relpath) {
+  if (relpath.rfind("src/", 0) == 0) return Scope::kSrc;
+  if (relpath.rfind("tools/", 0) == 0) return Scope::kTools;
+  if (relpath.rfind("tests/", 0) == 0) return Scope::kTests;
+  if (relpath.rfind("bench/", 0) == 0) return Scope::kBench;
+  return Scope::kOther;
+}
+
+// ---- per-rule checkers -----------------------------------------------------
+
+struct Ctx {
+  const std::string& relpath;
+  const std::vector<std::string>& raw;
+  const std::vector<std::string>& scrubbed;
+  const std::string& scrubbed_text;
+  std::vector<Violation>& out;
+
+  void add(int line, const char* rule, std::string msg) const {
+    if (!allowed(raw, line, rule))
+      out.push_back(Violation{relpath, line, rule, std::move(msg)});
+  }
+};
+
+void check_raw_mutex(const Ctx& ctx) {
+  static constexpr std::array<std::string_view, 12> kBanned = {
+      "std::mutex",          "std::recursive_mutex",
+      "std::timed_mutex",    "std::recursive_timed_mutex",
+      "std::shared_mutex",   "std::shared_timed_mutex",
+      "std::lock_guard",     "std::unique_lock",
+      "std::scoped_lock",    "std::shared_lock",
+      "std::condition_variable", "std::condition_variable_any"};
+  for (std::size_t li = 0; li < ctx.scrubbed.size(); ++li) {
+    for (const auto token : kBanned) {
+      if (find_token(ctx.scrubbed[li], token, 0) != std::string::npos) {
+        ctx.add(static_cast<int>(li) + 1, "raw-mutex",
+                std::string(token) +
+                    " is invisible to -Wthread-safety; use util::Mutex / "
+                    "util::MutexLock / util::CondVar (src/util/mutex.hpp)");
+        break;  // one report per line
+      }
+    }
+  }
+}
+
+void check_guarded_by(const Ctx& ctx) {
+  for (std::size_t li = 0; li < ctx.scrubbed.size(); ++li) {
+    const std::string& line = ctx.scrubbed[li];
+    std::size_t pos = find_token(line, "Mutex", 0);
+    while (pos != std::string::npos) {
+      std::size_t j = pos + 5;
+      while (j < line.size() && (line[j] == ' ' || line[j] == '\t')) ++j;
+      // A declaration `Mutex name;` — references/pointers/parameters
+      // (Mutex&, Mutex*) and type positions (Mutex) are someone else's
+      // member and are skipped here.
+      std::size_t name_end = j;
+      while (name_end < line.size() && is_ident(line[name_end])) ++name_end;
+      if (name_end > j) {
+        const std::string name = line.substr(j, name_end - j);
+        std::size_t k = name_end;
+        while (k < line.size() && (line[k] == ' ' || line[k] == '\t')) ++k;
+        if (k < line.size() && line[k] == ';') {
+          const std::string want = "RNX_GUARDED_BY(" + name + ")";
+          const std::string want_pt = "RNX_PT_GUARDED_BY(" + name + ")";
+          if (ctx.scrubbed_text.find(want) == std::string::npos &&
+              ctx.scrubbed_text.find(want_pt) == std::string::npos) {
+            ctx.add(static_cast<int>(li) + 1, "guarded-by",
+                    "Mutex '" + name + "' guards no field: annotate data " +
+                        "with RNX_GUARDED_BY(" + name +
+                        ") or allow with a reason");
+          }
+        }
+      }
+      pos = find_token(line, "Mutex", pos + 5);
+    }
+  }
+}
+
+void check_unseeded_rng(const Ctx& ctx) {
+  for (std::size_t li = 0; li < ctx.scrubbed.size(); ++li) {
+    const std::string& line = ctx.scrubbed[li];
+    if (find_token(line, "random_device", 0) != std::string::npos) {
+      ctx.add(static_cast<int>(li) + 1, "unseeded-rng",
+              "std::random_device breaks run-to-run reproducibility; derive "
+              "a util::RngStream from the experiment seed");
+      continue;
+    }
+    for (const std::string_view fn : {"srand", "rand"}) {
+      const std::size_t pos = find_token(line, fn, 0);
+      if (pos != std::string::npos && is_call(line, pos, fn.size())) {
+        ctx.add(static_cast<int>(li) + 1, "unseeded-rng",
+                std::string(fn) +
+                    "() draws from hidden global state; use a seeded "
+                    "util::RngStream");
+        break;
+      }
+    }
+  }
+}
+
+void check_printf_family(const Ctx& ctx) {
+  static constexpr std::array<std::string_view, 13> kFns = {
+      "printf", "fprintf", "sprintf",  "snprintf", "vprintf",
+      "vfprintf", "vsprintf", "vsnprintf", "puts", "fputs",
+      "putchar", "fputc", "putc"};
+  for (std::size_t li = 0; li < ctx.scrubbed.size(); ++li) {
+    for (const auto fn : kFns) {
+      const std::size_t pos = find_token(ctx.scrubbed[li], fn, 0);
+      if (pos != std::string::npos && is_call(ctx.scrubbed[li], pos, fn.size())) {
+        ctx.add(static_cast<int>(li) + 1, "printf-family",
+                std::string(fn) +
+                    "() bypasses util::log in library code; report through "
+                    "log_line/log_error so tools control the stream");
+        break;
+      }
+    }
+  }
+}
+
+void check_swallowed_catch(const Ctx& ctx) {
+  static constexpr std::array<std::string_view, 14> kHandled = {
+      "throw", "rethrow_exception", "current_exception", "set_exception",
+      "set_value", "abort", "exit", "_Exit", "quick_exit", "log_line",
+      "log_error", "log_warn", "FAIL", "ADD_FAILURE"};
+  const std::string& text = ctx.scrubbed_text;
+  std::size_t pos = 0;
+  while ((pos = text.find("catch", pos)) != std::string::npos) {
+    const std::size_t hit = pos;
+    pos += 5;
+    if ((hit > 0 && is_ident(text[hit - 1])) ||
+        (pos < text.size() && is_ident(text[pos])))
+      continue;
+    std::size_t j = pos;
+    while (j < text.size() && is_space(text[j])) ++j;
+    if (j >= text.size() || text[j] != '(') continue;
+    ++j;
+    while (j < text.size() && is_space(text[j])) ++j;
+    if (text.compare(j, 3, "...") != 0) continue;  // typed catch: fine
+    j = text.find(')', j);
+    if (j == std::string::npos) continue;
+    ++j;
+    while (j < text.size() && is_space(text[j])) ++j;
+    if (j >= text.size() || text[j] != '{') continue;
+    // Matching close brace (strings/comments are already blanked, so
+    // every brace in the scrubbed text is structural).
+    int depth = 0;
+    std::size_t body_begin = j + 1, body_end = j;
+    for (; body_end < text.size(); ++body_end) {
+      if (text[body_end] == '{') ++depth;
+      else if (text[body_end] == '}' && --depth == 0) break;
+    }
+    const std::string body = text.substr(body_begin, body_end - body_begin);
+    bool handles = false;
+    for (const auto word : kHandled)
+      if (find_token(body, word, 0) != std::string::npos) {
+        handles = true;
+        break;
+      }
+    if (!handles) {
+      const int line =
+          1 + static_cast<int>(std::count(text.begin(), text.begin() + hit, '\n'));
+      ctx.add(line, "swallowed-catch",
+              "catch (...) swallows the error: rethrow, capture it "
+              "(current_exception), log it, or abort");
+    }
+    pos = body_begin;
+  }
+}
+
+void check_banned_include(const Ctx& ctx) {
+  // header -> replacement advice
+  static constexpr std::array<std::pair<std::string_view, std::string_view>, 7>
+      kBanned = {{{"stdio.h", "<cstdio> (and printf-family is banned in src/)"},
+                  {"stdlib.h", "<cstdlib>"},
+                  {"string.h", "<cstring>"},
+                  {"assert.h", "<cassert>"},
+                  {"math.h", "<cmath>"},
+                  {"setjmp.h", "typed errors (DESIGN.md error doctrine)"},
+                  {"regex", "hand-rolled parsing (std::regex is slow to "
+                            "compile and to run)"}}};
+  for (std::size_t li = 0; li < ctx.scrubbed.size(); ++li) {
+    const std::string& line = ctx.scrubbed[li];
+    std::size_t j = 0;
+    while (j < line.size() && (line[j] == ' ' || line[j] == '\t')) ++j;
+    if (j >= line.size() || line[j] != '#') continue;
+    ++j;
+    while (j < line.size() && (line[j] == ' ' || line[j] == '\t')) ++j;
+    if (line.compare(j, 7, "include") != 0) continue;
+    const std::size_t open = line.find('<', j + 7);
+    if (open == std::string::npos) continue;
+    const std::size_t close = line.find('>', open + 1);
+    if (close == std::string::npos) continue;
+    const std::string header = line.substr(open + 1, close - open - 1);
+    for (const auto& [banned, advice] : kBanned) {
+      if (header == banned) {
+        ctx.add(static_cast<int>(li) + 1, "banned-include",
+                "<" + header + "> is banned; use " + std::string(advice));
+        break;
+      }
+    }
+  }
+}
+
+std::string read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot read " + path.string());
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+}  // namespace
+
+// ---- public API ------------------------------------------------------------
+
+const std::vector<std::string>& rule_ids() {
+  static const std::vector<std::string> kIds = {
+      "raw-mutex",    "guarded-by",      "unseeded-rng", "swallowed-catch",
+      "printf-family", "banned-include", "fp-contract"};
+  return kIds;
+}
+
+std::vector<Violation> lint_file(const std::string& relpath,
+                                 const std::string& content) {
+  std::vector<Violation> out;
+  const Scope scope = scope_of(relpath);
+  const std::string scrubbed_text = scrub(content);
+  const std::vector<std::string> raw = split_lines(content);
+  const std::vector<std::string> scrubbed = split_lines(scrubbed_text);
+  const Ctx ctx{relpath, raw, scrubbed, scrubbed_text, out};
+
+  check_banned_include(ctx);  // every scope: C headers never belong
+  if (relpath != kWrapperFile && scope != Scope::kOther) check_raw_mutex(ctx);
+  if (scope == Scope::kSrc || scope == Scope::kTools) {
+    check_unseeded_rng(ctx);
+    check_swallowed_catch(ctx);
+  }
+  if (scope == Scope::kSrc) {
+    check_printf_family(ctx);
+    if (relpath != kWrapperFile) check_guarded_by(ctx);
+  }
+
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Violation& a, const Violation& b) {
+                     return a.line < b.line;
+                   });
+  return out;
+}
+
+std::vector<Violation> lint_cmake(const std::string& cmake_content,
+                                  const std::vector<std::string>& kernel_tus) {
+  // Blank cmake comments (# to end of line) so commented-out blocks
+  // cannot satisfy the check.
+  std::string text = cmake_content;
+  bool in_comment = false;
+  for (char& c : text) {
+    if (c == '\n') in_comment = false;
+    else if (c == '#') in_comment = true;
+    if (in_comment && c != '\n') c = ' ';
+  }
+
+  // Collect every set_source_files_properties(...) block that carries
+  // -ffp-contract=off.
+  std::vector<std::string> covered;
+  std::size_t pos = 0;
+  while ((pos = text.find("set_source_files_properties", pos)) !=
+         std::string::npos) {
+    std::size_t open = text.find('(', pos);
+    pos += 1;
+    if (open == std::string::npos) break;
+    int depth = 0;
+    std::size_t end = open;
+    for (; end < text.size(); ++end) {
+      if (text[end] == '(') ++depth;
+      else if (text[end] == ')' && --depth == 0) break;
+    }
+    std::string block = text.substr(open + 1, end - open - 1);
+    if (block.find("ffp-contract=off") != std::string::npos)
+      covered.push_back(std::move(block));
+  }
+
+  std::vector<Violation> out;
+  const std::vector<std::string> raw_lines = split_lines(cmake_content);
+  for (const std::string& tu : kernel_tus) {
+    const bool ok = std::any_of(covered.begin(), covered.end(),
+                                [&](const std::string& block) {
+                                  return block.find(tu) != std::string::npos;
+                                });
+    if (ok) continue;
+    // Anchor the report at the TU's first mention (else line 1).
+    int line = 1;
+    for (std::size_t li = 0; li < raw_lines.size(); ++li) {
+      if (raw_lines[li].find(tu) != std::string::npos) {
+        line = static_cast<int>(li) + 1;
+        break;
+      }
+    }
+    if (!allowed(raw_lines, line, "fp-contract"))
+      out.push_back(Violation{
+          "CMakeLists.txt", line, "fp-contract",
+          "kernel TU " + tu +
+              " is not covered by a set_source_files_properties(... "
+              "-ffp-contract=off) block: auto-fused FMA breaks the "
+              "cross-backend bitwise parity contract"});
+  }
+  return out;
+}
+
+std::vector<Violation> lint_tree(const std::string& root) {
+  const fs::path rootp(root);
+  const fs::path cmake = rootp / "CMakeLists.txt";
+  if (!fs::exists(cmake))
+    throw std::runtime_error(root + " is not a repo root (no CMakeLists.txt)");
+
+  std::vector<fs::path> files;
+  for (const char* dir : {"src", "tools", "tests", "bench"}) {
+    const fs::path d = rootp / dir;
+    if (!fs::is_directory(d)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(d)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string ext = entry.path().extension().string();
+      if (ext == ".cpp" || ext == ".hpp" || ext == ".h")
+        files.push_back(entry.path());
+    }
+  }
+  std::vector<std::pair<std::string, fs::path>> rel;
+  rel.reserve(files.size());
+  for (const auto& f : files)
+    rel.emplace_back(f.lexically_relative(rootp).generic_string(), f);
+  std::sort(rel.begin(), rel.end());
+
+  std::vector<Violation> out;
+  std::vector<std::string> kernel_tus;
+  for (const auto& [relpath, path] : rel) {
+    auto vs = lint_file(relpath, read_file(path));
+    out.insert(out.end(), std::make_move_iterator(vs.begin()),
+               std::make_move_iterator(vs.end()));
+    // Kernel TU inventory for the CMake cross-check.
+    if (relpath.rfind("src/nn/kernels", 0) == 0 &&
+        relpath.size() >= 4 && relpath.compare(relpath.size() - 4, 4, ".cpp") == 0)
+      kernel_tus.push_back(relpath);
+  }
+  auto cs = lint_cmake(read_file(cmake), kernel_tus);
+  out.insert(out.end(), std::make_move_iterator(cs.begin()),
+             std::make_move_iterator(cs.end()));
+  return out;
+}
+
+int run(const std::vector<std::string>& args, std::ostream& out,
+        std::ostream& err) {
+  static constexpr std::string_view kUsage =
+      "usage: rnx_lint [--list-rules] [root]\n"
+      "  Checks repo invariants over <root>/{src,tools,tests,bench} plus\n"
+      "  the CMakeLists fp-contract cross-check (root defaults to `.`).\n"
+      "  Exit: 0 clean, 1 violations, 2 usage error.\n";
+  std::string root;
+  for (const std::string& arg : args) {
+    if (arg == "--list-rules") {
+      for (const std::string& id : rule_ids()) out << id << "\n";
+      return 0;
+    }
+    if (arg == "--help" || arg == "-h") {
+      out << kUsage;
+      return 0;
+    }
+    if (!arg.empty() && arg[0] == '-') {
+      err << "rnx_lint: unknown option '" << arg << "'\n" << kUsage;
+      return 2;
+    }
+    if (!root.empty()) {
+      err << "rnx_lint: more than one root given\n" << kUsage;
+      return 2;
+    }
+    root = arg;
+  }
+  if (root.empty()) root = ".";
+
+  std::vector<Violation> vs;
+  try {
+    vs = lint_tree(root);
+  } catch (const std::exception& e) {
+    err << "rnx_lint: " << e.what() << "\n";
+    return 2;
+  }
+  for (const Violation& v : vs)
+    out << v.file << ":" << v.line << ": " << v.rule << ": " << v.message
+        << "\n";
+  if (!vs.empty()) {
+    err << "rnx_lint: " << vs.size() << " violation(s)\n";
+    return 1;
+  }
+  err << "rnx_lint: clean\n";
+  return 0;
+}
+
+}  // namespace rnx::lint

@@ -1,0 +1,86 @@
+// rnx_lint — repo-invariant checker (DESIGN.md §L).
+//
+// A fast token-level linter (no libclang, no std::regex) enforcing the
+// invariants generic tools cannot know.  Rules and rationale:
+//
+//   raw-mutex       std::mutex / std::lock_guard / std::unique_lock /
+//                   std::scoped_lock / std::condition_variable are banned
+//                   outside src/util/mutex.hpp: raw primitives carry no
+//                   thread-safety capability, so locking through them is
+//                   invisible to the -Wthread-safety gate.
+//   guarded-by      a Mutex member named in src/ must have at least one
+//                   RNX_GUARDED_BY(name) in the same file — a mutex that
+//                   guards nothing is either dead weight or (worse) a
+//                   field forgot its annotation.
+//   unseeded-rng    rand()/srand()/std::random_device are banned in
+//                   src/ and tools/: every random draw flows from a
+//                   seeded util::RngStream (determinism doctrine, §T/§D
+//                   — bitwise-reproducible datasets and training).
+//   swallowed-catch catch (...) must rethrow, capture
+//                   (current_exception/set_exception), abort, or log:
+//                   a silently swallowed error is how corrupt data gets
+//                   committed downstream (§R error doctrine).
+//   printf-family   printf/fprintf/puts/... are banned in src/ (library
+//                   code reports through util::log so tools can silence
+//                   or redirect it; tools/ may format their own stdout).
+//   banned-include  C-header spellings (<stdio.h>, <stdlib.h>, ...) and
+//                   <regex> are banned tree-wide.
+//   fp-contract     every kernel TU (src/nn/kernels*.cpp) must carry
+//                   -ffp-contract=off in CMakeLists.txt — the §K bitwise
+//                   cross-backend parity contract dies silently if a new
+//                   kernel file is added without the flag.
+//
+// Escape hatch: a violation is suppressed when the offending line or
+// the line above carries `// rnx-lint: allow(rule-id[, rule-id...])` —
+// always pair it with a reason.
+//
+// Output: `file:line: rule-id: message`, one per violation, in path
+// order.  Exit codes (tool doctrine, tools/cli.hpp): 0 clean, 1
+// violations found, 2 usage error.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rnx::lint {
+
+struct Violation {
+  std::string file;  ///< repo-relative path (forward slashes)
+  int line = 0;      ///< 1-based
+  std::string rule;
+  std::string message;
+};
+
+/// Every rule id, in report order (for --list-rules and the tests).
+[[nodiscard]] const std::vector<std::string>& rule_ids();
+
+/// Blank comments and string/character literals (newlines preserved) so
+/// token rules never fire on prose.  Exposed for the test suite.
+[[nodiscard]] std::string scrub(const std::string& content);
+
+/// Lint one file.  `relpath` (repo-relative, forward slashes) selects
+/// the applicable rules: src/ gets all file rules, tools/tests/bench a
+/// subset (see the rule table above).
+[[nodiscard]] std::vector<Violation> lint_file(const std::string& relpath,
+                                               const std::string& content);
+
+/// fp-contract cross-check: each kernel TU in `kernel_tus` (repo-relative
+/// .cpp paths) must appear in a set_source_files_properties(...) block of
+/// `cmake_content` that carries -ffp-contract=off.
+[[nodiscard]] std::vector<Violation> lint_cmake(
+    const std::string& cmake_content,
+    const std::vector<std::string>& kernel_tus);
+
+/// Walk `root` (must hold CMakeLists.txt): lint every .cpp/.hpp/.h under
+/// src/ tools/ tests/ bench/ plus the CMake cross-check.  Throws
+/// std::runtime_error when root is not a repo root.
+[[nodiscard]] std::vector<Violation> lint_tree(const std::string& root);
+
+/// CLI driver: `args` excludes argv[0].  Returns the process exit code
+/// (0 clean, 1 violations, 2 usage error); violations go to `out`,
+/// diagnostics and the summary to `err`.
+[[nodiscard]] int run(const std::vector<std::string>& args, std::ostream& out,
+                      std::ostream& err);
+
+}  // namespace rnx::lint

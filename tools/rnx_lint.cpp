@@ -1,0 +1,17 @@
+// rnx_lint — repo-invariant checker CLI (DESIGN.md §L).
+//
+//   rnx_lint [--list-rules] [root]
+//
+// Exit codes follow the tool doctrine: 0 clean, 1 violations found,
+// 2 usage error.  Violations print to stdout as
+// `file:line: rule-id: message`; the summary goes to stderr.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "lint/linter.hpp"
+
+int main(int argc, char** argv) {
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  return rnx::lint::run(args, std::cout, std::cerr);
+}
